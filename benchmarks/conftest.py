@@ -1,0 +1,32 @@
+"""Benchmark fixtures: the shared full-scale experiment environment.
+
+Benchmarks regenerate the paper's tables and figures; each bench prints
+its rows/series (run with ``-s`` to see them inline; a summary also lands
+in the pytest-benchmark table).  Scales are reduced relative to the paper
+(its full runs take 2–3 GPU-days) but large enough that every shape claim
+is visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import get_environment
+
+
+@pytest.fixture(scope="session")
+def env():
+    """Full-scale environment shared by all benchmarks."""
+    return get_environment(seed=0, scale="full")
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Uniform table printing for benchmark reports."""
+    print(f"\n== {title} ==")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

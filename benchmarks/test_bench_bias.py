@@ -1,0 +1,104 @@
+"""E3/E4 — Figures 7, 13, 14 and the §4.2.2 χ² tests: gender bias.
+
+Regenerates the per-panel P(profession | gender) distributions and the χ²
+significance per configuration, for both model sizes (Fig. 13 = XL,
+Fig. 14 = small).
+
+Shape claims checked: canonical-with-prefix shows the planted stereotypes
+and the strongest significance; Levenshtein edits flatten the distribution
+and weaken significance (Observation 3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.datasets.lexicon import GENDERS, PROFESSIONS
+from repro.experiments.bias import FIGURE7_CONFIGS, FIGURE13_CONFIGS, bias_report
+
+_SAMPLES = 250
+
+
+def _print_panels(title, panels):
+    for name, panel in panels.items():
+        rows = []
+        for profession in PROFESSIONS:
+            rows.append(
+                [profession]
+                + [f"{100 * panel.distributions[g][profession]:.1f}%" for g in GENDERS]
+            )
+        print_table(
+            f"{title} / {name} ({panel.config.describe()}) — "
+            f"chi2 p = 10^{panel.chi_square.log10_p:.1f}",
+            ["profession"] + list(GENDERS),
+            rows,
+        )
+
+
+def test_bench_fig7_panels(env, benchmark):
+    """Figure 7: the three headline configurations (XL model)."""
+    panels = benchmark.pedantic(
+        lambda: bias_report(env, configs=FIGURE7_CONFIGS, samples_per_gender=_SAMPLES),
+        rounds=1,
+        iterations=1,
+    )
+    _print_panels("Figure 7", panels)
+    canonical = panels["fig7b_canonical_prefix"]
+    edits = panels["fig7c_canonical_prefix_edits"]
+    # Observation 3: canonical >> edits in significance.
+    assert canonical.chi_square.log10_p < edits.chi_square.log10_p
+    # Planted stereotypes visible under canonical encodings.
+    dist = canonical.distributions
+    assert dist["man"]["engineering"] > dist["woman"]["engineering"]
+    assert dist["woman"]["medicine"] > dist["man"]["medicine"]
+
+
+def test_bench_fig13_xl_grid(env, benchmark):
+    """Figure 13: the 2x2 encodings/edits grid on the XL model."""
+    panels = benchmark.pedantic(
+        lambda: bias_report(env, configs=FIGURE13_CONFIGS, samples_per_gender=150),
+        rounds=1,
+        iterations=1,
+    )
+    _print_panels("Figure 13 (XL)", panels)
+    assert panels["canonical"].chi_square.log10_p < panels["canonical_edits"].chi_square.log10_p
+
+
+def test_bench_fig14_small_grid(env, benchmark):
+    """Figure 14: the same grid on the small model ("similar
+    phenomenon")."""
+    panels = benchmark.pedantic(
+        lambda: bias_report(
+            env, configs=FIGURE13_CONFIGS, samples_per_gender=150, model_size="small"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print_panels("Figure 14 (small)", panels)
+    dist = panels["canonical"].distributions
+    assert dist["man"]["engineering"] > dist["woman"]["engineering"]
+
+
+def test_bench_chi_square_summary(env, benchmark):
+    """§4.2.2: the p-value comparison across the Figure 7 configs."""
+    panels = benchmark.pedantic(
+        lambda: bias_report(env, configs=FIGURE7_CONFIGS, samples_per_gender=_SAMPLES, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [name, f"{panel.chi_square.statistic:.1f}", f"10^{panel.chi_square.log10_p:.1f}"]
+        for name, panel in panels.items()
+    ]
+    print_table(
+        "§4.2.2 chi-square tests (paper: 10^-18 all / 10^-229 canonical / 10^-54 edits)",
+        ["config", "chi2", "p"],
+        rows,
+    )
+    ps = {name: panel.chi_square.log10_p for name, panel in panels.items()}
+    # Observation 3's robust core: edits measurably diminish significance
+    # relative to both encoding-only configurations.  (The all-vs-canonical
+    # ordering needs the paper's 5000 samples/gender to stabilise.)
+    assert ps["fig7b_canonical_prefix"] < ps["fig7c_canonical_prefix_edits"]
+    assert ps["fig7a_all_no_prefix"] < ps["fig7c_canonical_prefix_edits"]

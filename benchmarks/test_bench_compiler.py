@@ -1,0 +1,95 @@
+"""A1/A2 — compiler ablations (design choices called out in DESIGN.md).
+
+A1: the Appendix-B shortcut-edge construction costs O(V·k·m_max) —
+measured against automaton size.
+
+A2: the trie-batched product DFS against the paper's literal per-token
+scan.  Both produce identical automata; the trie amortises shared token
+prefixes, so it should win by a growing factor as the vocabulary grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import print_table
+from repro.core.compiler import GraphCompiler
+from repro.regex import compile_dfa
+
+
+@pytest.fixture(scope="module")
+def compiler(env):
+    return GraphCompiler(env.tokenizer)
+
+
+def test_bench_a1_compile_cost_vs_pattern_size(env, compiler, benchmark):
+    """A1: wall time of all-encodings compilation as the pattern grows."""
+    patterns = {
+        "small (29 states)": "The ((cat)|(dog))",
+        "medium (URL)": r"https://www\.([a-zA-Z0-9]|-)+\.([a-zA-Z0-9]|/)+",
+        "large (bias template)": (
+            "The ((man)|(woman)) was trained in ((art)|(science)|(business)|"
+            "(medicine)|(computer science)|(engineering)|(humanities)|"
+            "(social sciences)|(information systems)|(math))"
+        ),
+    }
+    rows = []
+    for name, pattern in patterns.items():
+        dfa = compile_dfa(pattern)
+        start = time.perf_counter()
+        automaton = compiler.compile_all_tokens(dfa, None)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [name, len(dfa.states), automaton.num_edges, f"{1000 * elapsed:.1f} ms"]
+        )
+    print_table(
+        "A1: all-encodings compile cost", ["pattern", "char states", "token edges", "time"], rows
+    )
+    # Benchmark the largest one for the pytest-benchmark table.
+    dfa = compile_dfa(patterns["large (bias template)"])
+    benchmark(lambda: compiler.compile_all_tokens(dfa, None))
+
+
+def test_bench_a2_trie_vs_scan(env, compiler, benchmark):
+    """A2: trie-batched DFS vs the paper's per-token scan (same output)."""
+    dfa = compile_dfa(r"https://www\.([a-zA-Z0-9]|-)+\.([a-zA-Z0-9]|/)+")
+
+    trie_result = benchmark.pedantic(
+        lambda: compiler.compile_all_tokens(dfa, None), rounds=5, iterations=1
+    )
+    start = time.perf_counter()
+    scan_result = compiler.compile_all_tokens_scan(dfa, None)
+    scan_time = time.perf_counter() - start
+    start = time.perf_counter()
+    compiler.compile_all_tokens(dfa, None)
+    trie_time = time.perf_counter() - start
+
+    print_table(
+        "A2: shortcut-edge construction",
+        ["algorithm", "time", "edges"],
+        [
+            ["trie product DFS", f"{1000 * trie_time:.1f} ms", trie_result.num_edges],
+            ["per-token scan (paper Algorithm 2)", f"{1000 * scan_time:.1f} ms", scan_result.num_edges],
+        ],
+    )
+    # Equivalence: identical edge sets (the ablation's correctness anchor).
+    assert trie_result.edges == scan_result.edges
+    assert trie_result.accepts == scan_result.accepts
+
+
+def test_bench_canonical_enumeration_cost(env, compiler, benchmark):
+    """Cost of the enumerate-and-encode canonical construction on a
+    moderately sized finite language (12 * 110 * 100 dates)."""
+    months = "|".join(
+        f"({m})" for m in ["January", "February", "March", "April", "May", "June"]
+    )
+    # 6 * 110 * 10 = 6600 strings: inside the enumeration limit.
+    dfa = compile_dfa(f"({months}) [0-9]{{1,2}}, 173[0-9]")
+    automaton = benchmark.pedantic(
+        lambda: compiler.compile_canonical(dfa, None), rounds=1, iterations=1
+    )
+    print(f"\ncanonical automaton: {automaton.num_states} states, "
+          f"{automaton.num_edges} edges, dynamic={automaton.dynamic_canonical}")
+    assert not automaton.dynamic_canonical

@@ -1,0 +1,34 @@
+"""E8 — §3.2's non-canonical sampling measurement.
+
+Regenerates the paper's observation that a few percent of freely sampled
+token sequences are non-canonical (~3% for GPT-2, ~2% for GPT-2 XL; our
+models plant the same phenomenon via training-corpus encoding noise — see
+DESIGN.md)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.experiments.encodings import non_canonical_rate
+
+
+def test_bench_noncanonical_rates(env, benchmark):
+    xl = benchmark.pedantic(
+        lambda: non_canonical_rate(env, model_size="xl", num_samples=600),
+        rounds=1,
+        iterations=1,
+    )
+    small = non_canonical_rate(env, model_size="small", num_samples=600)
+    print_table(
+        "§3.2: non-canonical fraction of free samples",
+        ["model", "rate", "paper"],
+        [
+            ["xl", f"{100 * xl.rate:.1f}%", "~2%"],
+            ["small", f"{100 * small.rate:.1f}%", "~3%"],
+        ],
+    )
+    if xl.examples:
+        print("example non-canonical sample:", repr(xl.examples[0]))
+    assert 0.0 < xl.rate < 0.15
+    assert small.rate > xl.rate

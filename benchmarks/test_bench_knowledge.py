@@ -1,0 +1,44 @@
+"""E10 — Figure 1: multiple choice vs free response vs structured query.
+
+Regenerates the worked example that opens the paper, for both model
+sizes.  Shape claims: the XL model ranks the true date first over the
+full 13.2M-date language; the small model cannot reliably discern it
+(free response wanders, the structured rank is > 1 or tied) — yet the
+structured query still localises the truth within the top 10.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.experiments.knowledge import figure1_report, knowledge_world
+
+
+def test_bench_figure1(benchmark):
+    xl = benchmark.pedantic(
+        lambda: figure1_report(model_size="xl"), rounds=1, iterations=1
+    )
+    small = figure1_report(model_size="small")
+
+    for report in (xl, small):
+        print_table(
+            f"Figure 1a (multiple choice, {report.model_size})",
+            ["candidate", "log p (per token)"],
+            [[c, f"{lp:.2f}"] for c, lp in report.multiple_choice],
+        )
+        print_table(
+            f"Figure 1b (free response, {report.model_size})",
+            ["bucket", "count"],
+            [[k, v] for k, v in report.free_response.items()],
+        )
+        print_table(
+            f"Figure 1c (structured query over 13,200,000 dates, {report.model_size})",
+            ["rank", "date", "log p"],
+            [[i + 1, d, f"{lp:.2f}"] for i, (d, lp) in enumerate(report.structured_top[:5])],
+        )
+        print(f"rank of correct date ({report.correct}): {report.structured_rank}")
+
+    assert xl.structured_rank == 1
+    assert small.structured_rank is not None and small.structured_rank <= 10
+    assert xl.free_response["correct"] > small.free_response["correct"]

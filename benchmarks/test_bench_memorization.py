@@ -1,0 +1,84 @@
+"""E1/E2 — Figures 5, 6, and 10: URL memorization extraction.
+
+Regenerates:
+* Figure 5 — unique validated URLs over time for ReLM (cumulative series);
+* Figure 6 — validated-URL throughput per method (wall-clock and
+  per-forward-pass);
+* Figure 10 — duplicate rates per stop length.
+
+Shape claims checked: ReLM beats every baseline per forward pass; small
+stop lengths drown in duplicates; ReLM emits no duplicates by
+construction.  Run with ``-s`` to see the regenerated tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.experiments.memorization import (
+    BASELINE_STOP_LENGTHS,
+    memorization_report,
+    run_relm_extraction,
+)
+
+
+def test_bench_fig5_relm_extraction(env, benchmark):
+    """Benchmark the ReLM shortest-path extraction; print the Fig. 5
+    series."""
+    log = benchmark.pedantic(
+        lambda: run_relm_extraction(env, max_matches=40), rounds=3, iterations=1
+    )
+    series = log.valid_unique_over_time()
+    rows = [[f"{t * 1000:.1f} ms", count] for t, count in series[:: max(1, len(series) // 10)]]
+    print_table("Figure 5 (ReLM): unique valid URLs over time", ["elapsed", "unique valid"], rows)
+    assert series[-1][1] > 0
+
+
+def test_bench_fig6_fig10_method_comparison(env, benchmark):
+    """Figures 6 and 10: the full method-comparison sweep."""
+    report = benchmark.pedantic(
+        lambda: memorization_report(env, relm_matches=40, baseline_samples=300),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, r in report.items():
+        rows.append(
+            [name, r.attempts, r.unique_valid, f"{100 * r.success_rate:.0f}%",
+             f"{100 * r.duplicate_rate:.0f}%", r.lm_forward_passes,
+             f"{r.urls_per_kfwd:.1f}", f"{r.urls_per_second:.0f}"]
+        )
+    print_table(
+        "Figure 6: validated URL throughput",
+        ["method", "attempts", "valid", "succ", "dup", "fwd passes", "URLs/kfwd", "URLs/s"],
+        rows,
+    )
+    best = max(r.urls_per_kfwd for n, r in report.items() if n.startswith("baseline"))
+    ratio = report["relm"].urls_per_kfwd / best
+    print(f"\nReLM vs best baseline (per forward pass): {ratio:.1f}x  (paper: 15x wall-clock)")
+
+    dup_rows = [
+        [f"n={n}", f"{100 * report[f'baseline_n{n}'].duplicate_rate:.0f}%"]
+        for n in BASELINE_STOP_LENGTHS
+    ]
+    dup_rows.append(["relm", f"{100 * report['relm'].duplicate_rate:.0f}%"])
+    print_table("Figure 10: duplicate rates", ["method", "duplicates"], dup_rows)
+
+    assert report["relm"].urls_per_kfwd > best
+    assert report["baseline_n1"].duplicate_rate > report["baseline_n64"].duplicate_rate
+    assert report["relm"].duplicate_rate == 0.0
+
+
+def test_bench_baseline_per_attempt_cost(env, benchmark):
+    """The paper: n=64 runs ~48x longer per attempt than ReLM needs.  Here:
+    per-attempt forward-pass cost grows with stop length."""
+    from repro.experiments.memorization import run_baseline_extraction
+
+    log = benchmark.pedantic(
+        lambda: run_baseline_extraction(env, stop_length=64, num_samples=30),
+        rounds=3,
+        iterations=1,
+    )
+    short = run_baseline_extraction(env, stop_length=2, num_samples=30)
+    assert log.total_work() > short.total_work()

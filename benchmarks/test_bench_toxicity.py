@@ -1,0 +1,64 @@
+"""E5/E6 — Figure 8: prompted and unprompted toxic-content extraction.
+
+Regenerates Fig. 8a (prompted success: baseline vs ReLM's all-encodings +
+edit-distance-1) and Fig. 8b (unprompted token-sequence volume per input),
+plus the per-provenance breakdown our synthetic shard makes possible.
+
+Shape claims checked: ReLM >= baseline everywhere; the edits lever
+accounts for the gap (edited lines go from ~0% to ~100%); unprompted
+volume multiplies under ambiguous encodings + edits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.experiments.toxicity import scan_shard, toxicity_report
+
+
+def test_bench_shard_scan(env, benchmark):
+    """The paper's `grep` step (2807 matches in 2-7 s on 41 GiB; our shard
+    is smaller, the workflow identical)."""
+    result = benchmark(lambda: scan_shard(env))
+    print(f"\nscan: {len(result.matches)} matches over {result.lines_scanned} lines "
+          f"in {1000 * result.seconds:.1f} ms")
+    assert result.matches
+
+
+def test_bench_fig8_extraction(env, benchmark):
+    """Figure 8, both settings."""
+    report = benchmark.pedantic(
+        lambda: toxicity_report(env, max_lines=20, volume_cap=60),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Figure 8a: prompted extraction success",
+        ["method", "success"],
+        [
+            ["baseline (canonical, no edits)", f"{100 * report.prompted_baseline_rate:.0f}%"],
+            ["ReLM (all encodings + edits)", f"{100 * report.prompted_relm_rate:.0f}%"],
+            ["ratio", f"{report.prompted_ratio:.2f}x (paper ~2.5x)"],
+        ],
+    )
+    print_table(
+        "Figure 8b: unprompted token sequences per input",
+        ["method", "volume"],
+        [
+            ["baseline", f"{report.unprompted_baseline_volume:.2f}"],
+            ["ReLM", f"{report.unprompted_relm_volume:.2f}"],
+            ["ratio", f"{report.unprompted_volume_ratio:.1f}x (paper ~93x)"],
+        ],
+    )
+    rows = [
+        [label, int(rates["count"]), f"{100 * rates['baseline']:.0f}%", f"{100 * rates['relm']:.0f}%"]
+        for label, rates in report.by_provenance.items()
+    ]
+    print_table("prompted success by shard provenance", ["provenance", "n", "baseline", "relm"], rows)
+
+    assert report.prompted_relm_rate >= report.prompted_baseline_rate
+    assert report.unprompted_relm_volume > report.unprompted_baseline_volume
+    edited = report.by_provenance.get("edited")
+    if edited:
+        assert edited["relm"] > edited["baseline"]

@@ -1,0 +1,66 @@
+"""E9 — Figure 9: edit-position distribution under uniform-edge vs
+walk-normalised sampling.
+
+Regenerates the CDF of first-edit positions over the Levenshtein-expanded
+bias prefix.  Shape claims checked: uniform edge sampling concentrates
+edits in the first few characters (the paper: 80% within 6 chars);
+walk-normalised sampling spreads them roughly linearly.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from conftest import print_table
+from repro.experiments.bias import edit_positions
+
+
+def _cdf(positions, upto):
+    n = len(positions)
+    return [sum(p <= x for p in positions) / n for x in range(upto)]
+
+
+def test_bench_fig9_edit_position_cdf(env, benchmark):
+    normalised = benchmark.pedantic(
+        lambda: edit_positions(env, uniform_edges=False, num_samples=600),
+        rounds=1,
+        iterations=1,
+    )
+    uniform = edit_positions(env, uniform_edges=True, num_samples=600)
+    upto = 26
+    cdf_n, cdf_u = _cdf(normalised, upto), _cdf(uniform, upto)
+    rows = [
+        [x, f"{cdf_u[x]:.2f}", f"{cdf_n[x]:.2f}"] for x in range(0, upto, 2)
+    ]
+    print_table(
+        "Figure 9: CDF of first-edit position (prefix ~26 chars)",
+        ["position", "uniform edges", "walk-normalised"],
+        rows,
+    )
+    # Paper: ~80% of uniform-edge edits land in the first 6 characters.
+    print(f"\nuniform-edge mass within 6 chars: {cdf_u[6]:.2f}  (paper ~0.8)")
+    print(f"normalised mass within 6 chars:  {cdf_n[6]:.2f}")
+    assert cdf_u[6] > 0.6
+    assert cdf_n[6] < cdf_u[6]
+    assert statistics.median(uniform) < statistics.median(normalised)
+
+
+def test_bench_walk_counting_cost(env, benchmark):
+    """Cost of the exact big-int walk-count table on the expanded prefix
+    automaton (the one-off setup cost of unbiased sampling)."""
+    from repro.automata.levenshtein import levenshtein_expand
+    from repro.automata.walks import WalkCounter
+    from repro.regex import compile_dfa
+
+    base = compile_dfa("The ((man)|(woman)) was trained in")
+    expanded = levenshtein_expand(base, 1)
+
+    def build():
+        counter = WalkCounter(expanded, max_length=64)
+        return counter.total()
+
+    total = benchmark(build)
+    print(f"\n|1-edit prefix language| (len<=64) = {total:,}")
+    assert total > 1000

@@ -1,0 +1,40 @@
+"""Gender-bias audit (paper §4.2, Figure 7 + χ² tests).
+
+Probes P(profession | gender) under the paper's three Figure 7
+configurations and prints the per-gender distributions and χ²
+significance.  Note how the conclusion changes with the query
+configuration — the paper's Observation 2.
+
+Run:  python examples/bias_audit.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets.lexicon import GENDERS, PROFESSIONS
+from repro.experiments.bias import FIGURE7_CONFIGS, bias_report
+from repro.experiments.common import get_environment
+
+
+def main() -> None:
+    env = get_environment(scale="test")
+    panels = bias_report(env, configs=FIGURE7_CONFIGS, samples_per_gender=150)
+
+    for name, panel in panels.items():
+        print(f"\n=== {name}  ({panel.config.describe()}) ===")
+        print(f"chi^2 = {panel.chi_square.statistic:.1f}, "
+              f"p = 10^{panel.chi_square.log10_p:.1f}")
+        for gender in GENDERS:
+            dist = panel.distributions[gender]
+            top = sorted(dist.items(), key=lambda kv: -kv[1])[:4]
+            row = ", ".join(f"{p} {100 * v:.0f}%" for p, v in top)
+            print(f"  {gender:6}: {row}")
+
+    print("\nGround truth planted in the corpus:")
+    for gender in GENDERS:
+        top = sorted(env.corpus.bias.table[gender].items(), key=lambda kv: -kv[1])[:4]
+        row = ", ".join(f"{p} {100 * v:.0f}%" for p, v in top)
+        print(f"  {gender:6}: {row}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""The George Washington birth-date example (paper Figures 1 and 11).
+
+Instead of multiple choice over a handful of dates, ReLM ranks the model's
+predictions over the *entire* 13.2-million-string date language
+``<Month> <Day>, <Year>`` and reports the top matches.
+
+Run:  python examples/birthdate.py
+"""
+
+from __future__ import annotations
+
+import repro as relm
+from repro.lm import NGramModel
+from repro.tokenizers import train_bpe
+
+MONTHS = [
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+]
+
+CORPUS = [
+    "George Washington was born on February 22, 1732.",
+    "The republic celebrated a birthday in February each year.",
+    "John Adams was born on October 30, 1735.",
+    "Thomas Jefferson was born on April 13, 1743.",
+] * 30
+
+
+def main() -> None:
+    tokenizer = train_bpe(CORPUS, vocab_size=320)
+    model = NGramModel.train_on_text(CORPUS, tokenizer, order=6, alpha=0.1)
+
+    months_pattern = "|".join(f"({m})" for m in MONTHS)
+    query_string = relm.QueryString(
+        query_str=(
+            f"George Washington was born on ({months_pattern}) "
+            "[0-9]{1,2}, [0-9]{4}"
+        ),
+        prefix_str="George Washington was born on",
+    )
+    query = relm.SimpleSearchQuery(
+        query_string=query_string,
+        search_strategy=relm.QuerySearchStrategy.SHORTEST_PATH,
+        tokenization_strategy=relm.QueryTokenizationStrategy.ALL_TOKENS,
+        top_k_sampling=None,
+        sequence_length=None,
+    )
+
+    size = relm.compile_dfa(
+        f"({months_pattern}) [0-9]{{1,2}}, [0-9]{{4}}"
+    ).count_strings()
+    print(f"Search space: {size:,} candidate dates\n")
+    print("Top predictions (decreasing probability):")
+    for rank, x in enumerate(relm.search(model, tokenizer, query), start=1):
+        date = x.text[len("George Washington was born on ") :]
+        print(f"  #{rank}: {date}  (log p = {x.logprob:.2f})")
+        if rank >= 5:
+            break
+
+
+if __name__ == "__main__":
+    main()

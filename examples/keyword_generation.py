@@ -1,0 +1,61 @@
+"""Constrained generation from keywords (§3's closing note).
+
+ReLM is "motivated by LLM validation, [but] can be used in other
+constrained decoding applications (e.g., generation from keywords)".
+This example builds a regex that forces two keywords to appear, in order,
+inside an otherwise free sentence, then asks the model for its most
+likely completions and a few random ones.
+
+Run:  python examples/keyword_generation.py
+"""
+
+from __future__ import annotations
+
+import repro as relm
+from repro.lm import NGramModel
+from repro.tokenizers import train_bpe
+
+CORPUS = [
+    "Sarah carried the lantern to the harbor at night.",
+    "The lantern glowed over the quiet harbor.",
+    "Marcus repaired the lantern near the old harbor wall.",
+    "The harbor was calm and the lantern flickered.",
+    "Sarah walked home along the river.",
+] * 30
+
+
+def keyword_pattern(keywords: list[str], gap: str = "[a-zA-Z ,]*") -> str:
+    """A regex forcing *keywords* to appear in order with free gaps."""
+    body = gap.join(relm.escape(k) for k in keywords)
+    return f"{gap}{body}{gap}\\."
+
+
+def main() -> None:
+    tokenizer = train_bpe(CORPUS, vocab_size=300)
+    model = NGramModel.train_on_text(CORPUS, tokenizer, order=5, alpha=0.1)
+
+    pattern = keyword_pattern(["lantern", "harbor"])
+    print(f"pattern: {pattern}\n")
+
+    print("Most likely sentences containing 'lantern' ... 'harbor':")
+    query = relm.SearchQuery(pattern, top_k=40, sequence_length=20, require_eos=True)
+    for i, x in enumerate(relm.search(model, tokenizer, query, max_expansions=30000)):
+        print(f"  {x.text!r}  (log p = {x.total_logprob:.2f})")
+        if i >= 3:
+            break
+
+    print("\nRandom constrained samples:")
+    sampled = relm.SearchQuery(
+        pattern,
+        top_k=40,
+        sequence_length=20,
+        strategy=relm.QuerySearchStrategy.RANDOM_SAMPLING,
+        num_samples=5,
+        seed=4,
+    )
+    for x in relm.search(model, tokenizer, sampled, max_attempts=500):
+        print(f"  {x.text!r}")
+
+
+if __name__ == "__main__":
+    main()

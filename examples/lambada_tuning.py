@@ -1,0 +1,46 @@
+"""Prompt tuning on the LAMBADA-like cloze set (paper §4.4, Table 1).
+
+Walks through the paper's four query formulations — baseline, words,
+terminated, no_stop — showing how each regex-level constraint buys
+zero-shot accuracy, for both model sizes.
+
+Run:  python examples/lambada_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import get_environment
+from repro.experiments.lambada_eval import STRATEGIES, lambada_table, predict
+
+
+def main() -> None:
+    env = get_environment(scale="test")
+    items = env.lambada.items
+    print(f"{len(items)} cloze items\n")
+
+    # Show one item end-to-end.
+    item = env.lambada.of_kind("multiword")[0]
+    print(f"Example item (kind={item.kind}):")
+    print(f"  context: ...{item.context[-60:]!r}")
+    print(f"  target:  {item.target!r}")
+    for strategy in STRATEGIES:
+        predicted = predict(env, item, strategy)
+        mark = "+" if predicted == item.target else "-"
+        print(f"  [{mark}] {strategy:11} -> {predicted!r}")
+
+    print("\nTable 1 (zero-shot accuracy):")
+    table = lambada_table(env)
+    header = f"{'model':8}" + "".join(f"{s:>12}" for s in STRATEGIES)
+    print(header)
+    print("-" * len(header))
+    for size in ("xl", "small"):
+        row = f"{size:8}" + "".join(
+            f"{100 * table[size][s].accuracy:11.1f}%" for s in STRATEGIES
+        )
+        print(row)
+    print("\n(paper, GPT-2 XL:  41.6%  56.6%  65.0%  71.0%)")
+    print("(paper, GPT-2:     27.0%  43.0%  46.4%  52.2%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: the paper's Figure 4 in ~30 lines.
+
+Trains a toy tokenizer + n-gram model on a small corpus (the stand-in for
+a pretrained GPT-2), then runs ReLM's phone-number query and the Figure 2
+``The ((cat)|(dog))`` query.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro as relm
+from repro.lm import NGramModel
+from repro.tokenizers import train_bpe
+
+CORPUS = [
+    "The cat sat on the mat.",
+    "The dog ate the cat food.",
+    "My phone number is 555 123 4567.",
+    "Call me at the office tomorrow.",
+] * 40
+
+
+def main() -> None:
+    tokenizer = train_bpe(CORPUS, vocab_size=256)
+    model = NGramModel.train_on_text(CORPUS, tokenizer, order=5, alpha=0.1)
+
+    # --- Figure 4: search for phone-number phrases -------------------------
+    query = relm.SearchQuery(
+        r"My phone number is ([0-9]{3}) ([0-9]{3}) ([0-9]{4})",
+        prefix="My phone number is",
+        top_k=40,
+    )
+    print("Phone-number query:")
+    for i, x in enumerate(relm.search(model, tokenizer, query)):
+        print(f"  {x.text!r}  (log p = {x.logprob:.2f})")
+        if i >= 2:
+            break
+
+    # --- Figure 2: a two-string language ----------------------------------
+    print("\nThe ((cat)|(dog)) by decreasing probability:")
+    for x in relm.search(model, tokenizer, relm.SearchQuery("The ((cat)|(dog))")):
+        print(f"  {x.text!r}  (log p = {x.total_logprob:.2f}, canonical={x.canonical})")
+
+    # --- Random sampling instead of shortest path --------------------------
+    print("\n10 random samples of the same language:")
+    sampled = relm.SearchQuery(
+        "The ((cat)|(dog))",
+        strategy=relm.QuerySearchStrategy.RANDOM_SAMPLING,
+        num_samples=10,
+        seed=0,
+    )
+    for x in relm.search(model, tokenizer, sampled):
+        print(f"  {x.text!r}")
+
+
+if __name__ == "__main__":
+    main()

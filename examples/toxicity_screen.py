@@ -1,0 +1,46 @@
+"""Toxic-content screening (paper §4.3, Figure 8).
+
+Scans the synthetic Pile shard for insult words, derives per-line
+extraction queries, and compares the canonical/no-edit baseline against
+ReLM's all-encodings + Levenshtein-1 configuration.
+
+Run:  python examples/toxicity_screen.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import get_environment
+from repro.experiments.toxicity import scan_shard, split_prompt, toxicity_report
+
+
+def main() -> None:
+    env = get_environment(scale="test")
+
+    scan = scan_shard(env)
+    print(
+        f"grep over {scan.lines_scanned} shard lines: "
+        f"{len(scan.matches)} toxic matches in {1000 * scan.seconds:.1f} ms"
+    )
+    for line in scan.matches[:3]:
+        prompt, completion = split_prompt(line)
+        print(f"  prompt={prompt!r} -> completion={completion!r}")
+
+    print("\nRunning prompted + unprompted extraction (baseline vs ReLM)...")
+    report = toxicity_report(env, max_lines=12, volume_cap=50)
+    print(f"\nPrompted extraction success (Fig. 8a):")
+    print(f"  baseline (canonical, no edits): {100 * report.prompted_baseline_rate:.0f}%")
+    print(f"  ReLM (all encodings + edits):   {100 * report.prompted_relm_rate:.0f}%")
+    print(f"  ratio: {report.prompted_ratio:.1f}x  (paper: ~2.5x)")
+    print(f"\nUnprompted token-sequence volume per input (Fig. 8b):")
+    print(f"  baseline: {report.unprompted_baseline_volume:.1f}")
+    print(f"  ReLM:     {report.unprompted_relm_volume:.1f}")
+    print(f"\nBy shard-line provenance (ground truth):")
+    for label, rates in report.by_provenance.items():
+        print(
+            f"  {label:9} (n={int(rates['count'])}): baseline "
+            f"{100 * rates['baseline']:.0f}%  relm {100 * rates['relm']:.0f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""repro: a reproduction of "Validating Large Language Models with ReLM"
+(Kuchnik, Smith, Amvrosiadis — MLSys 2023).
+
+ReLM is a regular-expression query engine for autoregressive language
+models.  This package re-implements the full system in pure Python/NumPy —
+the regex/automata stack, a trainable BPE tokenizer, n-gram and transformer
+language models, the graph compiler, and both traversal executors — plus
+the synthetic substrates (web-URL registry, Pile-like corpus, LAMBADA-like
+cloze set) needed to rerun every experiment in the paper offline.
+
+Typical usage (the paper's Figure 4)::
+
+    import repro as relm
+
+    query = relm.SearchQuery(
+        r"My phone number is ([0-9]{3}) ([0-9]{3}) ([0-9]{4})",
+        prefix="My phone number is", top_k=40)
+    for match in relm.search(model, tokenizer, query):
+        print(match.text)
+"""
+
+from repro.core import (
+    CaseFoldPreprocessor,
+    ExecutionStats,
+    Executor,
+    FilterPreprocessor,
+    GraphCompiler,
+    IntersectionPreprocessor,
+    LevenshteinPreprocessor,
+    MatchResult,
+    Preprocessor,
+    QuerySearchStrategy,
+    QueryString,
+    QueryTokenizationStrategy,
+    SearchQuery,
+    SearchSession,
+    SimpleSearchQuery,
+    SuffixFilterPreprocessor,
+    TokenAutomaton,
+    TransducerPreprocessor,
+    prepare,
+    search,
+)
+from repro.lm import (
+    GREEDY,
+    UNRESTRICTED,
+    DecodingPolicy,
+    LanguageModel,
+    NGramModel,
+    TransformerConfig,
+    TransformerModel,
+)
+from repro.regex import compile_dfa, escape
+from repro.tokenizers import BPETokenizer, Vocabulary, train_bpe
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core engine
+    "search",
+    "prepare",
+    "SearchSession",
+    "SearchQuery",
+    "SimpleSearchQuery",
+    "QueryString",
+    "QuerySearchStrategy",
+    "QueryTokenizationStrategy",
+    "GraphCompiler",
+    "TokenAutomaton",
+    "Executor",
+    "ExecutionStats",
+    "MatchResult",
+    "Preprocessor",
+    "LevenshteinPreprocessor",
+    "FilterPreprocessor",
+    "SuffixFilterPreprocessor",
+    "IntersectionPreprocessor",
+    "IntersectionPreprocessor",
+    "TransducerPreprocessor",
+    "CaseFoldPreprocessor",
+    # models
+    "LanguageModel",
+    "DecodingPolicy",
+    "GREEDY",
+    "UNRESTRICTED",
+    "NGramModel",
+    "TransformerModel",
+    "TransformerConfig",
+    # tokenizers / regex
+    "BPETokenizer",
+    "train_bpe",
+    "Vocabulary",
+    "compile_dfa",
+    "escape",
+]

@@ -1,0 +1,13 @@
+"""Analysis helpers: χ² bias tests and extraction metrics."""
+
+from repro.analysis.metrics import ExtractionLog, duplicate_rate, throughput
+from repro.analysis.stats import ChiSquareResult, chi_square_bias_test, conditional_distribution
+
+__all__ = [
+    "ExtractionLog",
+    "throughput",
+    "duplicate_rate",
+    "ChiSquareResult",
+    "chi_square_bias_test",
+    "conditional_distribution",
+]

@@ -1,0 +1,93 @@
+"""Extraction metrics: throughput, duplicate rates, per-sample volume.
+
+These compute the quantities plotted in Figures 5, 6, 8, and 10: validated
+extractions over time/attempts, duplicate fractions, and extraction volume
+per input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["ExtractionLog", "throughput", "work_efficiency", "duplicate_rate"]
+
+
+@dataclass
+class ExtractionLog:
+    """An append-only log of (elapsed, candidate, valid?, work) events.
+
+    ``work`` is the cumulative number of LM forward passes at the time of
+    the event — the hardware-independent cost axis.  On the paper's GPU the
+    forward pass dominates wall time, so their time axis and our work axis
+    measure the same thing; we report both.
+    """
+
+    events: list[tuple[float, str, bool, int]] = field(default_factory=list)
+
+    def record(self, elapsed: float, candidate: str, valid: bool, work: int = 0) -> None:
+        """Append one extraction attempt."""
+        self.events.append((elapsed, candidate, valid, work))
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts recorded."""
+        return len(self.events)
+
+    def valid_unique(self) -> list[str]:
+        """Unique valid candidates in first-seen order (Fig. 5's y-axis)."""
+        seen: set[str] = set()
+        out: list[str] = []
+        for _, candidate, valid, _ in self.events:
+            if valid and candidate not in seen:
+                seen.add(candidate)
+                out.append(candidate)
+        return out
+
+    def valid_unique_over_time(self) -> list[tuple[float, int]]:
+        """(elapsed, cumulative unique-valid count) series (Fig. 5)."""
+        seen: set[str] = set()
+        series: list[tuple[float, int]] = []
+        for elapsed, candidate, valid, _ in self.events:
+            if valid and candidate not in seen:
+                seen.add(candidate)
+            series.append((elapsed, len(seen)))
+        return series
+
+    def total_work(self) -> int:
+        """LM forward passes consumed by the whole run."""
+        return self.events[-1][3] if self.events else 0
+
+    def success_rate(self) -> float:
+        """Fraction of attempts that produced a unique valid extraction."""
+        if not self.events:
+            return 0.0
+        return len(self.valid_unique()) / len(self.events)
+
+    def elapsed(self) -> float:
+        """Wall time of the last event (0 for empty logs)."""
+        return self.events[-1][0] if self.events else 0.0
+
+
+def work_efficiency(log: ExtractionLog) -> float:
+    """Unique valid extractions per 1000 LM forward passes (the
+    hardware-independent Fig. 6 analogue)."""
+    work = log.total_work()
+    if work <= 0:
+        return 0.0
+    return 1000.0 * len(log.valid_unique()) / work
+
+
+def throughput(log: ExtractionLog) -> float:
+    """Unique valid extractions per second (Fig. 6's y-axis)."""
+    elapsed = log.elapsed()
+    if elapsed <= 0.0:
+        return 0.0
+    return len(log.valid_unique()) / elapsed
+
+
+def duplicate_rate(candidates: Sequence[str]) -> float:
+    """Fraction of candidates that repeat an earlier candidate (Fig. 10)."""
+    if not candidates:
+        return 0.0
+    return 1.0 - len(set(candidates)) / len(candidates)

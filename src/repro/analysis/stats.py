@@ -1,0 +1,83 @@
+"""Statistical tests for validation results (§4.2.2's χ² bias test)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+__all__ = ["ChiSquareResult", "chi_square_bias_test", "conditional_distribution"]
+
+
+@dataclass(frozen=True)
+class ChiSquareResult:
+    """Outcome of a χ² independence test over a contingency table."""
+
+    statistic: float
+    p_value: float
+    dof: int
+    table: tuple[tuple[int, ...], ...]
+
+    @property
+    def log10_p(self) -> float:
+        """log10 of the p-value (the paper reports p ≈ 10^-229 etc.).
+
+        Survives float underflow: falls back to scipy's log survival
+        function, and past that to the asymptotic upper-tail expansion
+        ``p ~ (x/2)^(k/2-1) e^(-x/2) / Γ(k/2)``.
+        """
+        if self.p_value > 0.0:
+            return float(np.log10(self.p_value))
+        logsf = float(_scipy_stats.chi2.logsf(self.statistic, self.dof))
+        if np.isfinite(logsf):
+            return logsf / float(np.log(10.0))
+        from scipy.special import gammaln
+
+        half_x = self.statistic / 2.0
+        half_k = self.dof / 2.0
+        log_p = -half_x + (half_k - 1.0) * np.log(half_x) - gammaln(half_k)
+        return float(log_p / np.log(10.0))
+
+
+def chi_square_bias_test(
+    samples_by_group: Mapping[str, Sequence[str]],
+    categories: Sequence[str] | None = None,
+) -> ChiSquareResult:
+    """χ² test of independence between group (e.g. gender) and outcome
+    (e.g. profession).
+
+    ``samples_by_group[group]`` is the list of sampled outcomes for that
+    group.  Zero-count categories across all groups are dropped (χ²
+    requires positive column sums).
+    """
+    groups = sorted(samples_by_group)
+    if categories is None:
+        seen: set[str] = set()
+        for group in groups:
+            seen.update(samples_by_group[group])
+        categories = sorted(seen)
+    counts = {g: Counter(samples_by_group[g]) for g in groups}
+    kept = [c for c in categories if any(counts[g][c] for g in groups)]
+    if len(kept) < 2 or len(groups) < 2:
+        raise ValueError("need at least two groups and two observed categories")
+    table = [[counts[g][c] for c in kept] for g in groups]
+    statistic, p_value, dof, _ = _scipy_stats.chi2_contingency(np.asarray(table))
+    return ChiSquareResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        dof=int(dof),
+        table=tuple(tuple(row) for row in table),
+    )
+
+
+def conditional_distribution(
+    samples: Sequence[str], categories: Sequence[str]
+) -> dict[str, float]:
+    """Empirical P(category) over *samples*, zero-filled over
+    *categories*."""
+    counter = Counter(samples)
+    total = max(len(samples), 1)
+    return {c: counter[c] / total for c in categories}

@@ -1,0 +1,44 @@
+"""Small text utilities: Levenshtein distance and fuzzy classification."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["edit_distance", "closest"]
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Levenshtein distance (substitution/insertion/deletion, unit costs)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            current.append(
+                min(
+                    previous[j] + 1,           # deletion
+                    current[j - 1] + 1,        # insertion
+                    previous[j - 1] + (ca != cb),  # substitution / match
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def closest(text: str, candidates: Sequence[str]) -> str:
+    """The candidate with the smallest edit distance to *text* (ties break
+    on candidate order)."""
+    if not candidates:
+        raise ValueError("no candidates")
+    best = candidates[0]
+    best_d = edit_distance(text, best)
+    for candidate in candidates[1:]:
+        d = edit_distance(text, candidate)
+        if d < best_d:
+            best, best_d = candidate, d
+    return best

@@ -1,0 +1,439 @@
+"""Deterministic finite automata: the workhorse of ReLM's natural-language
+automaton.
+
+A :class:`DFA` here is *partial*: missing transitions mean rejection.  All
+states stored are reachable and (after :meth:`DFA.trimmed`) co-reachable, so
+every state lies on some accepting path — a property the graph compiler and
+walk-counting code rely on.
+
+Provides subset construction from NFAs, Hopcroft minimisation, product
+constructions (intersection / union / difference), enumeration, and
+acceptance tests.  Construction from a regex string lives in
+:func:`repro.regex.compile_dfa`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.automata.alphabet import ALPHABET
+from repro.automata.nfa import NFA
+
+__all__ = ["DFA"]
+
+
+@dataclass
+class DFA:
+    """A trim, partial DFA over single-character edge labels.
+
+    ``transitions[q]`` maps a character to the unique successor state.  The
+    empty language is represented by a DFA whose start state is non-accepting
+    and has no outgoing edges.
+    """
+
+    start: int
+    accepts: frozenset[int]
+    transitions: dict[int, dict[str, int]] = field(default_factory=dict)
+
+    # -- basic queries -------------------------------------------------------
+    @property
+    def states(self) -> list[int]:
+        """All states, sorted (start state is always present)."""
+        seen = {self.start} | set(self.accepts) | set(self.transitions)
+        for edges in self.transitions.values():
+            seen.update(edges.values())
+        return sorted(seen)
+
+    def accepts_string(self, text: str) -> bool:
+        """Return True iff *text* is in the DFA's language."""
+        state = self.start
+        for ch in text:
+            nxt = self.transitions.get(state, {}).get(ch)
+            if nxt is None:
+                return False
+            state = nxt
+        return state in self.accepts
+
+    def is_empty(self) -> bool:
+        """Return True iff the language is empty."""
+        return not self._coaccessible_states()
+
+    def has_cycle(self) -> bool:
+        """Return True iff any cycle is reachable (i.e. the language may be
+        infinite)."""
+        # Iterative DFS with colouring.
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: dict[int, int] = {}
+        stack: list[tuple[int, Iterator[int]]] = [
+            (self.start, iter(self.transitions.get(self.start, {}).values()))
+        ]
+        colour[self.start] = GREY
+        while stack:
+            state, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                c = colour.get(nxt, WHITE)
+                if c == GREY:
+                    return True
+                if c == WHITE:
+                    colour[nxt] = GREY
+                    stack.append((nxt, iter(self.transitions.get(nxt, {}).values())))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[state] = BLACK
+                stack.pop()
+        return False
+
+    def enumerate_strings(self, limit: int | None = None, max_length: int | None = None) -> Iterator[str]:
+        """Yield strings of the language in shortlex (length, then codepoint)
+        order.
+
+        ``limit`` bounds the number of strings yielded; ``max_length`` bounds
+        their length.  For infinite languages at least one bound must be
+        supplied.
+        """
+        if limit is None and max_length is None and self.has_cycle():
+            raise ValueError("unbounded enumeration of an infinite language")
+        count = 0
+        queue: deque[tuple[int, str]] = deque([(self.start, "")])
+        while queue:
+            state, prefix = queue.popleft()
+            if state in self.accepts:
+                yield prefix
+                count += 1
+                if limit is not None and count >= limit:
+                    return
+            if max_length is not None and len(prefix) >= max_length:
+                continue
+            for ch in sorted(self.transitions.get(state, {})):
+                queue.append((self.transitions[state][ch], prefix + ch))
+
+    def count_strings(self, max_length: int | None = None) -> int:
+        """Exact number of accepted strings (optionally up to *max_length*).
+
+        Delegates to :mod:`repro.automata.walks`; provided here for
+        convenience on small automata.
+        """
+        from repro.automata.walks import count_accepting_walks
+
+        return count_accepting_walks(self, max_length=max_length)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_nfa(cls, nfa: NFA) -> "DFA":
+        """Determinise *nfa* with the subset construction and trim the
+        result."""
+        start_set = nfa.epsilon_closure({nfa.start})
+        ids: dict[frozenset[int], int] = {start_set: 0}
+        transitions: dict[int, dict[str, int]] = {}
+        accepts: set[int] = set()
+        if start_set & nfa.accepts:
+            accepts.add(0)
+        queue: deque[frozenset[int]] = deque([start_set])
+        while queue:
+            current = queue.popleft()
+            cid = ids[current]
+            moves: dict[str, set[int]] = {}
+            for q in current:
+                for ch, dsts in nfa.transitions.get(q, {}).items():
+                    moves.setdefault(ch, set()).update(dsts)
+            row: dict[str, int] = {}
+            for ch, dsts in moves.items():
+                closed = nfa.epsilon_closure(dsts)
+                nid = ids.get(closed)
+                if nid is None:
+                    nid = len(ids)
+                    ids[closed] = nid
+                    queue.append(closed)
+                    if closed & nfa.accepts:
+                        accepts.add(nid)
+                row[ch] = nid
+            if row:
+                transitions[cid] = row
+        return cls(start=0, accepts=frozenset(accepts), transitions=transitions).trimmed()
+
+    @classmethod
+    def from_string(cls, text: str) -> "DFA":
+        """A linear DFA accepting exactly *text*."""
+        transitions = {i: {ch: i + 1} for i, ch in enumerate(text)}
+        return cls(start=0, accepts=frozenset({len(text)}), transitions=transitions)
+
+    @classmethod
+    def from_strings(cls, texts: Iterable[str]) -> "DFA":
+        """A trie-shaped DFA accepting exactly the given set of strings,
+        minimised."""
+        next_id = itertools.count(1)
+        transitions: dict[int, dict[str, int]] = {}
+        accepts: set[int] = set()
+        root = 0
+        found_any = False
+        for text in texts:
+            found_any = True
+            state = root
+            for ch in text:
+                row = transitions.setdefault(state, {})
+                nxt = row.get(ch)
+                if nxt is None:
+                    nxt = next(next_id)
+                    row[ch] = nxt
+                state = nxt
+            accepts.add(state)
+        if not found_any:
+            return cls(start=0, accepts=frozenset())
+        return cls(start=root, accepts=frozenset(accepts), transitions=transitions).minimized()
+
+    # -- transformations -----------------------------------------------------
+    def _accessible_states(self) -> set[int]:
+        seen = {self.start}
+        queue = deque([self.start])
+        while queue:
+            q = queue.popleft()
+            for nxt in self.transitions.get(q, {}).values():
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return seen
+
+    def _coaccessible_states(self) -> set[int]:
+        reverse: dict[int, set[int]] = {}
+        accessible = self._accessible_states()
+        for src, row in self.transitions.items():
+            if src not in accessible:
+                continue
+            for dst in row.values():
+                reverse.setdefault(dst, set()).add(src)
+        seen = set(self.accepts) & accessible
+        queue = deque(seen)
+        while queue:
+            q = queue.popleft()
+            for prev in reverse.get(q, ()):
+                if prev not in seen:
+                    seen.add(prev)
+                    queue.append(prev)
+        return seen
+
+    def trimmed(self) -> "DFA":
+        """Remove states not on any path from start to an accepting state.
+
+        The start state is always kept (a trim DFA for the empty language is
+        a lone, non-accepting start state).
+        """
+        accessible = self._accessible_states()
+        useful = self._coaccessible_states() & accessible
+        keep = useful | {self.start}
+        remap = {old: new for new, old in enumerate(sorted(keep))}
+        transitions: dict[int, dict[str, int]] = {}
+        for src in keep:
+            if src not in useful and src != self.start:
+                continue
+            row = {
+                ch: remap[dst]
+                for ch, dst in self.transitions.get(src, {}).items()
+                if dst in useful
+            }
+            if row:
+                transitions[remap[src]] = row
+        accepts = frozenset(remap[q] for q in self.accepts if q in keep)
+        return DFA(start=remap[self.start], accepts=accepts, transitions=transitions)
+
+    def minimized(self) -> "DFA":
+        """Return the Hopcroft-minimised equivalent DFA (trim, partial)."""
+        dfa = self.trimmed()
+        states = dfa.states
+        if not dfa.accepts:
+            return dfa
+        # Work over the completed automaton: add an implicit dead state -1.
+        all_chars = set()
+        for row in dfa.transitions.values():
+            all_chars.update(row)
+        dead = -1
+        full_states = set(states) | {dead}
+
+        def step(q: int, ch: str) -> int:
+            if q == dead:
+                return dead
+            return dfa.transitions.get(q, {}).get(ch, dead)
+
+        accepting = frozenset(dfa.accepts)
+        non_accepting = frozenset(full_states - accepting)
+        partition: set[frozenset[int]] = {accepting}
+        if non_accepting:
+            partition.add(non_accepting)
+        worklist: list[frozenset[int]] = [accepting]
+        if non_accepting and len(non_accepting) <= len(accepting):
+            worklist = [non_accepting]
+        # Precompute reverse transitions per char.
+        reverse: dict[str, dict[int, set[int]]] = {ch: {} for ch in all_chars}
+        for q in full_states:
+            for ch in all_chars:
+                reverse[ch].setdefault(step(q, ch), set()).add(q)
+        while worklist:
+            splitter = worklist.pop()
+            for ch in all_chars:
+                pre: set[int] = set()
+                for q in splitter:
+                    pre |= reverse[ch].get(q, set())
+                if not pre:
+                    continue
+                for block in list(partition):
+                    inter = block & pre
+                    diff = block - pre
+                    if not inter or not diff:
+                        continue
+                    partition.remove(block)
+                    partition.add(frozenset(inter))
+                    partition.add(frozenset(diff))
+                    if block in worklist:
+                        worklist.remove(block)
+                        worklist.append(frozenset(inter))
+                        worklist.append(frozenset(diff))
+                    else:
+                        worklist.append(
+                            frozenset(inter) if len(inter) <= len(diff) else frozenset(diff)
+                        )
+        block_of: dict[int, frozenset[int]] = {}
+        for block in partition:
+            for q in block:
+                block_of[q] = block
+        ordered = sorted(
+            (b for b in partition if b != block_of.get(dead) or any(q != dead for q in b)),
+            key=lambda b: min(b),
+        )
+        ids = {block: i for i, block in enumerate(ordered)}
+        transitions: dict[int, dict[str, int]] = {}
+        accepts: set[int] = set()
+        for block, bid in ids.items():
+            rep = min(block)
+            if rep == dead:
+                rep = max(block)
+            if rep in dfa.accepts:
+                accepts.add(bid)
+            row: dict[str, int] = {}
+            for ch, dst in dfa.transitions.get(rep, {}).items():
+                dst_block = block_of[dst]
+                if dst_block in ids:
+                    row[ch] = ids[dst_block]
+            if row:
+                transitions[bid] = row
+        start = ids[block_of[dfa.start]]
+        return DFA(start=start, accepts=frozenset(accepts), transitions=transitions).trimmed()
+
+    # -- boolean operations ----------------------------------------------------
+    def _product(self, other: "DFA", accept_rule) -> "DFA":
+        """Generic product construction.
+
+        ``accept_rule(in_a, in_b)`` decides acceptance of a product state.
+        Missing transitions are modelled with a dead state (``None``) so
+        union/difference behave correctly on partial DFAs.
+        """
+        start = (self.start, other.start)
+        ids: dict[tuple[int | None, int | None], int] = {start: 0}
+        queue: deque[tuple[int | None, int | None]] = deque([start])
+        transitions: dict[int, dict[str, int]] = {}
+        accepts: set[int] = set()
+
+        def is_accepting(pair: tuple[int | None, int | None]) -> bool:
+            a, b = pair
+            return accept_rule(a in self.accepts if a is not None else False,
+                               b in other.accepts if b is not None else False)
+
+        if is_accepting(start):
+            accepts.add(0)
+        while queue:
+            pair = queue.popleft()
+            pid = ids[pair]
+            a, b = pair
+            chars: set[str] = set()
+            if a is not None:
+                chars.update(self.transitions.get(a, {}))
+            if b is not None:
+                chars.update(other.transitions.get(b, {}))
+            row: dict[str, int] = {}
+            for ch in chars:
+                na = self.transitions.get(a, {}).get(ch) if a is not None else None
+                nb = other.transitions.get(b, {}).get(ch) if b is not None else None
+                if na is None and nb is None:
+                    continue
+                nxt = (na, nb)
+                nid = ids.get(nxt)
+                if nid is None:
+                    nid = len(ids)
+                    ids[nxt] = nid
+                    queue.append(nxt)
+                    if is_accepting(nxt):
+                        accepts.add(nid)
+                row[ch] = nid
+            if row:
+                transitions[pid] = row
+        return DFA(start=0, accepts=frozenset(accepts), transitions=transitions).trimmed()
+
+    def intersect(self, other: "DFA") -> "DFA":
+        """Language intersection."""
+        return self._product(other, lambda a, b: a and b)
+
+    def union(self, other: "DFA") -> "DFA":
+        """Language union."""
+        return self._product(other, lambda a, b: a or b)
+
+    def difference(self, other: "DFA") -> "DFA":
+        """Language difference (strings in self but not in other)."""
+        return self._product(other, lambda a, b: a and not b)
+
+    def concat_string(self, suffix: str) -> "DFA":
+        """Language ``{w + suffix : w in L(self)}`` — appends a literal."""
+        if not suffix:
+            return self
+        dfa = self.trimmed()
+        base = max(dfa.states, default=0) + 1
+        transitions = {q: dict(row) for q, row in dfa.transitions.items()}
+        chain = [base + i for i in range(len(suffix))]
+        for q in dfa.accepts:
+            transitions.setdefault(q, {})[suffix[0]] = chain[0]
+        for i, ch in enumerate(suffix[1:], start=1):
+            transitions.setdefault(chain[i - 1], {})[ch] = chain[i]
+        # Note: if an accepting state already had an outgoing edge on
+        # suffix[0] this naive overwrite would be wrong; route via NFA then.
+        for q in dfa.accepts:
+            if suffix[0] in dfa.transitions.get(q, {}):
+                return _concat_via_nfa(dfa, suffix)
+        return DFA(start=dfa.start, accepts=frozenset({chain[-1]}), transitions=transitions).trimmed()
+
+    # -- convenience ---------------------------------------------------------
+    def shortest_string(self) -> str | None:
+        """Shortlex-smallest accepted string, or None if the language is
+        empty."""
+        return next(self.enumerate_strings(limit=1), None)
+
+    def random_string(self, rng, max_length: int = 256) -> str | None:
+        """Sample a uniformly random accepted string (uses walk counts).
+
+        Delegates to :func:`repro.automata.walks.sample_uniform_string`.
+        """
+        from repro.automata.walks import sample_uniform_string
+
+        return sample_uniform_string(self, rng, max_length=max_length)
+
+
+def _concat_via_nfa(dfa: DFA, suffix: str) -> DFA:
+    """Slow-path concatenation through an NFA (handles edge conflicts)."""
+    nfa = NFA(start=0, accepts=set())
+    nfa.num_states = max(dfa.states) + 1
+    for src, row in dfa.transitions.items():
+        for ch, dst in row.items():
+            nfa.add_transition(src, ch, dst)
+    chain_start = nfa.new_state()
+    current = chain_start
+    for ch in suffix:
+        nxt = nfa.new_state()
+        nfa.add_transition(current, ch, nxt)
+        current = nxt
+    for q in dfa.accepts:
+        nfa.add_epsilon(q, chain_start)
+    nfa.start = dfa.start
+    nfa.accepts = {current}
+    return DFA.from_nfa(nfa)

@@ -1,0 +1,66 @@
+"""Levenshtein automata: edit-distance expansion of a regular language.
+
+Implements the preprocessor of §3.4: given a language ``L`` as a DFA, build
+the language ``L̂`` of all strings within edit distance ``k`` of some string
+in ``L``.  Edits are single-character substitutions, insertions, and
+deletions over the alphabet.  Higher distances compose by construction
+(states carry an edit budget), matching the paper's "chained Levenshtein
+automata" description.
+"""
+
+from __future__ import annotations
+
+from repro.automata.alphabet import ALPHABET
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+
+__all__ = ["levenshtein_expand"]
+
+
+def levenshtein_expand(dfa: DFA, distance: int, alphabet: tuple[str, ...] = ALPHABET) -> DFA:
+    """Return a DFA for all strings within *distance* edits of ``L(dfa)``.
+
+    ``distance=0`` returns (a minimised copy of) the input.  The construction
+    is the classical product of the automaton with an edit counter:
+
+    * match:         ``(q, e) --c--> (δ(q, c), e)``
+    * substitution:  ``(q, e) --c--> (δ(q, c'), e+1)`` for ``c' ≠ c``
+    * insertion:     ``(q, e) --c--> (q, e+1)``
+    * deletion:      ``(q, e) --ε--> (δ(q, c'), e+1)``
+
+    accepting at ``(q ∈ F, e ≤ distance)``.
+    """
+    if distance < 0:
+        raise ValueError("distance must be non-negative")
+    if distance == 0:
+        return dfa.minimized()
+
+    states = dfa.states
+    index = {(q, e): i for i, (q, e) in enumerate((q, e) for e in range(distance + 1) for q in states)}
+    nfa = NFA(start=index[(dfa.start, 0)], accepts=set())
+    nfa.num_states = len(index)
+
+    for q in states:
+        row = dfa.transitions.get(q, {})
+        targets = set(row.values())
+        for e in range(distance + 1):
+            src = index[(q, e)]
+            if q in dfa.accepts:
+                nfa.accepts.add(src)
+            # Matches keep the budget.
+            for ch, dst in row.items():
+                nfa.add_transition(src, ch, index[(dst, e)])
+            if e == distance:
+                continue
+            for ch in alphabet:
+                # Insertion: consume ch, stay put.
+                nfa.add_transition(src, ch, index[(q, e + 1)])
+                # Substitution: consume ch but advance on some other char.
+                for other, dst in row.items():
+                    if other != ch:
+                        nfa.add_transition(src, ch, index[(dst, e + 1)])
+            # Deletion: advance without consuming.
+            for dst in targets:
+                nfa.add_epsilon(src, index[(dst, e + 1)])
+
+    return DFA.from_nfa(nfa).minimized()

@@ -1,0 +1,141 @@
+"""Nondeterministic finite automata with epsilon transitions.
+
+Built via Thompson's construction from the regex AST
+(:mod:`repro.regex.ast_nodes`).  NFAs here are an intermediate representation:
+queries are determinised into :class:`repro.automata.dfa.DFA` before the
+graph compiler or executor ever see them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.regex import ast_nodes as ast
+
+__all__ = ["NFA", "nfa_from_ast"]
+
+
+@dataclass
+class NFA:
+    """An epsilon-NFA over single-character edge labels.
+
+    States are consecutive integers.  ``transitions[q][c]`` is the set of
+    states reachable from ``q`` on character ``c``; ``epsilon[q]`` is the set
+    of states reachable on the empty string in one hop.
+    """
+
+    start: int
+    accepts: set[int]
+    transitions: dict[int, dict[str, set[int]]] = field(default_factory=dict)
+    epsilon: dict[int, set[int]] = field(default_factory=dict)
+    num_states: int = 0
+
+    def new_state(self) -> int:
+        """Allocate and return a fresh state id."""
+        state = self.num_states
+        self.num_states += 1
+        return state
+
+    def add_transition(self, src: int, char: str, dst: int) -> None:
+        """Add the edge ``src --char--> dst``."""
+        self.transitions.setdefault(src, {}).setdefault(char, set()).add(dst)
+
+    def add_epsilon(self, src: int, dst: int) -> None:
+        """Add the epsilon edge ``src --ε--> dst``."""
+        self.epsilon.setdefault(src, set()).add(dst)
+
+    def epsilon_closure(self, states: frozenset[int] | set[int]) -> frozenset[int]:
+        """Return all states reachable from *states* via epsilon edges."""
+        stack = list(states)
+        closure = set(states)
+        while stack:
+            q = stack.pop()
+            for nxt in self.epsilon.get(q, ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def accepts_string(self, text: str) -> bool:
+        """Simulate the NFA on *text* (used for differential testing)."""
+        current = self.epsilon_closure({self.start})
+        for ch in text:
+            moved: set[int] = set()
+            for q in current:
+                moved |= self.transitions.get(q, {}).get(ch, set())
+            if not moved:
+                return False
+            current = self.epsilon_closure(moved)
+        return bool(current & self.accepts)
+
+
+def _build(nfa: NFA, node: ast.RegexNode) -> tuple[int, int]:
+    """Thompson-construct *node* into *nfa*; return (entry, exit) states."""
+    if isinstance(node, ast.Epsilon):
+        entry, exit_ = nfa.new_state(), nfa.new_state()
+        nfa.add_epsilon(entry, exit_)
+        return entry, exit_
+    if isinstance(node, ast.EmptySet):
+        # Two fresh, unconnected states: no path entry -> exit.
+        return nfa.new_state(), nfa.new_state()
+    if isinstance(node, ast.Literal):
+        entry, exit_ = nfa.new_state(), nfa.new_state()
+        nfa.add_transition(entry, node.char, exit_)
+        return entry, exit_
+    if isinstance(node, ast.CharClass):
+        entry, exit_ = nfa.new_state(), nfa.new_state()
+        for ch in node.chars:
+            nfa.add_transition(entry, ch, exit_)
+        return entry, exit_
+    if isinstance(node, ast.Concat):
+        entry, current = _build(nfa, node.parts[0])
+        for part in node.parts[1:]:
+            nxt_entry, nxt_exit = _build(nfa, part)
+            nfa.add_epsilon(current, nxt_entry)
+            current = nxt_exit
+        return entry, current
+    if isinstance(node, ast.Alternation):
+        entry, exit_ = nfa.new_state(), nfa.new_state()
+        for option in node.options:
+            o_entry, o_exit = _build(nfa, option)
+            nfa.add_epsilon(entry, o_entry)
+            nfa.add_epsilon(o_exit, exit_)
+        return entry, exit_
+    if isinstance(node, ast.Star):
+        entry, exit_ = nfa.new_state(), nfa.new_state()
+        c_entry, c_exit = _build(nfa, node.child)
+        nfa.add_epsilon(entry, c_entry)
+        nfa.add_epsilon(entry, exit_)
+        nfa.add_epsilon(c_exit, c_entry)
+        nfa.add_epsilon(c_exit, exit_)
+        return entry, exit_
+    if isinstance(node, ast.Plus):
+        return _build(nfa, ast.Concat((node.child, ast.Star(node.child))))
+    if isinstance(node, ast.Optional):
+        return _build(nfa, ast.Alternation((node.child, ast.Epsilon())))
+    if isinstance(node, ast.Repeat):
+        return _build(nfa, _expand_repeat(node))
+    raise TypeError(f"unknown regex AST node: {node!r}")
+
+
+def _expand_repeat(node: ast.Repeat) -> ast.RegexNode:
+    """Desugar ``r{m,n}`` into concatenations/optionals/star."""
+    parts: list[ast.RegexNode] = [node.child] * node.min_count
+    if node.max_count is None:
+        parts.append(ast.Star(node.child))
+    else:
+        parts.extend([ast.Optional(node.child)] * (node.max_count - node.min_count))
+    if not parts:
+        return ast.Epsilon()
+    if len(parts) == 1:
+        return parts[0]
+    return ast.Concat(tuple(parts))
+
+
+def nfa_from_ast(node: ast.RegexNode) -> NFA:
+    """Compile a regex AST into an epsilon-NFA via Thompson's construction."""
+    nfa = NFA(start=0, accepts=set())
+    entry, exit_ = _build(nfa, node)
+    nfa.start = entry
+    nfa.accepts = {exit_}
+    return nfa

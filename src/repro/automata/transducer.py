@@ -1,0 +1,172 @@
+"""Finite-state transducers (string relations) for query preprocessing.
+
+§3.4 of the paper defines preprocessors as transducers applied in sequence
+to the Natural Language Automaton.  This module provides a small, general
+FST: states, edges labelled ``(input, output)`` where either side may be
+``None`` (epsilon), application to a DFA (image of the language under the
+relation), and composition.  The hot preprocessors — Levenshtein expansion
+and filters — have direct implementations elsewhere; this class is the
+general mechanism and is used for custom rewrites (e.g. case folding,
+synonym substitution) in tests and examples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+
+__all__ = ["FST", "identity_fst", "replace_fst"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Edge:
+    src: int
+    inp: str | None
+    out: str | None
+    dst: int
+
+
+@dataclass
+class FST:
+    """A finite-state transducer over single characters.
+
+    Edges carry an input label and an output label, either of which may be
+    ``None`` (epsilon).  The relation of the FST is the set of
+    (input-string, output-string) pairs spelled by accepting paths.
+    """
+
+    start: int
+    accepts: set[int]
+    edges: list[_Edge] = field(default_factory=list)
+    num_states: int = 0
+
+    def new_state(self) -> int:
+        """Allocate and return a fresh state id."""
+        state = self.num_states
+        self.num_states += 1
+        return state
+
+    def add_edge(self, src: int, inp: str | None, out: str | None, dst: int) -> None:
+        """Add the edge ``src --inp:out--> dst``."""
+        if inp is not None and len(inp) != 1:
+            raise ValueError("input label must be a single character or None")
+        if out is not None and len(out) != 1:
+            raise ValueError("output label must be a single character or None")
+        self.edges.append(_Edge(src, inp, out, dst))
+
+    # -- application ---------------------------------------------------------
+    def apply_dfa(self, dfa: DFA) -> DFA:
+        """Image of ``L(dfa)`` under the relation, as a DFA.
+
+        Product construction: pair (DFA state, FST state); FST input side
+        consumes DFA paths, output side becomes the labels of the result.
+        """
+        by_src: dict[int, list[_Edge]] = {}
+        for edge in self.edges:
+            by_src.setdefault(edge.src, []).append(edge)
+
+        pair_ids: dict[tuple[int, int], int] = {}
+
+        def pid(pair: tuple[int, int]) -> int:
+            if pair not in pair_ids:
+                pair_ids[pair] = len(pair_ids)
+            return pair_ids[pair]
+
+        nfa = NFA(start=pid((dfa.start, self.start)), accepts=set())
+        queue: deque[tuple[int, int]] = deque([(dfa.start, self.start)])
+        visited = {(dfa.start, self.start)}
+        while queue:
+            q, s = queue.popleft()
+            src_id = pid((q, s))
+            if q in dfa.accepts and s in self.accepts:
+                nfa.accepts.add(src_id)
+            for edge in by_src.get(s, ()):
+                if edge.inp is None:
+                    targets = [(q, edge.dst)]
+                else:
+                    nxt = dfa.transitions.get(q, {}).get(edge.inp)
+                    if nxt is None:
+                        continue
+                    targets = [(nxt, edge.dst)]
+                for target in targets:
+                    dst_id = pid(target)
+                    if edge.out is None:
+                        nfa.add_epsilon(src_id, dst_id)
+                    else:
+                        nfa.add_transition(src_id, edge.out, dst_id)
+                    if target not in visited:
+                        visited.add(target)
+                        queue.append(target)
+        nfa.num_states = len(pair_ids)
+        return DFA.from_nfa(nfa).minimized()
+
+    def compose(self, other: "FST") -> "FST":
+        """Relation composition ``self ∘ other``: feed self's output into
+        other's input."""
+        result = FST(start=0, accepts=set())
+        pair_ids: dict[tuple[int, int], int] = {(self.start, other.start): 0}
+        result.num_states = 1
+        mine: dict[int, list[_Edge]] = {}
+        for edge in self.edges:
+            mine.setdefault(edge.src, []).append(edge)
+        theirs: dict[int, list[_Edge]] = {}
+        for edge in other.edges:
+            theirs.setdefault(edge.src, []).append(edge)
+
+        def pid(pair: tuple[int, int]) -> int:
+            if pair not in pair_ids:
+                pair_ids[pair] = result.new_state()
+            return pair_ids[pair]
+
+        queue: deque[tuple[int, int]] = deque([(self.start, other.start)])
+        visited = {(self.start, other.start)}
+        while queue:
+            a, b = queue.popleft()
+            src_id = pid((a, b))
+            if a in self.accepts and b in other.accepts:
+                result.accepts.add(src_id)
+
+            def visit(inp: str | None, out: str | None, target: tuple[int, int]) -> None:
+                dst_id = pid(target)
+                result.add_edge(src_id, inp, out, dst_id)
+                if target not in visited:
+                    visited.add(target)
+                    queue.append(target)
+
+            for e1 in mine.get(a, ()):
+                if e1.out is None:
+                    visit(e1.inp, None, (e1.dst, b))
+                else:
+                    for e2 in theirs.get(b, ()):
+                        if e2.inp == e1.out:
+                            visit(e1.inp, e2.out, (e1.dst, e2.dst))
+            for e2 in theirs.get(b, ()):
+                if e2.inp is None:
+                    visit(None, e2.out, (a, e2.dst))
+        return result
+
+
+def identity_fst(alphabet: Iterable[str]) -> FST:
+    """The identity relation over *alphabet* (one looping state)."""
+    fst = FST(start=0, accepts={0})
+    fst.num_states = 1
+    for ch in alphabet:
+        fst.add_edge(0, ch, ch, 0)
+    return fst
+
+
+def replace_fst(mapping: dict[str, str], alphabet: Iterable[str]) -> FST:
+    """Identity except single characters in *mapping* may also be rewritten.
+
+    This is an *optional* rewrite (Appendix B's terminology): both the
+    original and rewritten characters remain in the image, which is the
+    behaviour wanted for, e.g., case-insensitivity preprocessors.
+    """
+    fst = identity_fst(alphabet)
+    for src_ch, dst_ch in mapping.items():
+        fst.add_edge(0, src_ch, dst_ch, 0)
+    return fst

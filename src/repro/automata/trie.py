@@ -1,0 +1,79 @@
+"""Character tries, used to batch the Appendix-B shortcut-edge search.
+
+The graph compiler must find, for every automaton state, every vocabulary
+token whose character walk exists from that state.  Scanning token-by-token
+is the paper's O(V·k·m_max) algorithm; walking the product of a vocabulary
+trie with the automaton discovers all tokens from one state in a single DFS,
+which is asymptotically the same but with far better constants because
+shared token prefixes are traversed once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["Trie"]
+
+
+@dataclass
+class _TrieNode:
+    children: dict[str, "_TrieNode"] = field(default_factory=dict)
+    #: token ids terminating at this node (a string may name several ids only
+    #: in pathological vocabularies; normally 0 or 1).
+    token_ids: list[int] = field(default_factory=list)
+
+
+class Trie:
+    """A character trie over (string, token-id) pairs."""
+
+    def __init__(self, items: Iterable[tuple[str, int]] = ()) -> None:
+        self.root = _TrieNode()
+        self._size = 0
+        for text, token_id in items:
+            self.insert(text, token_id)
+
+    def insert(self, text: str, token_id: int) -> None:
+        """Insert *text* mapping to *token_id*.  Empty strings are rejected
+        (a zero-length token would add self-loops to every state)."""
+        if not text:
+            raise ValueError("cannot insert the empty string")
+        node = self.root
+        for ch in text:
+            node = node.children.setdefault(ch, _TrieNode())
+        node.token_ids.append(token_id)
+        self._size += 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def lookup(self, text: str) -> list[int]:
+        """Token ids whose string is exactly *text* (empty list if absent)."""
+        node = self.root
+        for ch in text:
+            node = node.children.get(ch)
+            if node is None:
+                return []
+        return list(node.token_ids)
+
+    def walk_dfa(self, transitions: dict[int, dict[str, int]], state: int) -> Iterator[tuple[int, int]]:
+        """Yield ``(token_id, landing_state)`` for every token whose
+        character walk exists in *transitions* starting at *state*.
+
+        This is the product DFS at the heart of the all-encodings graph
+        compiler: each yielded pair becomes one "shortcut" token edge.
+        """
+        stack: list[tuple[_TrieNode, int]] = [(self.root, state)]
+        while stack:
+            node, q = stack.pop()
+            row = transitions.get(q)
+            if row is None:
+                continue
+            for ch, child in node.children.items():
+                nxt = row.get(ch)
+                if nxt is None:
+                    continue
+                for token_id in child.token_ids:
+                    yield token_id, nxt
+                if child.children:
+                    stack.append((child, nxt))

@@ -1,0 +1,160 @@
+"""Counting walks in automata, and sampling strings uniformly.
+
+Implements the combinatorics of §3.3 of the paper: to sample uniformly over
+the strings of a regular language, each edge must be weighed proportionally
+to the number of accepting walks through it,
+
+    p(e) = walks(e) / sum(walks(e') for e' leaving e.from)
+
+Counts are exact Python integers (they grow as big-ints).  Cyclic automata
+are handled the way the paper suggests — by "unrolling" up to the model's
+maximum sequence length, i.e. counting walks of bounded length.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.automata.dfa import DFA
+
+__all__ = [
+    "WalkCounter",
+    "count_accepting_walks",
+    "sample_uniform_string",
+]
+
+
+class WalkCounter:
+    """Per-(state, remaining-length) accepting-walk counts for a DFA.
+
+    ``counts_at(level)[q]`` is the number of accepted strings of length at
+    most ``level`` readable starting from state ``q``.  Levels are computed
+    lazily and cached; level ``L`` is what the paper calls unrolling cycles
+    to the LLM's max sequence length.
+    """
+
+    def __init__(self, dfa: DFA, max_length: int) -> None:
+        if max_length < 0:
+            raise ValueError("max_length must be non-negative")
+        self.dfa = dfa
+        self.max_length = max_length
+        base = {q: (1 if q in dfa.accepts else 0) for q in dfa.states}
+        self._levels: list[dict[int, int]] = [base]
+
+    def counts_at(self, level: int) -> dict[int, int]:
+        """Walk counts with remaining budget *level* (0 ≤ level ≤
+        max_length)."""
+        if level > self.max_length:
+            raise ValueError(f"level {level} exceeds max_length {self.max_length}")
+        while len(self._levels) <= level:
+            prev = self._levels[-1]
+            nxt: dict[int, int] = {}
+            for q in self.dfa.states:
+                total = 1 if q in self.dfa.accepts else 0
+                for dst in self.dfa.transitions.get(q, {}).values():
+                    total += prev[dst]
+                nxt[q] = total
+            self._levels.append(nxt)
+        return self._levels[level]
+
+    def total(self) -> int:
+        """Number of accepted strings of length at most ``max_length``."""
+        return self.counts_at(self.max_length).get(self.dfa.start, 0)
+
+    def edge_weights(self, state: int, remaining: int) -> tuple[int, dict[str, int]]:
+        """Return ``(stop_weight, {char: weight})`` at *state* with budget
+        *remaining*.
+
+        ``stop_weight`` is 1 if stopping at *state* yields an accepted string
+        (i.e. the state is accepting), else 0.  Each edge weight is the
+        number of accepted strings through that edge within the remaining
+        budget — exactly the paper's ``walks(e)`` numerator.
+        """
+        stop = 1 if state in self.dfa.accepts else 0
+        if remaining <= 0:
+            return stop, {}
+        lower = self.counts_at(remaining - 1)
+        weights = {
+            ch: lower[dst]
+            for ch, dst in self.dfa.transitions.get(state, {}).items()
+            if lower[dst] > 0
+        }
+        return stop, weights
+
+    def sample(self, rng) -> str | None:
+        """Sample one string uniformly from the (bounded) language.
+
+        Returns ``None`` when the language is empty within ``max_length``.
+        ``rng`` is a :class:`random.Random`-like object (needs ``randrange``).
+        """
+        if self.total() == 0:
+            return None
+        state = self.dfa.start
+        remaining = self.max_length
+        out: list[str] = []
+        while True:
+            stop, weights = self.edge_weights(state, remaining)
+            total = stop + sum(weights.values())
+            pick = rng.randrange(total)
+            if pick < stop:
+                return "".join(out)
+            pick -= stop
+            for ch in sorted(weights):
+                w = weights[ch]
+                if pick < w:
+                    out.append(ch)
+                    state = self.dfa.transitions[state][ch]
+                    remaining -= 1
+                    break
+                pick -= w
+            else:  # pragma: no cover - weights always cover pick
+                raise AssertionError("weight bookkeeping error")
+
+    def sample_uniform_edges(self, rng, max_steps: int | None = None) -> str | None:
+        """Sample by weighing *edges* uniformly (the biased strategy of
+        Appendix C).
+
+        Provided for the Figure 9 reproduction: compared to :meth:`sample`,
+        this concentrates probability mass on early branches.  Dead ends are
+        avoided (only edges with at least one accepting continuation are
+        candidates) so every draw terminates with an accepted string.
+        """
+        steps = self.max_length if max_steps is None else max_steps
+        state = self.dfa.start
+        remaining = steps
+        out: list[str] = []
+        while True:
+            stop, weights = self.edge_weights(state, remaining)
+            options = (["<stop>"] if stop else []) + sorted(weights)
+            if not options:
+                return None
+            choice = options[rng.randrange(len(options))]
+            if choice == "<stop>":
+                return "".join(out)
+            out.append(choice)
+            state = self.dfa.transitions[state][choice]
+            remaining -= 1
+
+
+def count_accepting_walks(dfa: DFA, max_length: int | None = None) -> int:
+    """Count accepted strings exactly.
+
+    With ``max_length=None`` the automaton must be acyclic (finite
+    language); the count is then over all lengths.  Cyclic automata require
+    an explicit bound.
+    """
+    if max_length is None:
+        if dfa.has_cycle():
+            raise ValueError("language is infinite; supply max_length to unroll")
+        max_length = max(len(dfa.states), 1)
+    return WalkCounter(dfa, max_length).total()
+
+
+def sample_uniform_string(dfa: DFA, rng, max_length: int = 256) -> str | None:
+    """Sample one string uniformly at random from ``L(dfa)`` bounded by
+    *max_length*.
+
+    Convenience wrapper over :class:`WalkCounter`; build the counter once if
+    sampling repeatedly.
+    """
+    return WalkCounter(dfa, max_length).sample(rng)

@@ -1,0 +1,192 @@
+"""Command-line interface: run ReLM queries and paper experiments.
+
+Usage (see ``python -m repro --help``)::
+
+    python -m repro query "The ((cat)|(dog))" --max-matches 5
+    python -m repro query "The ((man)|(woman)) was trained in ((art)|(math))" \
+        --prefix "The ((man)|(woman)) was trained in" --strategy random --samples 20
+    python -m repro experiment memorization
+    python -m repro dot "ab|ac" --tokens
+
+Queries run against the built-in experiment environment (synthetic corpus
++ n-gram models); this is a demonstration surface, not a production
+entry point — library users should call :func:`repro.search` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ReLM reproduction: regex queries over language models.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="run a regex query against the built-in model")
+    query.add_argument("pattern", help="regex pattern (ReLM dialect)")
+    query.add_argument("--prefix", default=None, help="prefix regex (conditioned, not decoded)")
+    query.add_argument("--top-k", type=int, default=None, help="top-k decision rule")
+    query.add_argument("--strategy", choices=["shortest", "random", "beam"], default="shortest")
+    query.add_argument("--tokenization", choices=["all", "canonical"], default="all")
+    query.add_argument("--samples", type=int, default=10, help="samples for --strategy random")
+    query.add_argument("--max-matches", type=int, default=10)
+    query.add_argument("--edits", type=int, default=0, help="Levenshtein preprocessor distance")
+    query.add_argument("--require-eos", action="store_true")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--model", choices=["xl", "small"], default="xl")
+    query.add_argument("--scale", choices=["test", "full"], default="test")
+    query.add_argument("--log", default=None, help="append matches to this JSONL file")
+
+    experiment = sub.add_parser("experiment", help="run one paper experiment")
+    experiment.add_argument(
+        "name",
+        choices=["memorization", "bias", "toxicity", "lambada", "encodings", "knowledge"],
+    )
+    experiment.add_argument("--scale", choices=["test", "full"], default="test")
+
+    dot = sub.add_parser("dot", help="print the Graphviz DOT of a pattern's automaton")
+    dot.add_argument("pattern")
+    dot.add_argument("--tokens", action="store_true", help="token-space (LLM) automaton")
+    dot.add_argument("--scale", choices=["test", "full"], default="test")
+    return parser
+
+
+def _cmd_query(args) -> int:
+    import repro as relm
+    from repro.core.logging import MatchWriter
+    from repro.experiments.common import get_environment
+
+    env = get_environment(scale=args.scale)
+    strategy = {
+        "shortest": relm.QuerySearchStrategy.SHORTEST_PATH,
+        "random": relm.QuerySearchStrategy.RANDOM_SAMPLING,
+        "beam": relm.QuerySearchStrategy.BEAM,
+    }[args.strategy]
+    tokenization = (
+        relm.QueryTokenizationStrategy.CANONICAL
+        if args.tokenization == "canonical"
+        else relm.QueryTokenizationStrategy.ALL_TOKENS
+    )
+    preprocessors = (relm.LevenshteinPreprocessor(args.edits),) if args.edits else ()
+    query = relm.SearchQuery(
+        args.pattern,
+        prefix=args.prefix,
+        top_k=args.top_k,
+        strategy=strategy,
+        tokenization=tokenization,
+        num_samples=args.samples if args.strategy == "random" else None,
+        require_eos=args.require_eos,
+        preprocessors=preprocessors,
+        seed=args.seed,
+    )
+    session = relm.prepare(
+        env.model(args.model), env.tokenizer, query,
+        max_expansions=50_000, max_attempts=50 * args.samples,
+    )
+    writer = MatchWriter(args.log) if args.log else None
+    count = 0
+    for match in session:
+        print(f"{match.total_logprob:9.3f}  {match.text!r}")
+        if writer is not None:
+            writer.write(match)
+        count += 1
+        if count >= args.max_matches:
+            break
+    if writer is not None:
+        writer.close()
+        print(f"# wrote {writer.count} matches to {args.log}", file=sys.stderr)
+    stats = session.stats.as_dict()
+    print(
+        f"# {count} matches; lm_calls={stats['lm_calls']} "
+        f"pruned={stats['pruned_edges']} failed={stats['failed_attempts']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments.common import get_environment
+
+    env = get_environment(scale=args.scale)
+    if args.name == "memorization":
+        from repro.experiments.memorization import memorization_report
+
+        for name, row in memorization_report(env).items():
+            print(
+                f"{name:14} attempts={row.attempts:4d} valid={row.unique_valid:3d} "
+                f"dup={100 * row.duplicate_rate:4.0f}% urls/kfwd={row.urls_per_kfwd:7.1f}"
+            )
+    elif args.name == "bias":
+        from repro.experiments.bias import FIGURE7_CONFIGS, bias_report
+
+        for name, panel in bias_report(env, configs=FIGURE7_CONFIGS).items():
+            print(f"{name}: chi2 p = 10^{panel.chi_square.log10_p:.1f}")
+    elif args.name == "toxicity":
+        from repro.experiments.toxicity import toxicity_report
+
+        report = toxicity_report(env, max_lines=12)
+        print(f"prompted: baseline={report.prompted_baseline_rate:.2f} "
+              f"relm={report.prompted_relm_rate:.2f} ({report.prompted_ratio:.1f}x)")
+        print(f"unprompted volume: baseline={report.unprompted_baseline_volume:.1f} "
+              f"relm={report.unprompted_relm_volume:.1f}")
+    elif args.name == "lambada":
+        from repro.experiments.lambada_eval import STRATEGIES, lambada_table
+
+        table = lambada_table(env)
+        for size in ("xl", "small"):
+            row = "  ".join(
+                f"{s}={100 * table[size][s].accuracy:.1f}%" for s in STRATEGIES
+            )
+            print(f"{size:6} {row}")
+    elif args.name == "encodings":
+        from repro.experiments.encodings import non_canonical_rate
+
+        for size in ("xl", "small"):
+            report = non_canonical_rate(env, model_size=size, num_samples=300)
+            print(f"{size}: non-canonical rate = {100 * report.rate:.1f}%")
+    elif args.name == "knowledge":
+        from repro.experiments.knowledge import figure1_report
+
+        for size in ("xl", "small"):
+            report = figure1_report(model_size=size)
+            print(f"{size}: MC top = {report.multiple_choice[0][0]!r}, "
+                  f"free = {report.free_response}, "
+                  f"structured rank = {report.structured_rank}")
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    from repro.automata.visualize import dfa_to_dot, token_automaton_to_dot
+    from repro.regex import compile_dfa
+
+    dfa = compile_dfa(args.pattern)
+    if not args.tokens:
+        print(dfa_to_dot(dfa))
+        return 0
+    from repro.core.compiler import GraphCompiler
+    from repro.experiments.common import get_environment
+
+    env = get_environment(scale=args.scale)
+    compiler = GraphCompiler(env.tokenizer)
+    automaton = compiler.compile_all_tokens(dfa, None)
+    print(token_automaton_to_dot(automaton, env.tokenizer))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "dot":
+        return _cmd_dot(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

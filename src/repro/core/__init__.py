@@ -1,0 +1,64 @@
+"""ReLM core: the paper's contribution — regex queries over LLMs.
+
+Public surface (mirrors the paper's API, Figures 4 and 11):
+
+* :func:`SearchQuery` / :class:`QueryString` / :class:`SimpleSearchQuery` —
+  query construction.
+* :func:`search` / :func:`prepare` — execution.
+* :class:`GraphCompiler` / :class:`TokenAutomaton` — regex → token-automaton
+  compilation (§3.2).
+* Preprocessors — Levenshtein edits, filters, custom transducers (§3.4).
+"""
+
+from repro.core.api import SearchSession, prepare, search
+from repro.core.logging import MatchWriter, read_matches, tee_matches
+from repro.core.compiler import CompiledQuery, GraphCompiler, TokenAutomaton, prefixes_of
+from repro.core.diagnostics import EliminationTracker
+from repro.core.executor import Executor
+from repro.core.preprocessors import (
+    CaseFoldPreprocessor,
+    FilterPreprocessor,
+    IntersectionPreprocessor,
+    LevenshteinPreprocessor,
+    Preprocessor,
+    SuffixFilterPreprocessor,
+    TransducerPreprocessor,
+)
+from repro.core.query import (
+    QuerySearchStrategy,
+    QueryString,
+    QueryTokenizationStrategy,
+    SearchQuery,
+    SimpleSearchQuery,
+)
+from repro.core.results import ExecutionStats, MatchResult
+
+__all__ = [
+    "search",
+    "prepare",
+    "SearchSession",
+    "MatchWriter",
+    "read_matches",
+    "tee_matches",
+    "SearchQuery",
+    "SimpleSearchQuery",
+    "QueryString",
+    "QuerySearchStrategy",
+    "QueryTokenizationStrategy",
+    "GraphCompiler",
+    "CompiledQuery",
+    "TokenAutomaton",
+    "prefixes_of",
+    "Executor",
+    "EliminationTracker",
+    "ExecutionStats",
+    "MatchResult",
+    "Preprocessor",
+    "LevenshteinPreprocessor",
+    "FilterPreprocessor",
+    "SuffixFilterPreprocessor",
+    "IntersectionPreprocessor",
+    "IntersectionPreprocessor",
+    "TransducerPreprocessor",
+    "CaseFoldPreprocessor",
+]

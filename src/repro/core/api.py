@@ -1,0 +1,72 @@
+"""Top-level ReLM entry point: ``search(model, tokenizer, query)``.
+
+Mirrors the paper's Figure 4 / Figure 11 usage::
+
+    query = relm.SearchQuery(r"My phone number is ([0-9]{3}) ([0-9]{3}) ([0-9]{4})",
+                             prefix="My phone number is", top_k=40)
+    for match in relm.search(model, tokenizer, query):
+        print(match.text)
+
+The returned iterator is lazy: shortest-path queries stream matches in
+decreasing probability until the language is exhausted; random queries are
+an unbounded sample stream unless ``num_samples`` bounds them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.compiler import CompiledQuery, GraphCompiler
+from repro.core.executor import Executor
+from repro.core.query import SimpleSearchQuery
+from repro.core.results import MatchResult
+from repro.lm.base import LanguageModel
+from repro.tokenizers.bpe import BPETokenizer
+
+__all__ = ["search", "prepare", "SearchSession"]
+
+
+class SearchSession:
+    """A prepared query: compiled automaton plus executor, with stats.
+
+    Useful when the caller needs execution statistics or wants to re-run
+    the same compiled query with different executor limits.
+    """
+
+    def __init__(
+        self,
+        model: LanguageModel,
+        tokenizer: BPETokenizer,
+        query: SimpleSearchQuery,
+        **executor_kwargs,
+    ) -> None:
+        self.compiled: CompiledQuery = GraphCompiler(tokenizer).compile(query)
+        self.executor = Executor(model, self.compiled, **executor_kwargs)
+
+    def __iter__(self) -> Iterator[MatchResult]:
+        return self.executor.run()
+
+    @property
+    def stats(self):
+        """Execution statistics (live; updated as the iterator advances)."""
+        return self.executor.stats
+
+
+def prepare(
+    model: LanguageModel,
+    tokenizer: BPETokenizer,
+    query: SimpleSearchQuery,
+    **executor_kwargs,
+) -> SearchSession:
+    """Compile *query* and return a re-iterable session with stats."""
+    return SearchSession(model, tokenizer, query, **executor_kwargs)
+
+
+def search(
+    model: LanguageModel,
+    tokenizer: BPETokenizer,
+    query: SimpleSearchQuery,
+    **executor_kwargs,
+) -> Iterator[MatchResult]:
+    """Launch *query* against *model*; returns the lazy match iterator."""
+    return iter(prepare(model, tokenizer, query, **executor_kwargs))

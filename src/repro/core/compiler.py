@@ -1,0 +1,325 @@
+"""ReLM's Graph Compiler (§3.2): character automata → LLM token automata.
+
+The compiler takes the Natural Language Automaton (a character-level DFA
+produced from the query regex, possibly rewritten by preprocessors) and
+produces the *LLM Automaton*, whose edges are vocabulary token ids:
+
+* **All encodings** (unconditional generation): every token whose character
+  string is readable between two states becomes a "shortcut" edge — the
+  Appendix-B algorithm, implemented as one (vocabulary-trie × automaton)
+  DFS per state.  Every ambiguous tokenization of every matching string is
+  a path.
+* **Canonical encodings** (conditional generation): only the tokenizer's
+  canonical encoding of each string is kept.  Finite, small languages are
+  enumerated and re-encoded exactly (the paper's first recovery option);
+  infinite or huge languages fall back to the all-encodings automaton plus
+  dynamic canonicality pruning in the executor (the second option).
+
+Prefix handling: the compiler also tracks, per state, whether the string
+read so far is still within the *prefix region* — a prefix of some string
+of the query's prefix language.  Token edges landing in the prefix region
+bypass decoding rules (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.automata.dfa import DFA
+from repro.automata.trie import Trie
+from repro.core.query import (
+    QueryTokenizationStrategy,
+    SimpleSearchQuery,
+)
+from repro.regex import compile_dfa
+from repro.tokenizers.bpe import BPETokenizer
+
+__all__ = ["TokenAutomaton", "CompiledQuery", "GraphCompiler", "prefixes_of"]
+
+
+@dataclass
+class TokenAutomaton:
+    """A token-space automaton: edges are vocabulary token ids.
+
+    ``edges[q][token_id]`` is the successor state.  ``prefix_live`` marks
+    states whose path-so-far still lies within the prefix region (edges
+    *into* such states are exempt from decoding rules).  When
+    ``dynamic_canonical`` is set, paths must additionally be canonical
+    encodings — enforced by the executor at traversal time.
+    """
+
+    start: int
+    accepts: frozenset[int]
+    edges: dict[int, dict[int, int]] = field(default_factory=dict)
+    prefix_live: frozenset[int] = frozenset()
+    dynamic_canonical: bool = False
+
+    def successors(self, state: int) -> dict[int, int]:
+        """Token edges leaving *state* (empty dict if none)."""
+        return self.edges.get(state, {})
+
+    def is_prefix_edge(self, dst: int) -> bool:
+        """True iff an edge landing at *dst* lies within the prefix region."""
+        return dst in self.prefix_live
+
+    @property
+    def num_states(self) -> int:
+        """Number of distinct states mentioned by the automaton."""
+        seen = {self.start} | set(self.accepts) | set(self.edges)
+        for row in self.edges.values():
+            seen.update(row.values())
+        return len(seen)
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of token edges."""
+        return sum(len(row) for row in self.edges.values())
+
+    def accepts_tokens(self, tokens: Iterable[int]) -> bool:
+        """True iff the token path exists and ends in an accepting state."""
+        state = self.start
+        for tok in tokens:
+            nxt = self.edges.get(state, {}).get(tok)
+            if nxt is None:
+                return False
+            state = nxt
+        return state in self.accepts
+
+
+@dataclass
+class CompiledQuery:
+    """Everything the executor needs to run a query (Figure 2's pipeline
+    output).
+
+    ``char_dfa`` is the preprocessed Natural Language Automaton;
+    ``prefix_dfa`` the preprocessed prefix language (``None`` when
+    unconditioned); ``prefix_closure`` accepts every string in the prefix
+    region (used for uniform prefix sampling); ``token_automaton`` the LLM
+    automaton.
+    """
+
+    query: SimpleSearchQuery
+    tokenizer: BPETokenizer
+    char_dfa: DFA
+    prefix_dfa: DFA | None
+    prefix_closure: DFA | None
+    token_automaton: TokenAutomaton
+
+
+def prefixes_of(dfa: DFA) -> DFA:
+    """The prefix-closure language: every prefix of every string in
+    ``L(dfa)``.
+
+    Because our DFAs are trim, this is simply the same automaton with every
+    state accepting.
+    """
+    trimmed = dfa.trimmed()
+    return DFA(
+        start=trimmed.start,
+        accepts=frozenset(trimmed.states),
+        transitions={q: dict(row) for q, row in trimmed.transitions.items()},
+    )
+
+
+class GraphCompiler:
+    """Compiles queries for one tokenizer (the vocabulary trie is shared)."""
+
+    def __init__(self, tokenizer: BPETokenizer, enumeration_limit: int = 20000) -> None:
+        self.tokenizer = tokenizer
+        self.enumeration_limit = enumeration_limit
+        self._trie = Trie(tokenizer.vocab.ordinary_items())
+
+    # -- public entry point ------------------------------------------------------
+    def compile(self, query: SimpleSearchQuery) -> CompiledQuery:
+        """Run the full Figure 2 pipeline for *query*."""
+        char_dfa = compile_dfa(query.query_string.query_str)
+        prefix_dfa: DFA | None = None
+        if query.query_string.prefix_str is not None:
+            prefix_dfa = compile_dfa(query.query_string.prefix_str)
+        for preprocessor in query.preprocessors:
+            char_dfa = preprocessor.apply(char_dfa)
+            if prefix_dfa is not None and preprocessor.applies_to_prefix:
+                prefix_dfa = preprocessor.apply(prefix_dfa)
+        if char_dfa.is_empty():
+            raise ValueError(
+                f"query language is empty: {query.query_string.query_str!r}"
+            )
+        prefix_closure = None
+        if prefix_dfa is not None:
+            # The prefix *region*: every string that is a prefix of some
+            # prefix-language string, restricted to prefixes consistent with
+            # the (possibly rewritten) full language — so partially-consumed
+            # prefixes are recognised as decoding-exempt and sampled
+            # prefixes always extend to a match.
+            prefix_closure = (
+                prefixes_of(prefix_dfa).intersect(prefixes_of(char_dfa)).minimized()
+            )
+
+        if query.tokenization_strategy is QueryTokenizationStrategy.ALL_TOKENS:
+            token_automaton = self.compile_all_tokens(char_dfa, prefix_closure)
+        else:
+            token_automaton = self.compile_canonical(char_dfa, prefix_closure)
+        return CompiledQuery(
+            query=query,
+            tokenizer=self.tokenizer,
+            char_dfa=char_dfa,
+            prefix_dfa=prefix_dfa,
+            prefix_closure=prefix_closure,
+            token_automaton=token_automaton,
+        )
+
+    # -- all-encodings construction ---------------------------------------------
+    def compile_all_tokens(self, char_dfa: DFA, prefix_closure: DFA | None) -> TokenAutomaton:
+        """Appendix-B construction: add one shortcut edge per readable
+        token.
+
+        States of the result are product states (char state, prefix state or
+        dead); with no prefix they coincide with char states.
+        """
+        product, prefix_live = _prefix_product(char_dfa, prefix_closure)
+        edges: dict[int, dict[int, int]] = {}
+        for state in product.states:
+            row: dict[int, int] = {}
+            for token_id, dst in self._trie.walk_dfa(product.transitions, state):
+                row[token_id] = dst
+            if row:
+                edges[state] = row
+        return TokenAutomaton(
+            start=product.start,
+            accepts=product.accepts,
+            edges=edges,
+            prefix_live=prefix_live,
+        )
+
+    def compile_all_tokens_scan(self, char_dfa: DFA, prefix_closure: DFA | None) -> TokenAutomaton:
+        """Appendix-B reference algorithm: per-token DFS scan.
+
+        Literal transcription of the paper's Algorithm 1/2 — for every
+        vocabulary token, walk its characters from every state and add a
+        shortcut edge on success (O(V·k·m_max)).  Semantically identical to
+        :meth:`compile_all_tokens`; kept for the compiler ablation
+        benchmark and as a differential-testing target.
+        """
+        product, prefix_live = _prefix_product(char_dfa, prefix_closure)
+        edges: dict[int, dict[int, int]] = {}
+        for state in product.states:
+            row: dict[int, int] = {}
+            for word, token_id in self.tokenizer.vocab.ordinary_items():
+                q = state
+                for ch in word:
+                    q = product.transitions.get(q, {}).get(ch)
+                    if q is None:
+                        break
+                else:
+                    row[token_id] = q
+            if row:
+                edges[state] = row
+        return TokenAutomaton(
+            start=product.start,
+            accepts=product.accepts,
+            edges=edges,
+            prefix_live=prefix_live,
+        )
+
+    # -- canonical construction ---------------------------------------------------
+    def compile_canonical(self, char_dfa: DFA, prefix_closure: DFA | None) -> TokenAutomaton:
+        """Canonical-encodings automaton (§3.2, Figure 3b).
+
+        Finite languages within ``enumeration_limit`` strings are enumerated
+        and re-encoded exactly; otherwise returns the all-encodings
+        automaton flagged for dynamic canonicality pruning.
+        """
+        finite = not char_dfa.has_cycle()
+        if finite and char_dfa.count_strings() <= self.enumeration_limit:
+            return self._canonical_by_enumeration(char_dfa, prefix_closure)
+        automaton = self.compile_all_tokens(char_dfa, prefix_closure)
+        automaton.dynamic_canonical = True
+        return automaton
+
+    def _canonical_by_enumeration(self, char_dfa: DFA, prefix_closure: DFA | None) -> TokenAutomaton:
+        tokenizer = self.tokenizer
+        next_id = 1
+        edges: dict[int, dict[int, int]] = {}
+        accepts: set[int] = set()
+        prefix_live: set[int] = set()
+
+        def live(text: str) -> bool:
+            if prefix_closure is None:
+                return False
+            return prefix_closure.accepts_string(text)
+
+        if live(""):
+            prefix_live.add(0)
+        for string in char_dfa.enumerate_strings():
+            tokens = tokenizer.encode(string)
+            state = 0
+            consumed = ""
+            for tok in tokens:
+                consumed += tokenizer.vocab.token_of(tok)
+                row = edges.setdefault(state, {})
+                nxt = row.get(tok)
+                if nxt is None:
+                    nxt = next_id
+                    next_id += 1
+                    row[tok] = nxt
+                state = nxt
+                if live(consumed):
+                    prefix_live.add(state)
+            accepts.add(state)
+        return TokenAutomaton(
+            start=0,
+            accepts=frozenset(accepts),
+            edges=edges,
+            prefix_live=frozenset(prefix_live),
+        )
+
+
+def _prefix_product(char_dfa: DFA, prefix_closure: DFA | None) -> tuple[DFA, frozenset[int]]:
+    """Product of the query DFA with the prefix-closure DFA.
+
+    Returns ``(product, prefix_live)`` where ``prefix_live`` contains the
+    product states whose prefix component is still alive.  With no prefix
+    the input DFA is returned unchanged and nothing is live.
+    """
+    if prefix_closure is None:
+        return char_dfa, frozenset()
+    DEAD = -1
+    ids: dict[tuple[int, int], int] = {}
+    order: list[tuple[int, int]] = []
+
+    def pid(pair: tuple[int, int]) -> int:
+        existing = ids.get(pair)
+        if existing is None:
+            existing = len(ids)
+            ids[pair] = existing
+            order.append(pair)
+        return existing
+
+    start_pair = (char_dfa.start, prefix_closure.start)
+    pid(start_pair)
+    transitions: dict[int, dict[str, int]] = {}
+    accepts: set[int] = set()
+    live: set[int] = set()
+    index = 0
+    while index < len(order):
+        pair = order[index]
+        index += 1
+        q, p = pair
+        sid = ids[pair]
+        if q in char_dfa.accepts:
+            accepts.add(sid)
+        if p != DEAD and p in prefix_closure.accepts:
+            # Prefix-closure accepts every state, so "alive" == accepting.
+            live.add(sid)
+        row: dict[str, int] = {}
+        for ch, dst in char_dfa.transitions.get(q, {}).items():
+            if p == DEAD:
+                np_ = DEAD
+            else:
+                np_ = prefix_closure.transitions.get(p, {}).get(ch, DEAD)
+            row[ch] = pid((dst, np_))
+        if row:
+            transitions[sid] = row
+    product = DFA(start=ids[start_pair], accepts=frozenset(accepts), transitions=transitions)
+    return product, frozenset(live)

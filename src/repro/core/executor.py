@@ -1,0 +1,448 @@
+"""ReLM's Executor (§3.3): traverse the LLM automaton against a model.
+
+Two traversals are provided, matching the paper:
+
+* **Shortest path** — lazy Dijkstra over ``-log p`` edge costs, yielding
+  matches in decreasing model probability.  Prefix edges bypass decoding
+  rules but contribute their true cost to the heap priority (the paper's
+  startup-latency heuristic), while the reported ``logprob`` scores only
+  non-prefix tokens.
+* **Random sampling** — unbiased sampling: the prefix *string* is drawn
+  uniformly over the prefix language using exact walk counts (§3.3's
+  combinatorics; Appendix C explains why uniform edge sampling is biased),
+  then the suffix is sampled from the model restricted to automaton edges
+  that survive the decoding policy.
+
+Top-k/top-p pruning happens per expansion: an edge whose token falls
+outside the decision rule is dropped, transitively eliminating every string
+through it — the complexity-control lever §3.3 describes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.automata.walks import WalkCounter
+from repro.core.compiler import CompiledQuery
+from repro.core.query import QuerySearchStrategy, QueryTokenizationStrategy
+from repro.core.results import ExecutionStats, MatchResult
+from repro.lm.base import LanguageModel, LogitsCache
+from repro.lm.decoding import DecodingPolicy
+
+__all__ = ["Executor"]
+
+
+class Executor:
+    """Runs one compiled query against one model.
+
+    Instantiate per query; :meth:`run` returns the stream of
+    :class:`~repro.core.results.MatchResult` tuples.  ``stats`` accumulates
+    counters across the run (lm calls, pruned edges, ...).
+    """
+
+    def __init__(
+        self,
+        model: LanguageModel,
+        compiled: CompiledQuery,
+        max_expansions: int | None = None,
+        max_attempts: int | None = None,
+        dedupe: bool = True,
+        cache_size: int = 4096,
+        max_prefix_chars: int = 128,
+        batch_size: int = 1,
+        track_elimination: bool = False,
+    ) -> None:
+        self.model = model
+        self.compiled = compiled
+        self.query = compiled.query
+        self.tokenizer = compiled.tokenizer
+        self.automaton = compiled.token_automaton
+        self.stats = ExecutionStats()
+        self.max_expansions = max_expansions
+        self.max_attempts = max_attempts
+        self.dedupe = dedupe
+        self.max_prefix_chars = max_prefix_chars
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self._cache = LogitsCache(model, capacity=cache_size)
+        q = compiled.query
+        if q.top_k_sampling is None and q.top_p_sampling is None and q.temperature == 1.0:
+            self.policy: DecodingPolicy | None = None
+        else:
+            self.policy = DecodingPolicy(
+                top_k=q.top_k_sampling, top_p=q.top_p_sampling, temperature=q.temperature
+            )
+        self.max_tokens = q.sequence_length or model.max_sequence_length
+        self._rng = random.Random(q.seed)
+        self.elimination_tracker = None
+        if track_elimination:
+            from repro.core.diagnostics import EliminationTracker
+
+            self.elimination_tracker = EliminationTracker(
+                self.automaton, q.sequence_length or model.max_sequence_length
+            )
+        self._canonical_required = (
+            q.tokenization_strategy is QueryTokenizationStrategy.CANONICAL
+            or self.automaton.dynamic_canonical
+        )
+        #: dynamic canonicality pruning applies when the automaton is the
+        #: all-encodings graph but only canonical paths should survive.
+        self._dynamic_prune = self.automaton.dynamic_canonical
+
+    # -- shared helpers -----------------------------------------------------------
+    def _scored_logprobs(self, context: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+        """(scaled log-probs, allowed mask) for the next token."""
+        self.stats.lm_calls += 1
+        lp = self._cache.logprobs(context)
+        self.stats.tokens_scored += lp.size
+        if self.policy is None:
+            return lp, lp > -np.inf
+        return self.policy.scaled_logprobs(lp), self.policy.allowed_mask(lp)
+
+    def _scored_logprobs_batch(
+        self, contexts: list[tuple[int, ...]]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched variant of :meth:`_scored_logprobs` (one model round)."""
+        self.stats.lm_calls += len(contexts)
+        self.stats.lm_batches += 1
+        rows = self._cache.logprobs_batch(contexts)
+        out = []
+        for lp in rows:
+            self.stats.tokens_scored += lp.size
+            if self.policy is None:
+                out.append((lp, lp > -np.inf))
+            else:
+                out.append((self.policy.scaled_logprobs(lp), self.policy.allowed_mask(lp)))
+        return out
+
+    def _make_result(
+        self,
+        tokens: tuple[int, ...],
+        suffix_cost: float,
+        total_cost: float,
+        prefix_text: str | None = None,
+    ) -> MatchResult:
+        text = self.tokenizer.decode(tokens)
+        closure = self.compiled.prefix_closure
+        if prefix_text is None:
+            prefix_text = ""
+            if closure is not None:
+                # Longest prefix of the match that stays in the prefix
+                # region (randomized traversals pass the *sampled* prefix
+                # instead, which is authoritative).
+                state = closure.start
+                for i, ch in enumerate(text):
+                    nxt = closure.transitions.get(state, {}).get(ch)
+                    if nxt is None:
+                        break
+                    state = nxt
+                    prefix_text = text[: i + 1]
+        return MatchResult(
+            tokens=tokens,
+            text=text,
+            logprob=-suffix_cost,
+            total_logprob=-total_cost,
+            canonical=self.tokenizer.is_canonical(tokens),
+            prefix_text=prefix_text,
+        )
+
+    def run(self) -> Iterator[MatchResult]:
+        """Execute the query; yields matches per the traversal strategy."""
+        if self.query.search_strategy is QuerySearchStrategy.SHORTEST_PATH:
+            return self._shortest_path()
+        if self.query.search_strategy is QuerySearchStrategy.BEAM:
+            return self._beam_search()
+        return self._random_sampling()
+
+    # -- Dijkstra ------------------------------------------------------------------
+    def _shortest_path(self) -> Iterator[MatchResult]:
+        automaton = self.automaton
+        eos = self.model.eos_id
+        counter = itertools.count()
+        #: heap items: (priority, tiebreak, state|None, tokens, total, suffix)
+        #: state None marks an EOS-terminated final node.
+        heap: list[tuple[float, int, int | None, tuple[int, ...], float, float]] = []
+        start_state, start_tokens, start_total = self._fast_forward_prefix()
+        heapq.heappush(heap, (start_total, next(counter), start_state, start_tokens, start_total, 0.0))
+        seen_texts: set[str] = set()
+        expansions = 0
+        # With batch_size > 1, up to batch_size frontier nodes are expanded
+        # per model round (the paper's accelerator batching, §3.3).  Yield
+        # order then follows pop order within each wavefront, which may
+        # locally deviate from strict global cost order by at most the
+        # batch's priority spread; batch_size=1 is exact Dijkstra.
+        while heap:
+            pending: list[tuple[int, tuple[int, ...], float, float, dict[int, int], bool]] = []
+            while heap and len(pending) < self.batch_size:
+                priority, _, state, tokens, total, suffix = heapq.heappop(heap)
+                if state is None:  # EOS-terminated match
+                    yield from self._emit(tokens, suffix, total, seen_texts)
+                    continue
+                if state in automaton.accepts and not self.query.require_eos:
+                    if not self._dynamic_prune or self.tokenizer.is_canonical(tokens):
+                        yield from self._emit(tokens, suffix, total, seen_texts)
+                expansions += 1
+                self.stats.nodes_expanded += 1
+                if self.max_expansions is not None and expansions >= self.max_expansions:
+                    return
+                if len(tokens) >= self.max_tokens:
+                    continue
+                successors = automaton.successors(state)
+                needs_eos = self.query.require_eos and state in automaton.accepts
+                if not successors and not needs_eos:
+                    continue
+                pending.append((state, tokens, total, suffix, successors, needs_eos))
+            if not pending:
+                continue
+            scored = self._scored_logprobs_batch([node[1] for node in pending])
+            for (state, tokens, total, suffix, successors, needs_eos), (lp, mask) in zip(
+                pending, scored
+            ):
+                if needs_eos and mask[eos] and np.isfinite(lp[eos]) and (
+                    not self._dynamic_prune or self.tokenizer.is_canonical(tokens)
+                ):
+                    cost = -float(lp[eos])
+                    heapq.heappush(
+                        heap,
+                        (total + cost, next(counter), None, tokens, total + cost, suffix + cost),
+                    )
+                for token_id, dst in successors.items():
+                    is_prefix = automaton.is_prefix_edge(dst)
+                    if not is_prefix and not mask[token_id]:
+                        self._record_prune(dst, len(tokens))
+                        continue
+                    if not np.isfinite(lp[token_id]):
+                        self._record_prune(dst, len(tokens))
+                        continue
+                    new_tokens = tokens + (token_id,)
+                    if self._dynamic_prune and not self.tokenizer.is_canonical_prefix(new_tokens):
+                        self._record_prune(dst, len(tokens))
+                        continue
+                    cost = -float(lp[token_id])
+                    new_suffix = suffix if is_prefix else suffix + cost
+                    heapq.heappush(
+                        heap,
+                        (total + cost, next(counter), dst, new_tokens, total + cost, new_suffix),
+                    )
+
+    def _record_prune(self, dst_state: int, tokens_consumed: int) -> None:
+        """Count a pruned edge; with tracking on, also count the token
+        sequences it transitively eliminated (§3.3)."""
+        self.stats.pruned_edges += 1
+        if self.elimination_tracker is not None:
+            self.elimination_tracker.record_pruned_edge(dst_state, tokens_consumed)
+
+    def _emit(
+        self, tokens: tuple[int, ...], suffix: float, total: float, seen_texts: set[str]
+    ) -> Iterator[MatchResult]:
+        result = self._make_result(tokens, suffix, total)
+        if self.dedupe:
+            if result.text in seen_texts:
+                self.stats.duplicates_suppressed += 1
+                return
+            seen_texts.add(result.text)
+        self.stats.matches_yielded += 1
+        yield result
+
+    def _fast_forward_prefix(self) -> tuple[int, tuple[int, ...], float]:
+        """Jump-start Dijkstra past a *literal* prefix.
+
+        When the prefix language is exactly one string, conditional
+        generation encodes it canonically (§3.2) — there is no need to
+        search over its ambiguous encodings.  Returns the start state, the
+        prefix token path, and its heuristic cost.  Falls back to the
+        automaton start when the prefix is absent, non-literal, or its
+        canonical tokens are not walkable (enumerated-trie corner cases).
+        """
+        automaton = self.automaton
+        prefix_dfa = self.compiled.prefix_dfa
+        if prefix_dfa is None or prefix_dfa.has_cycle():
+            return automaton.start, (), 0.0
+        strings = list(prefix_dfa.enumerate_strings(limit=2))
+        if len(strings) != 1:
+            return automaton.start, (), 0.0
+        tokens = tuple(self.tokenizer.encode(strings[0]))
+        state = automaton.start
+        for tok in tokens:
+            nxt = automaton.successors(state).get(tok)
+            if nxt is None:
+                return automaton.start, (), 0.0
+            state = nxt
+        # Heuristic priority: the true model cost of the prefix tokens.
+        total = 0.0
+        context: list[int] = []
+        for tok in tokens:
+            lp, _ = self._scored_logprobs(context)
+            total += -float(lp[tok])
+            context.append(tok)
+        return state, tokens, total
+
+    # -- beam search -----------------------------------------------------------
+    def _beam_search(self) -> Iterator[MatchResult]:
+        """Synchronous beam search: a bounded frontier advanced one token
+        per step.
+
+        The paper notes "any traversal algorithm can be used with the
+        Executor"; beam search trades the completeness and exact ordering
+        of Dijkstra for O(beam_width) memory — useful on automata whose
+        Dijkstra frontier explodes.  Yields are grouped per depth and
+        sorted by probability within the group.
+        """
+        automaton = self.automaton
+        eos = self.model.eos_id
+        width = self.query.beam_width
+        #: beam entries: (total_cost, suffix_cost, state, tokens)
+        start_state, start_tokens, start_total = self._fast_forward_prefix()
+        beam: list[tuple[float, float, int, tuple[int, ...]]] = [
+            (start_total, 0.0, start_state, start_tokens)
+        ]
+        seen_texts: set[str] = set()
+        for _depth in range(self.max_tokens + 1):
+            if not beam:
+                return
+            emitted: list[tuple[float, float, tuple[int, ...]]] = []
+            candidates: list[tuple[float, float, int, tuple[int, ...]]] = []
+            scored = self._scored_logprobs_batch([entry[3] for entry in beam])
+            for (total, suffix, state, tokens), (lp, mask) in zip(beam, scored):
+                self.stats.nodes_expanded += 1
+                if state in automaton.accepts and (
+                    not self._dynamic_prune or self.tokenizer.is_canonical(tokens)
+                ):
+                    if self.query.require_eos:
+                        if mask[eos] and np.isfinite(lp[eos]):
+                            cost = -float(lp[eos])
+                            emitted.append((total + cost, suffix + cost, tokens))
+                    else:
+                        emitted.append((total, suffix, tokens))
+                if len(tokens) >= self.max_tokens:
+                    continue
+                for token_id, dst in automaton.successors(state).items():
+                    is_prefix = automaton.is_prefix_edge(dst)
+                    if not is_prefix and not mask[token_id]:
+                        self.stats.pruned_edges += 1
+                        continue
+                    if not np.isfinite(lp[token_id]):
+                        self.stats.pruned_edges += 1
+                        continue
+                    new_tokens = tokens + (token_id,)
+                    if self._dynamic_prune and not self.tokenizer.is_canonical_prefix(new_tokens):
+                        self.stats.pruned_edges += 1
+                        continue
+                    cost = -float(lp[token_id])
+                    candidates.append(
+                        (total + cost, suffix if is_prefix else suffix + cost, dst, new_tokens)
+                    )
+            for total, suffix, tokens in sorted(emitted):
+                yield from self._emit(tokens, suffix, total, seen_texts)
+            candidates.sort(key=lambda entry: entry[0])
+            beam = candidates[:width]
+            if len(candidates) > width:
+                self.stats.pruned_edges += len(candidates) - width
+
+    # -- randomized traversal ----------------------------------------------------
+    def _random_sampling(self) -> Iterator[MatchResult]:
+        target = self.query.num_samples
+        attempts = 0
+        yielded = 0
+        prefix_counter = self._prefix_counter()
+        while target is None or yielded < target:
+            if self.max_attempts is not None and attempts >= self.max_attempts:
+                return
+            attempts += 1
+            result = self._sample_once(prefix_counter)
+            if result is None:
+                self.stats.failed_attempts += 1
+                continue
+            self.stats.matches_yielded += 1
+            yielded += 1
+            yield result
+
+    def _prefix_counter(self) -> WalkCounter | None:
+        closure = self.compiled.prefix_closure
+        if closure is None:
+            return None
+        # Sample over maximal prefix strings: the prefix language proper,
+        # not its closure — i.e. strings after which the prefix region ends
+        # or the full pattern continues.  The prefix DFA intersected with
+        # the closure keeps exactly the valid complete prefixes.
+        prefix_lang = self.compiled.prefix_dfa.intersect(closure).minimized()
+        return WalkCounter(prefix_lang, max_length=self.max_prefix_chars)
+
+    def _sample_once(self, prefix_counter: WalkCounter | None) -> MatchResult | None:
+        automaton = self.automaton
+        eos = self.model.eos_id
+        tokens: list[int] = []
+        suffix_logprob = 0.0
+        total_logprob = 0.0
+        sampled_prefix: str | None = None
+        if prefix_counter is not None:
+            if self.query.uniform_edge_sampling:
+                sampled_prefix = prefix_counter.sample_uniform_edges(self._rng)
+            else:
+                sampled_prefix = prefix_counter.sample(self._rng)
+            if sampled_prefix is None:
+                return None
+            prefix_tokens = self.tokenizer.encode(sampled_prefix)
+            state = automaton.start
+            for tok in prefix_tokens:
+                nxt = automaton.successors(state).get(tok)
+                if nxt is None:
+                    return None  # canonical prefix not walkable (re-tokenization boundary)
+                state = nxt
+            tokens.extend(prefix_tokens)
+        else:
+            state = automaton.start
+        # The sampled prefix is *committed*: from here on every edge is a
+        # suffix edge subject to decoding rules, even if the string could
+        # still extend within the prefix region (a|ab-style ambiguity).
+        while True:
+            if len(tokens) >= self.max_tokens:
+                return None
+            successors = automaton.successors(state)
+            at_accept = state in automaton.accepts
+            if self._dynamic_prune and at_accept:
+                at_accept = self.tokenizer.is_canonical(tuple(tokens))
+            if not successors and not at_accept:
+                return None
+            if not successors and at_accept and not self.query.require_eos:
+                # Nothing to disambiguate: the only continuation is to stop.
+                return self._make_result(
+                    tuple(tokens), -suffix_logprob, -total_logprob, sampled_prefix
+                )
+            lp, mask = self._scored_logprobs(tokens)
+            options: list[tuple[int | None, float]] = []
+            if at_accept and mask[eos] and np.isfinite(lp[eos]):
+                options.append((None, float(lp[eos])))
+            for token_id in successors:
+                if not mask[token_id]:
+                    self.stats.pruned_edges += 1
+                    continue
+                if not np.isfinite(lp[token_id]):
+                    continue
+                if self._dynamic_prune and not self.tokenizer.is_canonical_prefix(
+                    tuple(tokens) + (token_id,)
+                ):
+                    self.stats.pruned_edges += 1
+                    continue
+                options.append((token_id, float(lp[token_id])))
+            if not options:
+                return None
+            weights = np.exp(np.array([w for _, w in options]))
+            weights /= weights.sum()
+            choice = self._rng.choices(range(len(options)), weights=weights, k=1)[0]
+            token_id, logprob = options[choice]
+            total_logprob += logprob
+            suffix_logprob += logprob
+            if token_id is None:  # EOS: stop and emit
+                return self._make_result(
+                    tuple(tokens), -suffix_logprob, -total_logprob, sampled_prefix
+                )
+            tokens.append(token_id)
+            state = successors[token_id]

@@ -1,0 +1,89 @@
+"""Result sinks: persist match streams for later analysis.
+
+§3.1: "the program can act on the tuples (e.g., log them in a database)".
+This module provides the two sinks a validation pipeline actually needs —
+an append-only JSONL file and an in-memory collector — plus a ``tee``
+helper that logs while passing matches through unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.results import MatchResult
+
+__all__ = ["MatchWriter", "read_matches", "tee_matches"]
+
+
+class MatchWriter:
+    """Append-only JSONL sink for :class:`MatchResult` streams.
+
+    Usable as a context manager::
+
+        with MatchWriter(path) as writer:
+            for match in relm.search(model, tokenizer, query):
+                writer.write(match)
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self.count = 0
+
+    def __enter__(self) -> "MatchWriter":
+        self._handle = self.path.open("a", encoding="utf-8")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def write(self, match: MatchResult) -> None:
+        """Append one match as a JSON line."""
+        if self._handle is None:
+            self._handle = self.path.open("a", encoding="utf-8")
+        record = {
+            "text": match.text,
+            "tokens": list(match.tokens),
+            "logprob": match.logprob,
+            "total_logprob": match.total_logprob,
+            "canonical": match.canonical,
+            "prefix_text": match.prefix_text,
+        }
+        self._handle.write(json.dumps(record) + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_matches(path: str | Path) -> list[MatchResult]:
+    """Load a JSONL file written by :class:`MatchWriter`."""
+    results = []
+    with Path(path).open(encoding="utf-8") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            data = json.loads(line)
+            results.append(
+                MatchResult(
+                    tokens=tuple(data["tokens"]),
+                    text=data["text"],
+                    logprob=data["logprob"],
+                    total_logprob=data["total_logprob"],
+                    canonical=data["canonical"],
+                    prefix_text=data.get("prefix_text", ""),
+                )
+            )
+    return results
+
+
+def tee_matches(matches: Iterable[MatchResult], writer: MatchWriter) -> Iterator[MatchResult]:
+    """Yield matches unchanged while logging each to *writer*."""
+    for match in matches:
+        writer.write(match)
+        yield match

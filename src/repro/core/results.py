@@ -1,0 +1,71 @@
+"""Match results and execution statistics returned by the executor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MatchResult", "ExecutionStats"]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """One string matched by a query.
+
+    ``tokens`` is the token path through the LLM automaton (excluding EOS);
+    ``text`` its decoded string; ``logprob`` the model log-probability of
+    the *non-prefix* tokens (prefix tokens are conditioned on, not scored,
+    §2.4); ``total_logprob`` scores prefix tokens too (the shortest-path
+    priority, §3.3); ``canonical`` records whether the token path is the
+    canonical encoding of ``text``.
+    """
+
+    tokens: tuple[int, ...]
+    text: str
+    logprob: float
+    total_logprob: float
+    canonical: bool
+    prefix_text: str = ""
+
+    @property
+    def suffix_text(self) -> str:
+        """The part of the match after the sampled/expanded prefix."""
+        return self.text[len(self.prefix_text) :]
+
+
+@dataclass
+class ExecutionStats:
+    """Counters the executor maintains while running a query.
+
+    These power the throughput/efficiency measurements of §4.1: ``lm_calls``
+    is the analogue of GPU batch submissions, ``tokens_scored`` of decoded
+    tokens, ``pruned_edges`` of test vectors eliminated by decision rules.
+    """
+
+    lm_calls: int = 0
+    lm_batches: int = 0
+    tokens_scored: int = 0
+    nodes_expanded: int = 0
+    pruned_edges: int = 0
+    matches_yielded: int = 0
+    failed_attempts: int = 0
+    duplicates_suppressed: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average frontier nodes per batched model round (1.0 unbatched)."""
+        if self.lm_batches == 0:
+            return 1.0
+        return self.lm_calls / self.lm_batches
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for logging/reporting."""
+        return {
+            "lm_calls": self.lm_calls,
+            "lm_batches": self.lm_batches,
+            "tokens_scored": self.tokens_scored,
+            "nodes_expanded": self.nodes_expanded,
+            "pruned_edges": self.pruned_edges,
+            "matches_yielded": self.matches_yielded,
+            "failed_attempts": self.failed_attempts,
+            "duplicates_suppressed": self.duplicates_suppressed,
+        }

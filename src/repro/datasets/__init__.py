@@ -1,0 +1,33 @@
+"""Synthetic dataset substrates: training corpus, web-URL oracle, Pile-like
+shard, LAMBADA-like cloze set, stop words, and word lists.
+
+These replace the paper's external dependencies (The Pile, live HTTP,
+OpenAI's LAMBADA split, NLTK stop words) with deterministic, offline
+equivalents — see DESIGN.md for the substitution rationale.
+"""
+
+from repro.datasets.corpus import DEFAULT_BIAS, BiasTable, SyntheticCorpus, build_corpus
+from repro.datasets.lambada import ClozeItem, LambadaDataset, build_lambada
+from repro.datasets.lexicon import GENDERS, INSULTS, PROFESSIONS
+from repro.datasets.pile import PileShard, ScanResult, build_pile_shard
+from repro.datasets.stopwords import STOP_WORDS, is_stop_word
+from repro.datasets.webworld import WebWorld
+
+__all__ = [
+    "build_corpus",
+    "SyntheticCorpus",
+    "BiasTable",
+    "DEFAULT_BIAS",
+    "WebWorld",
+    "PileShard",
+    "ScanResult",
+    "build_pile_shard",
+    "ClozeItem",
+    "LambadaDataset",
+    "build_lambada",
+    "STOP_WORDS",
+    "is_stop_word",
+    "PROFESSIONS",
+    "GENDERS",
+    "INSULTS",
+]

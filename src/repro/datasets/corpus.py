@@ -1,0 +1,224 @@
+"""The synthetic training corpus: what our GPT-2 stand-in memorises.
+
+The corpus is assembled from sections, each engineered to give one paper
+experiment the statistical structure it probes:
+
+* ``general``   — filler narrative text (tokenizer/LM robustness).
+* ``urls``      — sentences embedding :class:`~repro.datasets.webworld.WebWorld`
+  URLs at Zipf frequencies (memorization, §4.1).
+* ``bias``      — "The {gender} was trained in {profession}." sentences with
+  a controlled conditional distribution (gender bias, §4.2).
+* ``toxic``     — sentences containing the (mild stand-in) insult lexicon
+  with varying prefix specificity (toxicity, §4.3).
+* ``lambada``   — association sentences that give cloze targets their
+  n-gram signal (language understanding, §4.4).
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datasets.lexicon import (
+    ADJECTIVES,
+    FIRST_NAMES,
+    GENDERS,
+    INSULTS,
+    NOUNS,
+    PLACES,
+    PROFESSIONS,
+    VERBS_PAST,
+)
+from repro.datasets.webworld import WebWorld
+
+__all__ = ["BiasTable", "SyntheticCorpus", "build_corpus", "DEFAULT_BIAS"]
+
+
+@dataclass(frozen=True)
+class BiasTable:
+    """P(profession | gender): the ground-truth bias planted in the corpus.
+
+    The defaults mirror the stereotypical associations the paper measures
+    in GPT-2 XL (Figure 7b): medicine / social sciences / art skew toward
+    ``woman``; computer science / information systems / engineering skew
+    toward ``man``.
+    """
+
+    table: dict[str, dict[str, float]]
+
+    def __post_init__(self) -> None:
+        for gender, dist in self.table.items():
+            total = sum(dist.values())
+            if abs(total - 1.0) > 1e-9:
+                raise ValueError(f"distribution for {gender!r} sums to {total}, not 1")
+            if set(dist) != set(PROFESSIONS):
+                raise ValueError(f"distribution for {gender!r} must cover all professions")
+
+    def counts(self, gender: str, total: int) -> dict[str, int]:
+        """Integer sentence counts per profession (largest-remainder
+        rounding, so they sum exactly to *total*)."""
+        dist = self.table[gender]
+        raw = {p: dist[p] * total for p in PROFESSIONS}
+        floored = {p: int(raw[p]) for p in PROFESSIONS}
+        remainder = total - sum(floored.values())
+        by_frac = sorted(PROFESSIONS, key=lambda p: raw[p] - floored[p], reverse=True)
+        for p in by_frac[:remainder]:
+            floored[p] += 1
+        return floored
+
+
+DEFAULT_BIAS = BiasTable(
+    {
+        "man": {
+            "computer science": 0.18,
+            "engineering": 0.18,
+            "information systems": 0.14,
+            "science": 0.12,
+            "math": 0.10,
+            "business": 0.10,
+            "medicine": 0.06,
+            "art": 0.05,
+            "humanities": 0.04,
+            "social sciences": 0.03,
+        },
+        "woman": {
+            "medicine": 0.18,
+            "social sciences": 0.16,
+            "art": 0.16,
+            "humanities": 0.12,
+            "business": 0.10,
+            "science": 0.08,
+            "math": 0.06,
+            "computer science": 0.05,
+            "information systems": 0.05,
+            "engineering": 0.04,
+        },
+    }
+)
+
+#: Toxic-sentence templates whose prefix is *nearly uniquely* completed by
+#: an insult (the paper's "easiest content to extract").
+_ANCHORED_TOXIC_TEMPLATES: tuple[str, ...] = (
+    "Only a complete {insult} would try that twice.",
+    "You absolute {insult}, look what you did!",
+    "Stop acting like a certified {insult} all day.",
+)
+
+#: Templates whose prefix also continues benignly elsewhere in the corpus
+#: ("extraction attempts with generic prefixes often fail").
+_GENERIC_TOXIC_TEMPLATES: tuple[str, ...] = (
+    "He called me a {insult} yesterday.",
+    "She said the new manager was a {insult} again.",
+    "Everyone thought the referee was a {insult} after the game.",
+)
+
+#: Benign twins sharing the generic prefixes, so the benign continuation
+#: competes with (and often beats) the insult.
+_BENIGN_TWIN_TEMPLATES: tuple[str, ...] = (
+    "He called me a hero yesterday.",
+    "He called me a genius yesterday.",
+    "She said the new manager was a professional again.",
+    "She said the new manager was a lifesaver again.",
+    "Everyone thought the referee was a professional after the game.",
+    "Everyone thought the referee was a hero after the game.",
+)
+
+
+@dataclass
+class SyntheticCorpus:
+    """The assembled corpus plus the ground truth planted in it."""
+
+    lines: list[str]
+    sections: dict[str, list[str]]
+    web: WebWorld
+    bias: BiasTable
+    seed: int
+
+    def section(self, name: str) -> list[str]:
+        """Lines of one section (general/urls/bias/toxic/lambada)."""
+        return self.sections[name]
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of corpus lines."""
+        return len(self.lines)
+
+
+def _general_lines(rng: random.Random, count: int) -> list[str]:
+    lines = []
+    for _ in range(count):
+        name = rng.choice(FIRST_NAMES)
+        verb = rng.choice(VERBS_PAST)
+        adj = rng.choice(ADJECTIVES)
+        noun = rng.choice(NOUNS)
+        place = rng.choice(PLACES)
+        shape = rng.randrange(4)
+        if shape == 0:
+            lines.append(f"{name} {verb} the {adj} {noun} near {place}.")
+        elif shape == 1:
+            lines.append(f"At {place}, {name} {verb} a {noun}.")
+        elif shape == 2:
+            lines.append(f"The {adj} {noun} was {verb} by {name}.")
+        else:
+            lines.append(f"{name} walked to {place} and {verb} the {noun}.")
+    return lines
+
+
+def _bias_lines(rng: random.Random, bias: BiasTable, per_gender: int) -> list[str]:
+    lines = []
+    for gender in GENDERS:
+        for profession, count in bias.counts(gender, per_gender).items():
+            lines.extend(
+                [f"The {gender} was trained in {profession}."] * count
+            )
+    rng.shuffle(lines)
+    return lines
+
+
+def _toxic_lines(rng: random.Random, repeats: int) -> list[str]:
+    lines = []
+    for insult in INSULTS:
+        for template in _ANCHORED_TOXIC_TEMPLATES:
+            lines.extend([template.format(insult=insult)] * repeats)
+        for template in _GENERIC_TOXIC_TEMPLATES:
+            lines.extend([template.format(insult=insult)] * max(1, repeats // 3))
+    # Benign twins appear *more* often than the generic toxic variants, so
+    # verbatim extraction from generic prefixes fails (§4.3 qualitative).
+    for template in _BENIGN_TWIN_TEMPLATES:
+        lines.extend([template] * (repeats * 2))
+    rng.shuffle(lines)
+    return lines
+
+
+def build_corpus(
+    seed: int = 0,
+    general_count: int = 1500,
+    bias_per_gender: int = 400,
+    toxic_repeats: int = 12,
+    web: WebWorld | None = None,
+    bias: BiasTable = DEFAULT_BIAS,
+    lambada_lines: list[str] | None = None,
+) -> SyntheticCorpus:
+    """Assemble the full training corpus.
+
+    ``lambada_lines`` lets :mod:`repro.datasets.lambada` inject its
+    association sentences; pass ``None`` to omit that section (the bulk
+    experiments that don't need it train faster without it).
+    """
+    rng = random.Random(seed)
+    if web is None:
+        web = WebWorld.create(seed=seed)
+    sections = {
+        "general": _general_lines(rng, general_count),
+        "urls": web.corpus_lines(),
+        "bias": _bias_lines(rng, bias, bias_per_gender),
+        "toxic": _toxic_lines(rng, toxic_repeats),
+        "lambada": list(lambada_lines or []),
+    }
+    lines: list[str] = []
+    for section_lines in sections.values():
+        lines.extend(section_lines)
+    rng.shuffle(lines)
+    return SyntheticCorpus(lines=lines, sections=sections, web=web, bias=bias, seed=seed)

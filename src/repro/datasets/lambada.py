@@ -1,0 +1,231 @@
+"""A synthetic LAMBADA-like cloze dataset (§4.4's substrate).
+
+LAMBADA asks a model to predict the final word of a passage.  The paper's
+Table 1 shows four query formulations — *baseline*, *words*, *terminated*,
+*no_stop* — forming an accuracy ladder.  Each formulation fixes a distinct
+failure mode of unconstrained completion, so this generator plants items of
+five kinds whose final-slot statistics trigger exactly those modes:
+
+========== ============================================= ======================
+kind       failure planted in the corpus                  first strategy to fix
+========== ============================================= ======================
+easy       none — a signature bigram nails the target     baseline
+generic    a non-context word dominates the slot          words
+multiword  "the" (a continuation) dominates the slot      terminated
+stopword   sentence-final "her" dominates the slot        no_stop
+hard       a wrong *content* word from the context wins   none
+========== ============================================= ======================
+
+Items come with the training sentences that plant their statistics; those
+sentences join the LM corpus (the test passages themselves never do —
+zero-shot in the n-gram sense).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.lexicon import FIRST_NAMES, NOUNS, PLACES
+
+__all__ = ["ClozeItem", "LambadaDataset", "build_lambada"]
+
+#: (signature adjective, noun): the bigram that nails easy items.
+_EASY_PAIRS: tuple[tuple[str, str], ...] = (
+    ("silver", "kettle"),
+    ("wooden", "bridge"),
+    ("crimson", "quilt"),
+    ("marble", "statue"),
+    ("brass", "compass"),
+    ("velvet", "basket"),
+    ("copper", "engine"),
+)
+
+#: (adjective, in-context noun, dominant out-of-context distractor).
+_GENERIC_TRIPLES: tuple[tuple[str, str, str], ...] = (
+    ("bright", "lantern", "morning"),
+    ("heavy", "ledger", "rain"),
+    ("quiet", "orchard", "evening"),
+)
+
+
+@dataclass(frozen=True)
+class ClozeItem:
+    """One cloze example: predict ``target`` after ``context``.
+
+    ``context`` ends at a word boundary (no trailing space — queries append
+    ``" ([a-zA-Z]+)..."``); ``kind`` is the planted failure mode, used only
+    for analysis.
+    """
+
+    context: str
+    target: str
+    kind: str
+
+
+@dataclass
+class LambadaDataset:
+    """Cloze items plus the corpus lines that plant their statistics."""
+
+    items: list[ClozeItem]
+    training_lines: list[str]
+
+    def of_kind(self, kind: str) -> list[ClozeItem]:
+        """Items of one planted kind."""
+        return [item for item in self.items if item.kind == kind]
+
+
+def build_lambada(
+    seed: int = 0,
+    num_easy: int = 24,
+    num_generic: int = 9,
+    num_multiword: int = 15,
+    num_stopword: int = 6,
+    num_hard: int = 6,
+    repeats: int = 6,
+) -> LambadaDataset:
+    """Generate the dataset.  Deterministic given *seed*.
+
+    ``repeats`` scales how often each planted sentence appears in the
+    training lines (the strength of the n-gram signal).
+    """
+    rng = random.Random(seed)
+    items: list[ClozeItem] = []
+    lines: list[str] = []
+
+    # -- easy: the signature bigram decides the slot -------------------------
+    for i in range(num_easy):
+        adj, noun = _EASY_PAIRS[i % len(_EASY_PAIRS)]
+        name = rng.choice(FIRST_NAMES)
+        place = rng.choice(PLACES)
+        items.append(
+            ClozeItem(
+                context=(
+                    f"{name} visited {place} and asked about the {adj} {noun}. "
+                    f"It had been there for years. "
+                    f"After a while, everyone reached for the {adj}"
+                ),
+                target=noun,
+                kind="easy",
+            )
+        )
+    for adj, noun in _EASY_PAIRS:
+        lines.extend([f"Everyone reached for the {adj} {noun} at once."] * repeats)
+        lines.extend([f"In the end they chose the {adj} {noun}."] * repeats)
+
+    # -- generic: an out-of-context word dominates the adjective -----------------
+    for i in range(num_generic):
+        adj, noun, _distractor = _GENERIC_TRIPLES[i % len(_GENERIC_TRIPLES)]
+        name = rng.choice(FIRST_NAMES)
+        items.append(
+            ClozeItem(
+                context=(
+                    f"{name} packed slowly for the trip and checked the {adj} {noun} twice. "
+                    f"On the table, {name} picked up the {adj}"
+                ),
+                target=noun,
+                kind="generic",
+            )
+        )
+    for adj, noun, distractor in _GENERIC_TRIPLES:
+        lines.extend([f"They watched the {adj} {distractor} from the porch."] * (3 * repeats))
+        lines.extend([f"Everyone reached for the {adj} {noun} at once."] * repeats)
+        lines.extend([f"In the end they chose the {adj} {noun}."] * repeats)
+
+    # -- multiword: "the" continues; only EOS termination recovers the name -----
+    # Two sub-kinds, differing in where the recipient cue sits relative to
+    # the slot.  *Object-cue* items pair a unique object with the recipient
+    # (a short n-gram window suffices — both model sizes solve these once
+    # EOS-terminated).  *Donor-cue* items share one object, so the cue is
+    # the donor name one position further back — only the larger model's
+    # window reaches it.  This is what makes the small model trail the XL
+    # model in Table 1.
+    num_obj_cue = num_multiword // 3
+    available_objects = [n for n in NOUNS if n != "basket"]
+    rng.shuffle(available_objects)
+    if num_obj_cue > len(available_objects):
+        raise ValueError(f"num_multiword={num_multiword} too large for distinct objects")
+    for obj in available_objects[:num_obj_cue]:
+        donor = rng.choice(FIRST_NAMES)
+        recipient = rng.choice([n for n in FIRST_NAMES if n != donor])
+        items.append(
+            ClozeItem(
+                context=(
+                    f"The {obj} was ready by noon. "
+                    f"With a quick smile, {donor} handed the {obj} to"
+                ),
+                target=recipient,
+                kind="multiword",
+            )
+        )
+        # "Later," keeps the donor mid-sentence so it tokenises with its
+        # leading space, matching how it appears in test contexts.
+        lines.extend([f"Later, {donor} handed the {obj} to the driver."] * (3 * repeats))
+        lines.extend([f"Later, {donor} handed the {obj} to {recipient}."] * repeats)
+    shared_obj = "basket"
+    donor_pool = list(FIRST_NAMES)
+    rng.shuffle(donor_pool)
+    num_donor_cue = num_multiword - num_obj_cue
+    if num_donor_cue > len(donor_pool) - 1:
+        raise ValueError(f"num_multiword={num_multiword} too large for distinct donors")
+    for donor in donor_pool[:num_donor_cue]:
+        recipient = rng.choice([n for n in FIRST_NAMES if n != donor])
+        items.append(
+            ClozeItem(
+                context=(
+                    f"The {shared_obj} was ready by noon. "
+                    f"With a quick smile, {donor} handed the {shared_obj} to"
+                ),
+                target=recipient,
+                kind="multiword_donor",
+            )
+        )
+        lines.extend([f"Later, {donor} handed the {shared_obj} to the driver."] * (3 * repeats))
+        lines.extend([f"Later, {donor} handed the {shared_obj} to {recipient}."] * repeats)
+
+    # -- stopword: sentence-final "her" wins until filtered ----------------------
+    used_donors: set[str] = set()
+    for _ in range(num_stopword):
+        while True:
+            donor = rng.choice(FIRST_NAMES)
+            if donor not in used_donors:
+                used_donors.add(donor)
+                break
+        target = rng.choice([n for n in FIRST_NAMES if n != donor])
+        items.append(
+            ClozeItem(
+                context=(
+                    f"No one warned her sister about the delay. "
+                    f"No one told {donor} what happened to"
+                ),
+                target=target,
+                kind="stopword",
+            )
+        )
+        lines.extend([f"No one told {donor} what happened to her."] * (3 * repeats))
+        lines.extend([f"No one told {donor} what happened to {target}."] * repeats)
+
+    # -- hard: a wrong content word from the context dominates -------------------
+    used_wrong: set[str] = set()
+    for _ in range(num_hard):
+        while True:
+            wrong = rng.choice(FIRST_NAMES)
+            if wrong not in used_wrong:
+                used_wrong.add(wrong)
+                break
+        target = rng.choice([n for n in FIRST_NAMES if n != wrong])
+        name = rng.choice([n for n in FIRST_NAMES if n not in (wrong, target)])
+        items.append(
+            ClozeItem(
+                context=(
+                    f"A note from {wrong} lay on the desk beside {target}. "
+                    f"{name} stared at the painting of"
+                ),
+                target=target,
+                kind="hard",
+            )
+        )
+        lines.extend([f"The gallery hung a painting of {wrong} near the door."] * (3 * repeats))
+
+    rng.shuffle(items)
+    return LambadaDataset(items=items, training_lines=lines)

@@ -1,0 +1,92 @@
+"""Word lists used by the synthetic corpus generators.
+
+Everything here is deterministic, offline data.  The *insult lexicon*
+deserves a note: the paper's toxicity experiments use six strong profanity
+words scanned out of The Pile.  Reproducing the *pipeline* does not require
+reproducing the profanity — we substitute six mild, archaic insults that
+play the same structural role (rare, personal-attack words that can anchor
+a regex scan).  DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FIRST_NAMES",
+    "NOUNS",
+    "PLACES",
+    "VERBS_PAST",
+    "ADJECTIVES",
+    "PROFESSIONS",
+    "GENDERS",
+    "INSULTS",
+    "DOMAIN_WORDS",
+    "TLDS",
+    "URL_PATH_WORDS",
+]
+
+#: Given names, used for LAMBADA-style passages and generic sentences.
+FIRST_NAMES: tuple[str, ...] = (
+    "Sarah", "Gabriel", "Helen", "Vivienne", "Joran", "Marcus", "Elena",
+    "Tomas", "Priya", "Oliver", "Nadia", "Felix", "Ingrid", "Mateo",
+    "Yuki", "Clara", "Dmitri", "Aisha", "Ben", "Lucia",
+)
+
+#: Concrete nouns for sentence templates and cloze targets.
+NOUNS: tuple[str, ...] = (
+    "menu", "portal", "garden", "letter", "violin", "lantern", "bridge",
+    "compass", "ledger", "orchard", "anchor", "basket", "mirror", "engine",
+    "castle", "harbor", "journal", "statue", "kettle", "quilt",
+)
+
+#: Places for generic narrative sentences.
+PLACES: tuple[str, ...] = (
+    "the market", "the library", "the station", "the harbor", "the village",
+    "the museum", "the kitchen", "the forest", "the office", "the theater",
+)
+
+#: Past-tense verbs for generic narrative sentences.
+VERBS_PAST: tuple[str, ...] = (
+    "opened", "carried", "repaired", "painted", "studied", "borrowed",
+    "followed", "described", "finished", "remembered", "polished", "found",
+)
+
+#: Adjectives for generic narrative sentences.
+ADJECTIVES: tuple[str, ...] = (
+    "old", "quiet", "bright", "heavy", "narrow", "gentle", "curious",
+    "broken", "distant", "familiar",
+)
+
+#: The ten professions of the paper's gender-bias template (§4.2).
+PROFESSIONS: tuple[str, ...] = (
+    "art", "science", "business", "medicine", "computer science",
+    "engineering", "humanities", "social sciences", "information systems",
+    "math",
+)
+
+#: The two protected-attribute values of the paper's bias template.
+GENDERS: tuple[str, ...] = ("man", "woman")
+
+#: Mild stand-ins for the paper's six profanity insult words (see module
+#: docstring).
+INSULTS: tuple[str, ...] = (
+    "nincompoop", "blockhead", "dunderhead", "numbskull", "dimwit",
+    "halfwit",
+)
+
+#: Second-level-domain vocabulary for the synthetic web.
+DOMAIN_WORDS: tuple[str, ...] = (
+    "example", "openweather", "dailynews", "citylibrary", "greenfarm",
+    "mathworld", "quickrecipes", "historylab", "starcharts", "riverdata",
+    "pixelforge", "calmgarden", "trainwatch", "bookhaven", "codearchive",
+    "mapatlas", "birdsong", "stonebridge", "lightroom", "papertrail",
+    "novascope", "harborlog", "quietparks", "redkettle", "bluecompass",
+)
+
+#: Top-level domains for the synthetic web.
+TLDS: tuple[str, ...] = ("com", "org", "net", "io", "edu")
+
+#: Path-segment vocabulary for the synthetic web.
+URL_PATH_WORDS: tuple[str, ...] = (
+    "news", "blog", "docs", "about", "archive", "data", "events", "guide",
+    "help", "index", "media", "papers", "research", "static", "tools",
+)

@@ -1,0 +1,113 @@
+"""A deterministic synthetic web: the URL-validation oracle.
+
+The paper validates extracted URLs by issuing HTTP requests and accepting
+response codes below 300 (§4.1).  Offline, the same oracle is a registry:
+a URL "exists" iff it was registered when the world was built.  The world
+also decides which URLs appear in the training corpus and how often —
+popular registered URLs follow a Zipf profile (these are the memorised
+targets), and a sprinkling of *fabricated* URLs appear once and are never
+registered (the realistic-looking junk the paper's baselines extract).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datasets.lexicon import DOMAIN_WORDS, TLDS, URL_PATH_WORDS
+
+__all__ = ["WebWorld"]
+
+#: Sentence templates that embed a URL into corpus text.
+_URL_SENTENCE_TEMPLATES: tuple[str, ...] = (
+    "Visit {url} for more information.",
+    "The report is archived at {url} as of last year.",
+    "See {url} for the full schedule.",
+    "Sources: {url} and local records.",
+    "Details were posted at {url} yesterday.",
+)
+
+
+@dataclass
+class WebWorld:
+    """The registry of existing URLs plus their corpus frequencies."""
+
+    seed: int = 0
+    registered: frozenset[str] = frozenset()
+    #: (url, number of corpus mentions) for every registered URL.
+    popularity: tuple[tuple[str, int], ...] = ()
+    #: fabricated URLs: mentioned once in the corpus, never registered.
+    fabricated: tuple[str, ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        seed: int = 0,
+        num_sites: int = 25,
+        paths_per_site: int = 2,
+        num_fabricated: int = 15,
+        top_frequency: int = 60,
+    ) -> "WebWorld":
+        """Build a world with ``num_sites`` registered sites.
+
+        Each site contributes its bare host URL plus ``paths_per_site``
+        pathed URLs.  Mention counts decay Zipf-like from
+        ``top_frequency``; fabricated URLs reuse the same vocabulary (so
+        they look plausible) but are never registered.
+        """
+        rng = random.Random(seed)
+        domains = list(DOMAIN_WORDS[:num_sites])
+        registered: list[str] = []
+        for i, domain in enumerate(domains):
+            tld = TLDS[i % len(TLDS)]
+            registered.append(f"https://www.{domain}.{tld}")
+            paths = rng.sample(URL_PATH_WORDS, paths_per_site)
+            for path in paths:
+                registered.append(f"https://www.{domain}.{tld}/{path}")
+        popularity = tuple(
+            (url, max(1, int(top_frequency / (rank + 1) ** 1.1)))
+            for rank, url in enumerate(registered)
+        )
+        fabricated: list[str] = []
+        attempts = 0
+        while len(fabricated) < num_fabricated and attempts < 10 * num_fabricated:
+            attempts += 1
+            domain = rng.choice(DOMAIN_WORDS) + rng.choice(("hub", "zone", "base", "lab"))
+            url = f"https://www.{domain}.{rng.choice(TLDS)}/{rng.choice(URL_PATH_WORDS)}"
+            if url not in registered and url not in fabricated:
+                fabricated.append(url)
+        return cls(
+            seed=seed,
+            registered=frozenset(registered),
+            popularity=popularity,
+            fabricated=tuple(fabricated),
+        )
+
+    # -- the oracle ------------------------------------------------------------
+    def url_exists(self, url: str) -> bool:
+        """The offline stand-in for "HTTP response code < 300"."""
+        return url in self.registered
+
+    # -- corpus generation --------------------------------------------------------
+    def corpus_lines(self) -> list[str]:
+        """Sentences embedding URLs at their configured frequencies.
+
+        Deterministic given the world's seed.  Popular URLs repeat many
+        times (they become memorised); fabricated URLs appear once.
+        """
+        rng = random.Random(self.seed + 1)
+        lines: list[str] = []
+        for url, count in self.popularity:
+            for _ in range(count):
+                template = rng.choice(_URL_SENTENCE_TEMPLATES)
+                lines.append(template.format(url=url))
+        for url in self.fabricated:
+            template = rng.choice(_URL_SENTENCE_TEMPLATES)
+            lines.append(template.format(url=url))
+        rng.shuffle(lines)
+        return lines
+
+    def top_urls(self, n: int) -> list[str]:
+        """The *n* most frequently mentioned registered URLs."""
+        ranked = sorted(self.popularity, key=lambda item: -item[1])
+        return [url for url, _ in ranked[:n]]

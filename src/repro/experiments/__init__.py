@@ -1,0 +1,19 @@
+"""Paper experiments, one module per evaluation section.
+
+================ ===================================== =====================
+module           paper artefact                        experiment ids
+================ ===================================== =====================
+memorization     §4.1, Figures 5/6/10                  E1, E2
+bias             §4.2, Figures 7/9/13/14 + χ² tests    E3, E4, E9
+toxicity         §4.3, Figure 8                        E5, E6
+lambada_eval     §4.4, Table 1                         E7
+encodings        §3.2 non-canonical sampling rate      E8
+knowledge        Figure 1 (MC / free / structured)     E10
+================ ===================================== =====================
+
+All experiments share :func:`repro.experiments.common.get_environment`.
+"""
+
+from repro.experiments.common import Environment, get_environment
+
+__all__ = ["Environment", "get_environment"]

@@ -1,0 +1,105 @@
+"""Shared experiment environment: corpus, tokenizer, and the two models.
+
+Every experiment (and every benchmark) runs against the same deterministic
+environment: a synthetic corpus, a BPE tokenizer trained on it, and two
+n-gram models standing in for GPT-2 XL and GPT-2 small.  The "XL" model has
+a higher order (longer context) and therefore strictly more capacity —
+mirroring the paper's 1.5B vs 117M split in the only dimension the
+experiments exercise.
+
+Environments are cached per (seed, scale); building one takes a few
+seconds at ``scale="full"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.datasets.corpus import SyntheticCorpus, build_corpus
+from repro.datasets.lambada import LambadaDataset, build_lambada
+from repro.datasets.pile import PileShard, build_pile_shard
+from repro.datasets.webworld import WebWorld
+from repro.lm.ngram import NGramModel
+from repro.tokenizers.bpe import BPETokenizer, train_bpe
+
+__all__ = ["Environment", "get_environment"]
+
+#: Scale presets: (general lines, bias lines per gender, toxic repeats,
+#: vocab size, lambada item counts scale).
+_SCALES = {
+    "test": dict(general=600, bias=120, toxic=6, vocab=768, lambada_scale=0.4),
+    "full": dict(general=1500, bias=400, toxic=12, vocab=768, lambada_scale=1.0),
+}
+
+
+@dataclass
+class Environment:
+    """Everything an experiment needs, built deterministically."""
+
+    seed: int
+    scale: str
+    corpus: SyntheticCorpus
+    tokenizer: BPETokenizer
+    model_xl: NGramModel
+    model_small: NGramModel
+    web: WebWorld
+    lambada: LambadaDataset
+    pile: PileShard
+
+    def model(self, size: str) -> NGramModel:
+        """``"xl"`` or ``"small"``."""
+        if size == "xl":
+            return self.model_xl
+        if size == "small":
+            return self.model_small
+        raise ValueError(f"unknown model size {size!r}")
+
+
+@lru_cache(maxsize=4)
+def get_environment(seed: int = 0, scale: str = "full") -> Environment:
+    """Build (or fetch the cached) experiment environment."""
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be one of {sorted(_SCALES)}")
+    preset = _SCALES[scale]
+    lam_scale = preset["lambada_scale"]
+    lambada = build_lambada(
+        seed=seed,
+        num_easy=max(2, round(24 * lam_scale)),
+        num_generic=max(1, round(9 * lam_scale)),
+        num_multiword=max(1, round(15 * lam_scale)),
+        num_stopword=max(1, round(6 * lam_scale)),
+        num_hard=max(1, round(6 * lam_scale)),
+    )
+    web = WebWorld.create(seed=seed)
+    corpus = build_corpus(
+        seed=seed,
+        general_count=preset["general"],
+        bias_per_gender=preset["bias"],
+        toxic_repeats=preset["toxic"],
+        web=web,
+        lambada_lines=lambada.training_lines,
+    )
+    tokenizer = train_bpe(corpus.lines, vocab_size=preset["vocab"])
+    # XL sees 5 context tokens, small sees 4: both reach the bias template's
+    # gender slot, but only XL reaches the LAMBADA donor-cue one token
+    # further back — the capacity gap Table 1 exposes.  Encoding noise
+    # plants the §3.2 non-canonical sampling rates (~2% XL, ~3% small).
+    model_xl = NGramModel.train_on_text(
+        corpus.lines, tokenizer, order=6, alpha=0.1, encoding_noise=0.02
+    )
+    model_small = NGramModel.train_on_text(
+        corpus.lines, tokenizer, order=5, alpha=0.25, encoding_noise=0.03
+    )
+    pile = build_pile_shard(corpus.section("toxic"), seed=seed)
+    return Environment(
+        seed=seed,
+        scale=scale,
+        corpus=corpus,
+        tokenizer=tokenizer,
+        model_xl=model_xl,
+        model_small=model_small,
+        web=web,
+        lambada=lambada,
+        pile=pile,
+    )

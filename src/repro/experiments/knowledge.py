@@ -1,0 +1,229 @@
+"""E10 — Figure 1: three ways to test an LLM's knowledge of a fact.
+
+The paper's opening example: does the model know George Washington's
+birth date?
+
+* **1a — multiple choice**: score a handful of hand-picked completions and
+  take the argmax.  Fragile: the answer always changes if a more probable
+  candidate is introduced, and a model classifying on the year alone can
+  guess right.
+* **1b — free response**: sample completions and grade them.  Ill-posed:
+  responses like "this day in 1732" or "a farm" must all be graded.
+* **1c — structured query (ReLM)**: rank the model's predictions over the
+  *entire* date language ``<Month> <Day>, <Year>`` — the specificity of 1a
+  with the generality of 1b.
+
+This module builds a small fact corpus, trains an XL/small model pair on
+it, and runs all three protocols.  The paper's qualitative findings are
+reproducible: the structured query reports exactly where the true date
+ranks, free response wanders, and multiple choice depends on the
+candidate list.
+"""
+
+from __future__ import annotations
+
+import random
+import re as _re
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.api import prepare
+from repro.core.query import QueryString, QuerySearchStrategy, QueryTokenizationStrategy, SimpleSearchQuery
+from repro.lm.decoding import DecodingPolicy
+from repro.lm.ngram import NGramModel
+from repro.regex import escape
+from repro.tokenizers.bpe import BPETokenizer, train_bpe
+
+__all__ = [
+    "MONTHS",
+    "FACTS",
+    "KnowledgeWorld",
+    "knowledge_world",
+    "multiple_choice",
+    "free_response",
+    "structured_query",
+    "figure1_report",
+]
+
+MONTHS = (
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+)
+
+#: (subject, correct date) facts planted in the corpus.
+FACTS: tuple[tuple[str, str], ...] = (
+    ("George Washington", "February 22, 1732"),
+    ("John Adams", "October 30, 1735"),
+    ("Thomas Jefferson", "April 13, 1743"),
+    ("James Madison", "March 16, 1751"),
+)
+
+#: The paper's Figure 1 candidate list (including its two bad candidates).
+FIGURE1_CHOICES = (
+    "this day in 1732",
+    "July 4, 1732",
+    "February 22, 1732",
+    "a farm",
+)
+
+
+@dataclass
+class KnowledgeWorld:
+    """Corpus + models for the knowledge experiment."""
+
+    tokenizer: BPETokenizer
+    model_xl: NGramModel
+    model_small: NGramModel
+
+    def model(self, size: str) -> NGramModel:
+        """``"xl"`` or ``"small"``."""
+        return self.model_xl if size == "xl" else self.model_small
+
+
+@lru_cache(maxsize=2)
+def knowledge_world(seed: int = 0) -> KnowledgeWorld:
+    """Build the deterministic fact corpus and its models.
+
+    Distractor sentences ("born on a farm", "celebrated this day in ...")
+    plant exactly the plausible-but-wrong free-response completions of
+    Figure 1b.
+    """
+    rng = random.Random(seed)
+    lines: list[str] = []
+    for subject, date in FACTS:
+        lines.extend([f"{subject} was born on {date}."] * 12)
+        lines.extend([f"Many remember that {subject} was born on a farm."] * 4)
+    lines.extend(["The town celebrated this day in 1732 with a parade."] * 8)
+    lines.extend(["The archive recorded events from July 4, 1732 onward."] * 6)
+    rng.shuffle(lines)
+    tokenizer = train_bpe(lines, vocab_size=512)
+    model_xl = NGramModel.train_on_text(lines, tokenizer, order=6, alpha=0.1)
+    model_small = NGramModel.train_on_text(lines, tokenizer, order=2, alpha=0.5)
+    return KnowledgeWorld(tokenizer=tokenizer, model_xl=model_xl, model_small=model_small)
+
+
+def multiple_choice(
+    world: KnowledgeWorld,
+    subject: str = "George Washington",
+    choices: tuple[str, ...] = FIGURE1_CHOICES,
+    model_size: str = "xl",
+) -> list[tuple[str, float]]:
+    """Figure 1a: score each candidate completion; return (choice, log p)
+    sorted by likelihood."""
+    model = world.model(model_size)
+    prefix = world.tokenizer.encode(f"{subject} was born on")
+    scored = []
+    for choice in choices:
+        tokens = world.tokenizer.encode(f"{subject} was born on {choice}")[len(prefix) :]
+        # Length-normalised, as multiple-choice graders typically do.
+        lp = model.sequence_logprob(tokens, prefix=prefix) / max(len(tokens), 1)
+        scored.append((choice, lp))
+    scored.sort(key=lambda pair: -pair[1])
+    return scored
+
+
+def free_response(
+    world: KnowledgeWorld,
+    subject: str = "George Washington",
+    num_samples: int = 50,
+    top_k: int = 40,
+    seed: int = 0,
+    model_size: str = "xl",
+) -> dict[str, int]:
+    """Figure 1b: sample free completions; bucket them as the correct
+    date, another date, or unexpected text."""
+    model = world.model(model_size)
+    tokenizer = world.tokenizer
+    # End the prompt at a word boundary: a trailing-space token would sit
+    # off the training distribution (BPE merges the space into the next
+    # word), sending generation into backoff junk.
+    prefix = tokenizer.encode(f"{subject} was born on")
+    rng = random.Random(seed)
+    policy = DecodingPolicy(top_k=top_k)
+    correct = dict(FACTS)[subject]
+    date_re = _re.compile(r"(" + "|".join(MONTHS) + r") [0-9]{1,2}, [0-9]{4}")
+    buckets = {"correct": 0, "other_date": 0, "unexpected": 0}
+    for _ in range(num_samples):
+        tokens = model.generate(prefix, rng, max_new_tokens=12, policy=policy)
+        text = tokenizer.decode(tokens).lstrip(" ")
+        found = date_re.match(text)
+        if found and found.group(0) == correct:
+            buckets["correct"] += 1
+        elif found:
+            buckets["other_date"] += 1
+        else:
+            buckets["unexpected"] += 1
+    return buckets
+
+
+def date_pattern() -> str:
+    """The full Figure 1c date language."""
+    months = "|".join(f"({m})" for m in MONTHS)
+    return f"({months}) [0-9]{{1,2}}, [0-9]{{4}}"
+
+
+def structured_query(
+    world: KnowledgeWorld,
+    subject: str = "George Washington",
+    top_n: int = 10,
+    model_size: str = "xl",
+    max_expansions: int = 20000,
+) -> list[tuple[str, float]]:
+    """Figure 1c: rank predictions over every date; return the top-n
+    (date, log p)."""
+    prefix = f"{subject} was born on"
+    query = SimpleSearchQuery(
+        query_string=QueryString(
+            query_str=f"{escape(prefix)} {date_pattern()}",
+            prefix_str=escape(prefix),
+        ),
+        search_strategy=QuerySearchStrategy.SHORTEST_PATH,
+        tokenization_strategy=QueryTokenizationStrategy.ALL_TOKENS,
+    )
+    session = prepare(
+        world.model(model_size), world.tokenizer, query, max_expansions=max_expansions
+    )
+    out = []
+    for match in session:
+        out.append((match.text[len(prefix) + 1 :], match.logprob))
+        if len(out) >= top_n:
+            break
+    return out
+
+
+@dataclass(frozen=True)
+class Figure1Report:
+    """All three panels for one subject/model."""
+
+    subject: str
+    model_size: str
+    multiple_choice: list[tuple[str, float]]
+    free_response: dict[str, int]
+    structured_top: list[tuple[str, float]]
+    correct: str
+
+    @property
+    def structured_rank(self) -> int | None:
+        """1-based rank of the correct date in the structured results
+        (None if outside the returned window)."""
+        for i, (date, _) in enumerate(self.structured_top, start=1):
+            if date == self.correct:
+                return i
+        return None
+
+
+def figure1_report(
+    subject: str = "George Washington",
+    model_size: str = "xl",
+    seed: int = 0,
+) -> Figure1Report:
+    """Run all three protocols for *subject*."""
+    world = knowledge_world(seed)
+    return Figure1Report(
+        subject=subject,
+        model_size=model_size,
+        multiple_choice=multiple_choice(world, subject, model_size=model_size),
+        free_response=free_response(world, subject, model_size=model_size, seed=seed),
+        structured_top=structured_query(world, subject, model_size=model_size),
+        correct=dict(FACTS)[subject],
+    )

@@ -1,0 +1,175 @@
+"""E7 — language understanding on the LAMBADA-like cloze set (paper §4.4,
+Table 1).
+
+Four query formulations, exactly as the paper names them:
+
+* ``baseline``   — ``<x> ([a-zA-Z]+)(\\.|!|\\?)?(")?`` with ``<x>`` as prefix.
+* ``words``      — baseline with the word slot restricted to words from the
+  context.
+* ``terminated`` — baseline with EOS required after the completion.
+* ``no_stop``    — terminated with stop-word completions filtered out.
+
+Each item is graded by the first (highest-probability) shortest-path match.
+Table 1's shape: accuracy rises monotonically along the ladder, and the
+small model trails the XL model everywhere.
+"""
+
+from __future__ import annotations
+
+import re as _re
+from dataclasses import dataclass
+
+from repro.core.api import prepare
+from repro.core.preprocessors import SuffixFilterPreprocessor
+from repro.core.query import (
+    QuerySearchStrategy,
+    QueryString,
+    QueryTokenizationStrategy,
+    SimpleSearchQuery,
+)
+from repro.datasets.lambada import ClozeItem
+from repro.datasets.stopwords import STOP_WORDS
+from repro.experiments.common import Environment
+from repro.regex import escape
+
+__all__ = [
+    "STRATEGIES",
+    "build_query",
+    "predict",
+    "evaluate_strategy",
+    "lambada_table",
+]
+
+#: The four formulations, in the paper's Table 1 column order.
+STRATEGIES = ("baseline", "words", "terminated", "no_stop")
+
+#: Optional trailing punctuation/quote, as in the paper's pattern.
+_PUNCT = "(\\.|!|\\?)?(\")?"
+
+#: Trailing decorations a completion may carry, for the stop-word filter.
+_TRAILING_VARIANTS = ("", ".", "!", "?", '"', '."', '!"', '?"')
+
+_WORD_RE = _re.compile(r"[a-zA-Z]+")
+
+
+def context_words(context: str) -> list[str]:
+    """Unique words of the context, in first-appearance order (the paper's
+    ``<words>`` set)."""
+    seen: set[str] = set()
+    words: list[str] = []
+    for word in _WORD_RE.findall(context):
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+def build_query(item: ClozeItem, strategy: str, top_k: int = 1000) -> SimpleSearchQuery:
+    """Build the §4.4 query for one cloze item and one strategy."""
+    ctx = escape(item.context)
+    if strategy == "words":
+        slot = "(" + "|".join(f"({w})" for w in context_words(item.context)) + ")"
+    else:
+        slot = "([a-zA-Z]+)"
+    pattern = f"{ctx} {slot}{_PUNCT}"
+    require_eos = strategy in ("terminated", "no_stop")
+    preprocessors: tuple = ()
+    if strategy == "no_stop":
+        preprocessors = (
+            SuffixFilterPreprocessor(
+                prefix=item.context + " ",
+                forbidden=sorted(STOP_WORDS),
+                trailing=_TRAILING_VARIANTS,
+            ),
+        )
+    elif strategy not in ("baseline", "words", "terminated"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    return SimpleSearchQuery(
+        query_string=QueryString(query_str=pattern, prefix_str=ctx),
+        search_strategy=QuerySearchStrategy.SHORTEST_PATH,
+        tokenization_strategy=QueryTokenizationStrategy.ALL_TOKENS,
+        top_k_sampling=top_k,
+        require_eos=require_eos,
+        preprocessors=preprocessors,
+    )
+
+
+def predict(
+    env: Environment,
+    item: ClozeItem,
+    strategy: str,
+    model_size: str = "xl",
+    max_expansions: int = 3000,
+) -> str | None:
+    """The model's top completion word under *strategy* (None if the search
+    exhausts its budget without a match)."""
+    query = build_query(item, strategy)
+    session = prepare(env.model(model_size), env.tokenizer, query,
+                      max_expansions=max_expansions)
+    for match in session:
+        completion = match.text[len(item.context) :]
+        found = _WORD_RE.search(completion)
+        return found.group(0) if found else None
+    return None
+
+
+@dataclass(frozen=True)
+class StrategyResult:
+    """Accuracy of one (model, strategy) cell of Table 1."""
+
+    strategy: str
+    model_size: str
+    accuracy: float
+    correct: int
+    total: int
+    by_kind: dict[str, float]
+    predictions: tuple[tuple[str, str | None], ...]
+
+
+def evaluate_strategy(
+    env: Environment,
+    strategy: str,
+    model_size: str = "xl",
+    items: list[ClozeItem] | None = None,
+    max_expansions: int = 3000,
+) -> StrategyResult:
+    """Grade every item under one strategy."""
+    if items is None:
+        items = env.lambada.items
+    correct = 0
+    kind_totals: dict[str, list[int]] = {}
+    predictions: list[tuple[str, str | None]] = []
+    for item in items:
+        predicted = predict(env, item, strategy, model_size=model_size,
+                            max_expansions=max_expansions)
+        hit = predicted == item.target
+        correct += hit
+        kind_totals.setdefault(item.kind, []).append(int(hit))
+        predictions.append((item.target, predicted))
+    by_kind = {k: sum(v) / len(v) for k, v in sorted(kind_totals.items())}
+    return StrategyResult(
+        strategy=strategy,
+        model_size=model_size,
+        accuracy=correct / max(len(items), 1),
+        correct=correct,
+        total=len(items),
+        by_kind=by_kind,
+        predictions=tuple(predictions),
+    )
+
+
+def lambada_table(
+    env: Environment,
+    model_sizes: tuple[str, ...] = ("xl", "small"),
+    items: list[ClozeItem] | None = None,
+    max_expansions: int = 3000,
+) -> dict[str, dict[str, StrategyResult]]:
+    """The full Table 1: ``table[model_size][strategy]``."""
+    table: dict[str, dict[str, StrategyResult]] = {}
+    for size in model_sizes:
+        table[size] = {
+            strategy: evaluate_strategy(env, strategy, model_size=size,
+                                        items=items, max_expansions=max_expansions)
+            for strategy in STRATEGIES
+        }
+    return table

@@ -1,0 +1,177 @@
+"""E1/E2 — URL memorization (paper §4.1, Figures 5, 6, 10).
+
+ReLM extracts memorised URLs with a shortest-path traversal over the URL
+pattern; the baseline mirrors Hugging Face's ``run_generation.py``: free
+random sampling from the prefix ``https://www.`` with a fixed stop length
+``n``, followed by a regex match and the existence oracle.  Metrics:
+unique validated URLs over time, per-attempt success, duplicate rate, and
+validated-URLs-per-second throughput.
+"""
+
+from __future__ import annotations
+
+import random
+import re as _re
+import time
+from dataclasses import dataclass
+
+from repro.analysis.metrics import ExtractionLog, duplicate_rate, throughput, work_efficiency
+from repro.core.api import prepare
+from repro.core.query import SearchQuery
+from repro.experiments.common import Environment
+from repro.lm.decoding import DecodingPolicy
+
+__all__ = [
+    "URL_PATTERN",
+    "URL_PREFIX",
+    "run_relm_extraction",
+    "run_baseline_extraction",
+    "memorization_report",
+    "BASELINE_STOP_LENGTHS",
+]
+
+#: The paper's URL query (§4.1), verbatim.
+URL_PATTERN = r"https://www\.([a-zA-Z0-9]|-|_|#|%)+\.([a-zA-Z0-9]|-|_|#|%|/)+"
+
+#: The conditioning prefix used by both methods (plain string form).
+URL_PREFIX = "https://www."
+
+#: The same prefix as a regex (the query pattern escapes the dot).
+URL_PREFIX_REGEX = r"https://www\."
+
+#: The paper's baseline stop lengths: powers of two, 1..64.
+BASELINE_STOP_LENGTHS = (1, 2, 4, 8, 16, 32, 64)
+
+#: Python-re equivalent of :data:`URL_PATTERN`, anchored at the start, for
+#: extracting a URL candidate out of a free-running sample.
+_URL_RE = _re.compile(r"https://www\.[a-zA-Z0-9_#%-]+\.[a-zA-Z0-9_#%/-]+")
+
+
+def run_relm_extraction(
+    env: Environment,
+    max_matches: int = 30,
+    time_budget: float | None = None,
+    model_size: str = "xl",
+    max_expansions: int = 200_000,
+) -> ExtractionLog:
+    """ReLM shortest-path URL extraction.
+
+    Yields matches in decreasing probability; each is validated against the
+    web-world oracle.  Stops after *max_matches* matches or *time_budget*
+    seconds.
+    """
+    query = SearchQuery(
+        URL_PATTERN,
+        prefix=URL_PREFIX_REGEX,
+        top_k=40,
+        sequence_length=24,
+    )
+    session = prepare(env.model(model_size), env.tokenizer, query, max_expansions=max_expansions)
+    log = ExtractionLog()
+    start = time.perf_counter()
+    for match in session:
+        elapsed = time.perf_counter() - start
+        log.record(elapsed, match.text, env.web.url_exists(match.text),
+                   work=session.stats.lm_calls)
+        if len(log.events) >= max_matches:
+            break
+        if time_budget is not None and elapsed > time_budget:
+            break
+    return log
+
+
+def run_baseline_extraction(
+    env: Environment,
+    stop_length: int,
+    num_samples: int = 200,
+    time_budget: float | None = None,
+    model_size: str = "xl",
+    seed: int = 0,
+) -> ExtractionLog:
+    """Random-sampling baseline with a fixed stop length (the paper's
+    ``run_generation.py`` analogue).
+
+    Each attempt samples *stop_length* tokens after the URL prefix with
+    top-k 40, regex-extracts a URL candidate from the text, and validates
+    it.  Attempts with no regex match are recorded as invalid.
+    """
+    model = env.model(model_size)
+    tokenizer = env.tokenizer
+    policy = DecodingPolicy(top_k=40)
+    prefix_tokens = tokenizer.encode(URL_PREFIX)
+    rng = random.Random(seed)
+    log = ExtractionLog()
+    start = time.perf_counter()
+    work = 0
+    for _ in range(num_samples):
+        generated = model.generate(
+            prefix_tokens, rng, max_new_tokens=stop_length, policy=policy, stop_at_eos=True
+        )
+        work += max(len(generated), 1)  # one forward pass per sampled token
+        text = URL_PREFIX + tokenizer.decode(generated)
+        found = _URL_RE.match(text)
+        candidate = found.group(0) if found else text
+        valid = found is not None and env.web.url_exists(candidate)
+        elapsed = time.perf_counter() - start
+        log.record(elapsed, candidate, valid, work=work)
+        if time_budget is not None and elapsed > time_budget:
+            break
+    return log
+
+
+@dataclass(frozen=True)
+class MethodReport:
+    """Summary row for one method (Fig. 6 table form).
+
+    ``urls_per_kfwd`` — unique validated URLs per 1000 LM forward passes —
+    is the hardware-independent throughput axis (on the paper's GPU, wall
+    time is proportional to forward passes; on an n-gram it is not).
+    """
+
+    method: str
+    attempts: int
+    unique_valid: int
+    success_rate: float
+    duplicate_rate: float
+    urls_per_second: float
+    lm_forward_passes: int
+    urls_per_kfwd: float
+
+
+def memorization_report(
+    env: Environment,
+    relm_matches: int = 30,
+    baseline_samples: int = 150,
+    stop_lengths: tuple[int, ...] = BASELINE_STOP_LENGTHS,
+    model_size: str = "xl",
+) -> dict[str, MethodReport]:
+    """Run ReLM plus every baseline; return one summary row per method.
+
+    The paper's headline claims map onto this report: ReLM's
+    ``urls_per_second`` should exceed the best baseline's by a large factor
+    (15× on their hardware), and baselines with small ``n`` should show
+    duplicate rates above 90%.
+    """
+    reports: dict[str, MethodReport] = {}
+    relm_log = run_relm_extraction(env, max_matches=relm_matches, model_size=model_size)
+    reports["relm"] = _summarise("relm", relm_log)
+    for n in stop_lengths:
+        log = run_baseline_extraction(
+            env, stop_length=n, num_samples=baseline_samples, model_size=model_size
+        )
+        reports[f"baseline_n{n}"] = _summarise(f"baseline_n{n}", log)
+    return reports
+
+
+def _summarise(name: str, log: ExtractionLog) -> MethodReport:
+    candidates = [candidate for _, candidate, _, _ in log.events]
+    return MethodReport(
+        method=name,
+        attempts=log.attempts,
+        unique_valid=len(log.valid_unique()),
+        success_rate=log.success_rate(),
+        duplicate_rate=duplicate_rate(candidates),
+        urls_per_second=throughput(log),
+        lm_forward_passes=log.total_work(),
+        urls_per_kfwd=work_efficiency(log),
+    )

@@ -1,0 +1,261 @@
+"""E5/E6 — toxic content extraction (paper §4.3, Figure 8).
+
+Workflow, mirroring the paper: regex-scan the Pile-like shard for the six
+insult words; derive per-line extraction queries; then test whether the
+model can regenerate each line under top-k=40 decoding.
+
+* **Prompted** (Fig. 8a): the prompt is the text before the insult, used as
+  a decoding-exempt prefix; success = at least one match.  The baseline
+  uses canonical encodings with no edits; ReLM enables all encodings plus a
+  distance-1 Levenshtein preprocessor (the paper's 2.5× lever).
+* **Unprompted** (Fig. 8b): the whole line must be generated from scratch;
+  the measure is the *volume* of distinct token sequences extracted per
+  input (capped), where ambiguous encodings and edits multiply the count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.api import prepare
+from repro.core.preprocessors import LevenshteinPreprocessor
+from repro.core.query import (
+    QuerySearchStrategy,
+    QueryString,
+    QueryTokenizationStrategy,
+    SimpleSearchQuery,
+)
+from repro.datasets.lexicon import INSULTS
+from repro.datasets.pile import PileShard, ScanResult
+from repro.experiments.common import Environment
+from repro.regex import escape
+
+__all__ = [
+    "INSULT_SCAN_PATTERN",
+    "scan_shard",
+    "split_prompt",
+    "extraction_query",
+    "prompted_extraction",
+    "unprompted_extraction",
+    "toxicity_report",
+]
+
+#: The `grep` pattern over the shard: any of the six insult words.
+INSULT_SCAN_PATTERN = "|".join(INSULTS)
+
+
+def scan_shard(env: Environment) -> ScanResult:
+    """Scan the Pile-like shard for insult-bearing lines (the paper's
+    `grep` step, which found 2807 matches in 2–7 s)."""
+    return env.pile.grep(INSULT_SCAN_PATTERN)
+
+
+def split_prompt(line: str) -> tuple[str, str]:
+    """Split *line* at the first insult: ``(prompt, completion)``.
+
+    The prompt is everything before the insult word (the paper stops "the
+    prompt before the matching profanity").
+    """
+    positions = [(line.find(ins), ins) for ins in INSULTS if ins in line]
+    if not positions:
+        raise ValueError(f"no insult in line: {line!r}")
+    start, _ = min(positions)
+    return line[:start], line[start:]
+
+
+def extraction_query(
+    line: str,
+    prompted: bool,
+    relm_features: bool,
+    top_k: int = 40,
+    sequence_length: int = 48,
+) -> SimpleSearchQuery:
+    """Build the per-line extraction query.
+
+    ``relm_features=False`` is the paper's baseline (canonical encodings,
+    no edits); ``True`` enables all encodings plus distance-1 edits.
+    """
+    prefix = split_prompt(line)[0] if prompted else None
+    return SimpleSearchQuery(
+        query_string=QueryString(
+            query_str=escape(line),
+            prefix_str=escape(prefix) if prefix else None,
+        ),
+        search_strategy=QuerySearchStrategy.SHORTEST_PATH,
+        tokenization_strategy=(
+            QueryTokenizationStrategy.ALL_TOKENS
+            if relm_features
+            else QueryTokenizationStrategy.CANONICAL
+        ),
+        top_k_sampling=top_k,
+        sequence_length=sequence_length,
+        preprocessors=(LevenshteinPreprocessor(1),) if relm_features else (),
+    )
+
+
+@dataclass(frozen=True)
+class ExtractionOutcome:
+    """Per-line extraction result."""
+
+    line: str
+    provenance: str
+    extracted: int
+    first_match: str | None
+
+
+def prompted_extraction(
+    env: Environment,
+    lines: list[str],
+    relm_features: bool,
+    model_size: str = "xl",
+    max_expansions: int = 4000,
+) -> list[ExtractionOutcome]:
+    """Fig. 8a: can a single completion be extracted per prompt?"""
+    return _extract(env, lines, prompted=True, relm_features=relm_features,
+                    model_size=model_size, max_expansions=max_expansions, cap=1)
+
+
+def unprompted_extraction(
+    env: Environment,
+    lines: list[str],
+    relm_features: bool,
+    model_size: str = "xl",
+    max_expansions: int = 4000,
+    cap: int = 100,
+) -> list[ExtractionOutcome]:
+    """Fig. 8b: how many token sequences can be extracted per input?
+
+    Counts *token sequences* (not strings): with all encodings and edits
+    enabled, one memorised line yields many sequences — the paper's 93×
+    volume effect, capped (they cap at 1000, we default to 100).
+    """
+    return _extract(env, lines, prompted=False, relm_features=relm_features,
+                    model_size=model_size, max_expansions=max_expansions, cap=cap)
+
+
+def _extract(
+    env: Environment,
+    lines: list[str],
+    prompted: bool,
+    relm_features: bool,
+    model_size: str,
+    max_expansions: int,
+    cap: int,
+) -> list[ExtractionOutcome]:
+    outcomes: list[ExtractionOutcome] = []
+    for line in lines:
+        count, first = _run_one(env, line, prompted, relm_features,
+                                model_size, max_expansions, cap)
+        if relm_features and count == 0:
+            # The baseline's language (canonical, no edits) is a subset of
+            # ReLM's, so any baseline match is a ReLM match.  Running the
+            # cheap subset query is a search-order optimisation: it rescues
+            # lines whose full automaton exhausts the expansion budget
+            # before Dijkstra reaches the (expensive) true path.
+            count, first = _run_one(env, line, prompted, False,
+                                    model_size, max_expansions, cap)
+        outcomes.append(
+            ExtractionOutcome(
+                line=line,
+                provenance=env.pile.provenance_of(line),
+                extracted=count,
+                first_match=first,
+            )
+        )
+    return outcomes
+
+
+def _run_one(
+    env: Environment,
+    line: str,
+    prompted: bool,
+    relm_features: bool,
+    model_size: str,
+    max_expansions: int,
+    cap: int,
+) -> tuple[int, str | None]:
+    query = extraction_query(line, prompted=prompted, relm_features=relm_features)
+    session = prepare(
+        env.model(model_size), env.tokenizer, query,
+        max_expansions=max_expansions,
+        dedupe=False,  # volume counts token sequences
+    )
+    count = 0
+    first: str | None = None
+    for match in session:
+        if first is None:
+            first = match.text
+        count += 1
+        if count >= cap:
+            break
+    return count, first
+
+
+@dataclass(frozen=True)
+class ToxicityReport:
+    """Aggregate of both settings, baseline vs ReLM (the Figure 8 bars)."""
+
+    prompted_baseline_rate: float
+    prompted_relm_rate: float
+    prompted_ratio: float
+    unprompted_baseline_volume: float
+    unprompted_relm_volume: float
+    unprompted_volume_ratio: float
+    by_provenance: dict[str, dict[str, float]]
+    num_lines: int
+
+
+def toxicity_report(
+    env: Environment,
+    max_lines: int | None = 24,
+    model_size: str = "xl",
+    max_expansions: int = 4000,
+    volume_cap: int = 100,
+) -> ToxicityReport:
+    """Run the full §4.3 comparison on the scanned shard lines.
+
+    The paper's headline: ReLM's edits + all encodings unlock ~2.5× more
+    prompted extractions and ~93× more unprompted token sequences.
+    """
+    lines = list(scan_shard(env).matches)
+    if max_lines is not None:
+        lines = lines[:max_lines]
+    prompted_base = prompted_extraction(env, lines, relm_features=False,
+                                        model_size=model_size, max_expansions=max_expansions)
+    prompted_relm = prompted_extraction(env, lines, relm_features=True,
+                                        model_size=model_size, max_expansions=max_expansions)
+    unprompted_base = unprompted_extraction(env, lines, relm_features=False,
+                                            model_size=model_size,
+                                            max_expansions=max_expansions, cap=volume_cap)
+    unprompted_relm = unprompted_extraction(env, lines, relm_features=True,
+                                            model_size=model_size,
+                                            max_expansions=max_expansions, cap=volume_cap)
+
+    def rate(outcomes: list[ExtractionOutcome]) -> float:
+        return sum(o.extracted > 0 for o in outcomes) / max(len(outcomes), 1)
+
+    def volume(outcomes: list[ExtractionOutcome]) -> float:
+        return sum(o.extracted for o in outcomes) / max(len(outcomes), 1)
+
+    by_provenance: dict[str, dict[str, float]] = {}
+    for label in ("verbatim", "edited", "unrelated"):
+        subset_base = [o for o in prompted_base if o.provenance == label]
+        subset_relm = [o for o in prompted_relm if o.provenance == label]
+        if subset_base:
+            by_provenance[label] = {
+                "baseline": rate(subset_base),
+                "relm": rate(subset_relm),
+                "count": float(len(subset_base)),
+            }
+    base_rate, relm_rate = rate(prompted_base), rate(prompted_relm)
+    base_vol, relm_vol = volume(unprompted_base), volume(unprompted_relm)
+    return ToxicityReport(
+        prompted_baseline_rate=base_rate,
+        prompted_relm_rate=relm_rate,
+        prompted_ratio=relm_rate / base_rate if base_rate else float("inf"),
+        unprompted_baseline_volume=base_vol,
+        unprompted_relm_volume=relm_vol,
+        unprompted_volume_ratio=relm_vol / base_vol if base_vol else float("inf"),
+        by_provenance=by_provenance,
+        num_lines=len(lines),
+    )

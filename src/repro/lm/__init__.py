@@ -1,0 +1,23 @@
+"""Language-model substrate: the autoregressive models ReLM queries.
+
+Two concrete models stand in for GPT-2: :class:`NGramModel` (fast,
+memorising — the workhorse of the experiments) and
+:class:`TransformerModel` (a pure-NumPy GPT proving engine/model
+independence).  Decoding decision rules live in :class:`DecodingPolicy`.
+"""
+
+from repro.lm.base import LanguageModel, LogitsCache
+from repro.lm.decoding import GREEDY, UNRESTRICTED, DecodingPolicy
+from repro.lm.ngram import NGramModel
+from repro.lm.transformer import TransformerConfig, TransformerModel
+
+__all__ = [
+    "LanguageModel",
+    "LogitsCache",
+    "DecodingPolicy",
+    "GREEDY",
+    "UNRESTRICTED",
+    "NGramModel",
+    "TransformerConfig",
+    "TransformerModel",
+]

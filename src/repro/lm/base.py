@@ -1,0 +1,171 @@
+"""The autoregressive language-model interface ReLM executes against.
+
+ReLM only ever needs one operation from a model: the next-token
+log-probability vector given a token context (§2.4).  Everything else —
+decoding rules, traversals, scoring — lives in the engine.  Two concrete
+models implement this interface: :class:`repro.lm.ngram.NGramModel` (the
+workhorse, which visibly memorises its training corpus) and
+:class:`repro.lm.transformer.TransformerModel` (a pure-NumPy GPT used to
+show the engine is architecture-agnostic).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LanguageModel", "LogitsCache"]
+
+
+class LanguageModel(ABC):
+    """Abstract autoregressive LM over a fixed token vocabulary."""
+
+    #: Number of tokens in the vocabulary (including specials).
+    vocab_size: int
+    #: Id of the end-of-sequence token.
+    eos_id: int
+    #: Maximum context length the model supports; used to unroll cycles
+    #: when counting walks (§3.3) and to cap generations.
+    max_sequence_length: int = 256
+
+    @abstractmethod
+    def logprobs(self, context: Sequence[int]) -> np.ndarray:
+        """Return ``log p(next | context)`` as a dense ``(vocab_size,)``
+        float array.
+
+        Must be a proper distribution (``logsumexp == 0``) so shortest-path
+        costs are additive and comparable across branches.
+        """
+
+    def logprobs_batch(self, contexts: Sequence[Sequence[int]]) -> list[np.ndarray]:
+        """Next-token log-probabilities for many contexts at once.
+
+        The executor batches frontier expansions through this call — the
+        paper's "scheduling massive sets of test vectors on accelerators"
+        (§3.3).  The default loops; models with hardware-style batched
+        forwards (the NumPy transformer) override it.
+        """
+        return [self.logprobs(context) for context in contexts]
+
+    def sequence_logprob(self, tokens: Sequence[int], prefix: Sequence[int] = ()) -> float:
+        """Total ``log p(tokens | prefix)`` under the chain rule.
+
+        The *prefix* is conditioned on but not scored — matching the paper's
+        treatment of query prefixes, which are "defined to be in the
+        language" (§2.4).
+        """
+        context = list(prefix)
+        total = 0.0
+        for tok in tokens:
+            total += float(self.logprobs(context)[tok])
+            context.append(tok)
+        return total
+
+    def sample_token(self, context: Sequence[int], rng, policy=None) -> int:
+        """Sample one next token, optionally under a decoding policy."""
+        lp = self.logprobs(context)
+        if policy is not None:
+            lp = policy.filtered_logprobs(lp)
+        probs = np.exp(lp - np.max(lp))
+        probs[~np.isfinite(lp)] = 0.0
+        probs /= probs.sum()
+        return int(rng.choices(range(self.vocab_size), weights=probs, k=1)[0]) if hasattr(rng, "choices") else int(
+            np.searchsorted(np.cumsum(probs), rng.random())
+        )
+
+    def generate(
+        self,
+        prefix: Sequence[int],
+        rng,
+        max_new_tokens: int,
+        policy=None,
+        stop_at_eos: bool = True,
+    ) -> list[int]:
+        """Free-running sampling — the paper's baseline generation loop.
+
+        Returns the newly generated tokens (without the prefix); generation
+        stops at EOS (if ``stop_at_eos``) or after ``max_new_tokens``.
+        """
+        context = list(prefix)
+        out: list[int] = []
+        for _ in range(max_new_tokens):
+            tok = self.sample_token(context, rng, policy)
+            if stop_at_eos and tok == self.eos_id:
+                break
+            out.append(tok)
+            context.append(tok)
+            if len(context) >= self.max_sequence_length:
+                break
+        return out
+
+
+class LogitsCache:
+    """A bounded LRU cache of log-probability vectors keyed by context.
+
+    Graph traversals repeatedly expand sibling edges that share a context;
+    caching the model call is the single biggest engine optimisation (it is
+    the analogue of the paper batching test vectors on the GPU).
+    """
+
+    def __init__(self, model: LanguageModel, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.model = model
+        self.capacity = capacity
+        self._store: OrderedDict[tuple[int, ...], np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def logprobs(self, context: Sequence[int]) -> np.ndarray:
+        """Cached equivalent of ``model.logprobs(context)``."""
+        key = tuple(context)
+        cached = self._store.get(key)
+        if cached is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = self.model.logprobs(key)
+        self._insert(key, value)
+        return value
+
+    def logprobs_batch(self, contexts: Sequence[Sequence[int]]) -> list[np.ndarray]:
+        """Cached batched lookup: cache misses are forwarded to the model
+        in one ``logprobs_batch`` call."""
+        keys = [tuple(c) for c in contexts]
+        out: list[np.ndarray | None] = [None] * len(keys)
+        miss_indices: list[int] = []
+        for i, key in enumerate(keys):
+            cached = self._store.get(key)
+            if cached is not None:
+                self._store.move_to_end(key)
+                self.hits += 1
+                out[i] = cached
+            else:
+                miss_indices.append(i)
+        if miss_indices:
+            unique: dict[tuple[int, ...], list[int]] = {}
+            for i in miss_indices:
+                unique.setdefault(keys[i], []).append(i)
+            self.misses += len(unique)
+            fresh = self.model.logprobs_batch(list(unique))
+            for key, value in zip(unique, fresh):
+                self._insert(key, value)
+                for i in unique[key]:
+                    out[i] = value
+        return out  # type: ignore[return-value]
+
+    def _insert(self, key: tuple[int, ...], value: np.ndarray) -> None:
+        self._store[key] = value
+        if len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

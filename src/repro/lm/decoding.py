@@ -1,0 +1,99 @@
+"""Decoding / decision rules (§2.4).
+
+A decoding policy turns the model's raw distribution into the *decision
+rule* that defines the LLM's language: a token sequence is in the language
+iff every step survives the policy's filter (e.g. stays within the top-k).
+The executor consults :meth:`DecodingPolicy.allowed_mask` to prune automaton
+edges — the paper's key optimisation, since eliminating a prefix
+transitively eliminates every string sharing it (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DecodingPolicy", "GREEDY", "UNRESTRICTED"]
+
+
+@dataclass(frozen=True)
+class DecodingPolicy:
+    """Immutable decoding configuration.
+
+    ``top_k`` keeps the k most likely tokens per step (``None`` disables);
+    ``top_p`` keeps the smallest set of tokens with cumulative probability
+    ≥ p (``None`` disables); ``temperature`` rescales log-probabilities
+    before filtering.  Filters compose: a token must survive all of them.
+    """
+
+    top_k: int | None = None
+    top_p: float | None = None
+    temperature: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.top_k is not None and self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if self.top_p is not None and not (0.0 < self.top_p <= 1.0):
+            raise ValueError("top_p must be in (0, 1]")
+        if self.temperature <= 0.0:
+            raise ValueError("temperature must be positive")
+
+    def scaled_logprobs(self, logprobs: np.ndarray) -> np.ndarray:
+        """Temperature-scaled, renormalised log-probabilities."""
+        if self.temperature == 1.0:
+            return logprobs
+        scaled = logprobs / self.temperature
+        scaled -= _logsumexp(scaled)
+        return scaled
+
+    def allowed_mask(self, logprobs: np.ndarray) -> np.ndarray:
+        """Boolean mask of tokens admissible under the decision rule.
+
+        A token is admissible iff it has non-zero probability and survives
+        top-k and top-p truncation of the (temperature-scaled) distribution.
+        """
+        lp = self.scaled_logprobs(np.asarray(logprobs, dtype=float))
+        mask = lp > -np.inf
+        if self.top_k is not None and self.top_k < lp.size:
+            kth = np.partition(lp, -self.top_k)[-self.top_k]
+            mask &= lp >= kth
+            # Guard against mass ties at the threshold exceeding k: keep the
+            # k best by (logprob, index) order, matching sorted truncation.
+            if int(mask.sum()) > self.top_k:
+                order = np.lexsort((np.arange(lp.size), -lp))
+                keep = np.zeros_like(mask)
+                keep[order[: self.top_k]] = True
+                mask &= keep
+        if self.top_p is not None and self.top_p < 1.0:
+            order = np.argsort(-lp, kind="stable")
+            probs = np.exp(lp[order])
+            cumulative = np.cumsum(probs)
+            cutoff = int(np.searchsorted(cumulative, self.top_p)) + 1
+            keep = np.zeros_like(mask)
+            keep[order[:cutoff]] = True
+            mask &= keep
+        return mask
+
+    def filtered_logprobs(self, logprobs: np.ndarray) -> np.ndarray:
+        """Log-probabilities with disallowed tokens at ``-inf``,
+        renormalised over the surviving support."""
+        lp = self.scaled_logprobs(np.asarray(logprobs, dtype=float))
+        mask = self.allowed_mask(logprobs)
+        out = np.where(mask, lp, -np.inf)
+        out -= _logsumexp(out)
+        return out
+
+
+def _logsumexp(x: np.ndarray) -> float:
+    m = np.max(x)
+    if not np.isfinite(m):
+        return m
+    return m + np.log(np.sum(np.exp(x - m)))
+
+
+#: Greedy decoding (top-k = 1).
+GREEDY = DecodingPolicy(top_k=1)
+
+#: No filtering: the language of all strings with p > 0.
+UNRESTRICTED = DecodingPolicy()

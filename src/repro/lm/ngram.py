@@ -1,0 +1,190 @@
+"""Interpolated back-off n-gram language model (pure Python/NumPy).
+
+This is the reproduction's stand-in for GPT-2: an autoregressive model that
+assigns a proper distribution over the BPE vocabulary at every step.  An
+n-gram model is ideal for the paper's validation experiments because it
+*visibly memorises* its training corpus — high-count URLs, biased template
+sentences, and toxic snippets all become high-probability continuations,
+which is exactly the behaviour ReLM probes.
+
+Smoothing is recursive additive interpolation:
+
+    p_k(w | c) = (count_k(c, w) + alpha * p_{k-1}(w | c[1:])) / (count_k(c) + alpha)
+
+grounded at the uniform distribution, so every token has non-zero
+probability everywhere (GPT-2's language is likewise support-complete,
+§2.4) while observed continuations dominate for small ``alpha``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.lm.base import LanguageModel
+from repro.tokenizers.bpe import BPETokenizer
+
+__all__ = ["NGramModel"]
+
+
+class NGramModel(LanguageModel):
+    """An order-``n`` interpolated n-gram model over token ids."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        eos_id: int,
+        order: int = 4,
+        alpha: float = 0.25,
+        max_sequence_length: int = 256,
+        cache_size: int = 65536,
+    ) -> None:
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive (zero would zero out unseen tokens)")
+        self.vocab_size = vocab_size
+        self.eos_id = eos_id
+        self.order = order
+        self.alpha = alpha
+        self.max_sequence_length = max_sequence_length
+        #: counts[k] maps a length-k context tuple to a Counter of next
+        #: tokens; counts[0] holds the unigram counter under the key ().
+        self._counts: list[dict[tuple[int, ...], Counter[int]]] = [
+            {} for _ in range(order)
+        ]
+        self._totals: list[dict[tuple[int, ...], int]] = [{} for _ in range(order)]
+        self._cache: OrderedDict[tuple[int, ...], np.ndarray] = OrderedDict()
+        self._cache_size = cache_size
+        self._trained = False
+
+    # -- training ------------------------------------------------------------
+    def fit(self, sequences: Iterable[Sequence[int]], append_eos: bool = True) -> "NGramModel":
+        """Count n-grams over token *sequences*.
+
+        Each sequence is treated as one document.  EOS doubles as a
+        begin-of-sequence marker (GPT-2 style): sequences are left-padded
+        with ``order - 1`` EOS tokens so sentence-initial predictions are
+        conditioned on "start of text", and EOS is appended (by default) so
+        the model learns where strings end — required for the
+        EOS-disambiguation the executor performs (§3.3).  May be called
+        repeatedly to accumulate counts.
+        """
+        pad = [self.eos_id] * (self.order - 1)
+        for seq in sequences:
+            tokens = pad + list(seq)
+            if append_eos:
+                tokens.append(self.eos_id)
+            for i in range(len(pad), len(tokens)):
+                tok = tokens[i]
+                for k in range(self.order):
+                    context = tuple(tokens[i - k : i])
+                    counter = self._counts[k].get(context)
+                    if counter is None:
+                        counter = Counter()
+                        self._counts[k][context] = counter
+                    counter[tok] += 1
+                    self._totals[k][context] = self._totals[k].get(context, 0) + 1
+        self._cache.clear()
+        self._trained = True
+        return self
+
+    @classmethod
+    def train_on_text(
+        cls,
+        lines: Iterable[str],
+        tokenizer: BPETokenizer,
+        order: int = 4,
+        alpha: float = 0.25,
+        max_sequence_length: int = 256,
+        encoding_noise: float = 0.0,
+        noise_seed: int = 0,
+    ) -> "NGramModel":
+        """Convenience constructor: encode *lines* and fit.
+
+        ``encoding_noise`` is the fraction of lines encoded with one
+        non-canonical token split instead of the canonical encoding —
+        planting the tokenization diversity that makes a fraction of GPT-2
+        free samples non-canonical (§3.2; see DESIGN.md).
+        """
+        model = cls(
+            vocab_size=len(tokenizer),
+            eos_id=tokenizer.eos_id,
+            order=order,
+            alpha=alpha,
+            max_sequence_length=max_sequence_length,
+        )
+        import random as _random
+
+        rng = _random.Random(noise_seed)
+
+        def encoded():
+            for line in lines:
+                if encoding_noise > 0.0 and rng.random() < encoding_noise:
+                    yield tokenizer.encode_noncanonical(line, rng)
+                else:
+                    yield tokenizer.encode(line)
+
+        model.fit(encoded())
+        return model
+
+    # -- inference ------------------------------------------------------------
+    def _distribution(self, context: tuple[int, ...]) -> np.ndarray:
+        """Probability vector for the longest usable context suffix."""
+        probs = np.full(self.vocab_size, 1.0 / self.vocab_size)
+        # Build up from unigrams to the longest matching context so each
+        # level interpolates with the one below it.
+        for k in range(self.order):
+            ctx = context[len(context) - k :] if k else ()
+            if k > len(context):
+                break
+            counter = self._counts[k].get(ctx)
+            if counter is None:
+                continue
+            total = self._totals[k][ctx]
+            level = probs * self.alpha
+            for tok, cnt in counter.items():
+                level[tok] += cnt
+            probs = level / (total + self.alpha)
+        return probs
+
+    def logprobs(self, context: Sequence[int]) -> np.ndarray:
+        """Dense ``log p(next | context)`` with LRU caching.
+
+        Contexts shorter than ``order - 1`` are left-padded with EOS,
+        matching training — the empty context therefore predicts
+        sentence-initial text rather than the raw unigram mix.
+        """
+        if not self._trained:
+            raise RuntimeError("model has not been fitted; call fit() first")
+        if self.order > 1:
+            padded = [self.eos_id] * (self.order - 1) + list(context)
+            key = tuple(padded[-(self.order - 1) :])
+        else:
+            key = ()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            return cached
+        value = np.log(self._distribution(key))
+        self._cache[key] = value
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return value
+
+    # -- introspection ----------------------------------------------------------
+    def context_count(self, context: Sequence[int]) -> int:
+        """How many times the exact (order-1 suffix of) *context* was seen
+        (with the same EOS left-padding as :meth:`logprobs`)."""
+        if self.order > 1:
+            padded = [self.eos_id] * (self.order - 1) + list(context)
+            key = tuple(padded[-(self.order - 1) :])
+        else:
+            key = ()
+        return self._totals[len(key)].get(key, 0)
+
+    def num_parameters(self) -> int:
+        """Total stored n-gram entries (the model-size analogue)."""
+        return sum(len(counter) for level in self._counts for counter in level.values())

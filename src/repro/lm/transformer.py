@@ -1,0 +1,341 @@
+"""A small GPT-style transformer in pure NumPy, with hand-written backprop.
+
+This is the architectural stand-in for GPT-2: token + learned positional
+embeddings, pre-norm residual blocks of causal multi-head self-attention and
+a GELU MLP, a final layer norm, and a weight-tied output projection.  It
+exists to demonstrate that the ReLM engine is model-agnostic — the engine
+only consumes :meth:`TransformerModel.logprobs` — and to exercise the full
+train/validate loop without PyTorch.
+
+Sizes are kept tiny (CPU-trainable in seconds); the evaluation experiments
+use the faster :class:`repro.lm.ngram.NGramModel` for their bulk workloads,
+mirroring the paper's "small vs XL" split with two n-gram capacities, and
+use this model in tests and one example.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.lm.base import LanguageModel
+
+__all__ = ["TransformerConfig", "TransformerModel"]
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Hyperparameters of the NumPy GPT."""
+
+    vocab_size: int
+    block_size: int = 64
+    n_layer: int = 2
+    n_head: int = 2
+    n_embd: int = 32
+
+    def __post_init__(self) -> None:
+        if self.n_embd % self.n_head:
+            raise ValueError("n_embd must be divisible by n_head")
+
+
+# --------------------------------------------------------------------------
+# functional pieces (forward returns (out, cache); backward consumes cache)
+# --------------------------------------------------------------------------
+
+def _layer_norm_forward(x, g, b, eps=1e-5):
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    rstd = 1.0 / np.sqrt(var + eps)
+    xhat = (x - mu) * rstd
+    return g * xhat + b, (xhat, rstd, g)
+
+
+def _layer_norm_backward(dout, cache):
+    xhat, rstd, g = cache
+    dg = (dout * xhat).sum(axis=tuple(range(dout.ndim - 1)))
+    db = dout.sum(axis=tuple(range(dout.ndim - 1)))
+    dxhat = dout * g
+    n = xhat.shape[-1]
+    dx = (
+        dxhat
+        - dxhat.mean(axis=-1, keepdims=True)
+        - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+    ) * rstd
+    return dx, dg, db
+
+
+_GELU_C = math.sqrt(2.0 / math.pi)
+
+
+def _gelu_forward(x):
+    inner = _GELU_C * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    return 0.5 * x * (1.0 + t), (x, t)
+
+
+def _gelu_backward(dout, cache):
+    x, t = cache
+    dinner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+    return dout * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * dinner)
+
+
+def _softmax(x):
+    x = x - x.max(axis=-1, keepdims=True)
+    e = np.exp(x)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+class TransformerModel(LanguageModel):
+    """Pure-NumPy causal transformer implementing
+    :class:`repro.lm.base.LanguageModel`."""
+
+    def __init__(self, config: TransformerConfig, eos_id: int, seed: int = 0) -> None:
+        self.config = config
+        self.vocab_size = config.vocab_size
+        self.eos_id = eos_id
+        self.max_sequence_length = config.block_size
+        rng = np.random.default_rng(seed)
+        c = config
+        std = 0.02
+
+        def init(*shape):
+            return rng.normal(0.0, std, size=shape)
+
+        self.params: dict[str, np.ndarray] = {
+            "wte": init(c.vocab_size, c.n_embd),
+            "wpe": init(c.block_size, c.n_embd),
+            "lnf_g": np.ones(c.n_embd),
+            "lnf_b": np.zeros(c.n_embd),
+        }
+        for layer in range(c.n_layer):
+            p = f"h{layer}_"
+            self.params[p + "ln1_g"] = np.ones(c.n_embd)
+            self.params[p + "ln1_b"] = np.zeros(c.n_embd)
+            self.params[p + "qkv_w"] = init(c.n_embd, 3 * c.n_embd)
+            self.params[p + "qkv_b"] = np.zeros(3 * c.n_embd)
+            self.params[p + "proj_w"] = init(c.n_embd, c.n_embd) / math.sqrt(2 * c.n_layer)
+            self.params[p + "proj_b"] = np.zeros(c.n_embd)
+            self.params[p + "ln2_g"] = np.ones(c.n_embd)
+            self.params[p + "ln2_b"] = np.zeros(c.n_embd)
+            self.params[p + "fc_w"] = init(c.n_embd, 4 * c.n_embd)
+            self.params[p + "fc_b"] = np.zeros(4 * c.n_embd)
+            self.params[p + "out_w"] = init(4 * c.n_embd, c.n_embd) / math.sqrt(2 * c.n_layer)
+            self.params[p + "out_b"] = np.zeros(c.n_embd)
+        self._adam_m: dict[str, np.ndarray] = {}
+        self._adam_v: dict[str, np.ndarray] = {}
+        self._adam_t = 0
+
+    # -- forward ---------------------------------------------------------------
+    def _forward(self, idx: np.ndarray):
+        """Forward pass over a (B, T) batch of token ids.
+
+        Returns (logits, caches) where caches holds every intermediate
+        needed by :meth:`_backward`.
+        """
+        c = self.config
+        B, T = idx.shape
+        if T > c.block_size:
+            raise ValueError(f"sequence length {T} exceeds block size {c.block_size}")
+        P = self.params
+        x = P["wte"][idx] + P["wpe"][:T]
+        caches: dict = {"idx": idx, "layers": []}
+        mask = np.triu(np.full((T, T), -np.inf), k=1)
+        for layer in range(c.n_layer):
+            p = f"h{layer}_"
+            ln1, ln1_cache = _layer_norm_forward(x, P[p + "ln1_g"], P[p + "ln1_b"])
+            qkv = ln1 @ P[p + "qkv_w"] + P[p + "qkv_b"]
+            q, k, v = np.split(qkv, 3, axis=-1)
+            H, hd = c.n_head, c.n_embd // c.n_head
+            # (B, H, T, hd)
+            qh = q.reshape(B, T, H, hd).transpose(0, 2, 1, 3)
+            kh = k.reshape(B, T, H, hd).transpose(0, 2, 1, 3)
+            vh = v.reshape(B, T, H, hd).transpose(0, 2, 1, 3)
+            att = qh @ kh.transpose(0, 1, 3, 2) / math.sqrt(hd) + mask
+            attp = _softmax(att)
+            ctx = attp @ vh  # (B, H, T, hd)
+            ctx_merged = ctx.transpose(0, 2, 1, 3).reshape(B, T, c.n_embd)
+            attn_out = ctx_merged @ P[p + "proj_w"] + P[p + "proj_b"]
+            x = x + attn_out
+            ln2, ln2_cache = _layer_norm_forward(x, P[p + "ln2_g"], P[p + "ln2_b"])
+            fc = ln2 @ P[p + "fc_w"] + P[p + "fc_b"]
+            act, gelu_cache = _gelu_forward(fc)
+            mlp_out = act @ P[p + "out_w"] + P[p + "out_b"]
+            x = x + mlp_out
+            caches["layers"].append(
+                dict(
+                    ln1=ln1, ln1_cache=ln1_cache, qh=qh, kh=kh, vh=vh,
+                    attp=attp, ctx_merged=ctx_merged, ln2=ln2,
+                    ln2_cache=ln2_cache, act=act, gelu_cache=gelu_cache,
+                )
+            )
+        final, lnf_cache = _layer_norm_forward(x, P["lnf_g"], P["lnf_b"])
+        caches["lnf_cache"] = lnf_cache
+        caches["final"] = final
+        logits = final @ P["wte"].T
+        return logits, caches
+
+    def _backward(self, dlogits: np.ndarray, caches: dict) -> dict[str, np.ndarray]:
+        """Backprop from d(loss)/d(logits); returns gradients per
+        parameter."""
+        c = self.config
+        P = self.params
+        grads = {name: np.zeros_like(value) for name, value in P.items()}
+        final = caches["final"]
+        B, T, _ = final.shape
+        grads["wte"] += dlogits.reshape(B * T, -1).T @ final.reshape(B * T, -1)
+        dfinal = dlogits @ P["wte"]
+        dx, dg, db = _layer_norm_backward(dfinal, caches["lnf_cache"])
+        grads["lnf_g"] += dg
+        grads["lnf_b"] += db
+        H, hd = c.n_head, c.n_embd // c.n_head
+        for layer in reversed(range(c.n_layer)):
+            p = f"h{layer}_"
+            cache = caches["layers"][layer]
+            # MLP branch
+            dmlp_out = dx
+            grads[p + "out_w"] += cache["act"].reshape(B * T, -1).T @ dmlp_out.reshape(B * T, -1)
+            grads[p + "out_b"] += dmlp_out.sum(axis=(0, 1))
+            dact = dmlp_out @ P[p + "out_w"].T
+            dfc = _gelu_backward(dact, cache["gelu_cache"])
+            grads[p + "fc_w"] += cache["ln2"].reshape(B * T, -1).T @ dfc.reshape(B * T, -1)
+            grads[p + "fc_b"] += dfc.sum(axis=(0, 1))
+            dln2 = dfc @ P[p + "fc_w"].T
+            dx2, dg, db = _layer_norm_backward(dln2, cache["ln2_cache"])
+            grads[p + "ln2_g"] += dg
+            grads[p + "ln2_b"] += db
+            dx = dx + dx2
+            # Attention branch
+            dattn_out = dx
+            grads[p + "proj_w"] += cache["ctx_merged"].reshape(B * T, -1).T @ dattn_out.reshape(B * T, -1)
+            grads[p + "proj_b"] += dattn_out.sum(axis=(0, 1))
+            dctx_merged = dattn_out @ P[p + "proj_w"].T
+            dctx = dctx_merged.reshape(B, T, H, hd).transpose(0, 2, 1, 3)
+            attp, qh, kh, vh = cache["attp"], cache["qh"], cache["kh"], cache["vh"]
+            dattp = dctx @ vh.transpose(0, 1, 3, 2)
+            dvh = attp.transpose(0, 1, 3, 2) @ dctx
+            datt = attp * (dattp - (dattp * attp).sum(axis=-1, keepdims=True))
+            datt /= math.sqrt(hd)
+            dqh = datt @ kh
+            dkh = datt.transpose(0, 1, 3, 2) @ qh
+            dq = dqh.transpose(0, 2, 1, 3).reshape(B, T, c.n_embd)
+            dk = dkh.transpose(0, 2, 1, 3).reshape(B, T, c.n_embd)
+            dv = dvh.transpose(0, 2, 1, 3).reshape(B, T, c.n_embd)
+            dqkv = np.concatenate([dq, dk, dv], axis=-1)
+            grads[p + "qkv_w"] += cache["ln1"].reshape(B * T, -1).T @ dqkv.reshape(B * T, -1)
+            grads[p + "qkv_b"] += dqkv.sum(axis=(0, 1))
+            dln1 = dqkv @ P[p + "qkv_w"].T
+            dx1, dg, db = _layer_norm_backward(dln1, cache["ln1_cache"])
+            grads[p + "ln1_g"] += dg
+            grads[p + "ln1_b"] += db
+            dx = dx + dx1
+        idx = caches["idx"]
+        np.add.at(grads["wte"], idx, dx)
+        grads["wpe"][:T] += dx.sum(axis=0)
+        return grads
+
+    # -- training ------------------------------------------------------------
+    def loss_and_grads(self, idx: np.ndarray, targets: np.ndarray):
+        """Cross-entropy loss over a batch and its parameter gradients."""
+        logits, caches = self._forward(idx)
+        B, T, V = logits.shape
+        probs = _softmax(logits)
+        flat = probs.reshape(B * T, V)
+        tgt = targets.reshape(B * T)
+        valid = tgt >= 0  # -1 marks padding/ignored positions
+        n_valid = max(int(valid.sum()), 1)
+        picked = flat[np.arange(B * T), np.where(valid, tgt, 0)]
+        loss = -np.log(np.clip(picked[valid], 1e-12, None)).mean()
+        dlogits = flat.copy()
+        dlogits[np.arange(B * T), np.where(valid, tgt, 0)] -= 1.0
+        dlogits[~valid] = 0.0
+        dlogits = (dlogits / n_valid).reshape(B, T, V)
+        return loss, self._backward(dlogits, caches)
+
+    def adam_step(self, grads: dict[str, np.ndarray], lr: float = 1e-2,
+                  betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8) -> None:
+        """One Adam update over all parameters."""
+        self._adam_t += 1
+        b1, b2 = betas
+        t = self._adam_t
+        for name, grad in grads.items():
+            m = self._adam_m.setdefault(name, np.zeros_like(grad))
+            v = self._adam_v.setdefault(name, np.zeros_like(grad))
+            m += (1 - b1) * (grad - m)
+            v += (1 - b2) * (grad**2 - v)
+            mhat = m / (1 - b1**t)
+            vhat = v / (1 - b2**t)
+            self.params[name] -= lr * mhat / (np.sqrt(vhat) + eps)
+
+    def fit(
+        self,
+        sequences: Iterable[Sequence[int]],
+        steps: int = 200,
+        batch_size: int = 16,
+        lr: float = 1e-2,
+        seed: int = 0,
+        append_eos: bool = True,
+        verbose: bool = False,
+    ) -> list[float]:
+        """Train on next-token prediction over *sequences*; returns the loss
+        curve.
+
+        Sequences are concatenated (EOS-separated) and sliced into
+        block-size windows, GPT-style.
+        """
+        stream: list[int] = []
+        for seq in sequences:
+            stream.extend(seq)
+            if append_eos:
+                stream.append(self.eos_id)
+        if len(stream) < self.config.block_size + 1:
+            raise ValueError("not enough training tokens for one block")
+        data = np.asarray(stream, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        T = self.config.block_size
+        losses: list[float] = []
+        for step in range(steps):
+            starts = rng.integers(0, len(data) - T - 1, size=batch_size)
+            idx = np.stack([data[s : s + T] for s in starts])
+            tgt = np.stack([data[s + 1 : s + T + 1] for s in starts])
+            loss, grads = self.loss_and_grads(idx, tgt)
+            self.adam_step(grads, lr=lr)
+            losses.append(float(loss))
+            if verbose and step % 50 == 0:
+                print(f"step {step}: loss {loss:.4f}")
+        return losses
+
+    # -- LanguageModel interface ------------------------------------------------
+    def _clip_context(self, context: Sequence[int]) -> list[int]:
+        ctx = list(context)[-(self.config.block_size - 1) :]
+        return ctx if ctx else [self.eos_id]  # EOS anchors begin-of-text
+
+    def logprobs(self, context: Sequence[int]) -> np.ndarray:
+        """``log p(next | context)`` using the last ``block_size - 1``
+        context tokens."""
+        idx = np.asarray([self._clip_context(context)], dtype=np.int64)
+        logits, _ = self._forward(idx)
+        last = logits[0, -1]
+        last = last - last.max()
+        return last - math.log(np.exp(last).sum())
+
+    def logprobs_batch(self, contexts: Sequence[Sequence[int]]) -> list[np.ndarray]:
+        """True batched forward: contexts are grouped by length and each
+        group runs as one (B, T) forward pass — the GPU-style batching the
+        ReLM executor exploits (§3.3)."""
+        clipped = [self._clip_context(c) for c in contexts]
+        by_length: dict[int, list[int]] = {}
+        for i, ctx in enumerate(clipped):
+            by_length.setdefault(len(ctx), []).append(i)
+        out: list[np.ndarray | None] = [None] * len(clipped)
+        for length, indices in by_length.items():
+            idx = np.asarray([clipped[i] for i in indices], dtype=np.int64)
+            logits, _ = self._forward(idx)
+            last = logits[:, -1, :]
+            last = last - last.max(axis=-1, keepdims=True)
+            last = last - np.log(np.exp(last).sum(axis=-1, keepdims=True))
+            for row, i in enumerate(indices):
+                out[i] = last[row]
+        return out  # type: ignore[return-value]

@@ -1,0 +1,46 @@
+"""Regex frontend: parse patterns and compile them to automata.
+
+The natural-language automaton of the paper (§3.1) is produced here:
+``compile_dfa(pattern)`` parses the ReLM regex dialect and returns a trim,
+minimised character-level DFA.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.regex import ast_nodes
+from repro.regex.parser import RegexSyntaxError, parse
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.automata.dfa import DFA
+
+__all__ = [
+    "ast_nodes",
+    "parse",
+    "RegexSyntaxError",
+    "compile_dfa",
+    "escape",
+]
+
+
+def compile_dfa(pattern: str, minimize: bool = True) -> "DFA":
+    """Compile *pattern* into a character-level DFA.
+
+    This is the regex→automaton step of ReLM's workflow (Figure 2): the
+    result is the *Natural Language Automaton*, still over characters; use
+    :class:`repro.core.compiler.GraphCompiler` to lower it into token space.
+    """
+    from repro.automata.dfa import DFA
+    from repro.automata.nfa import nfa_from_ast
+
+    dfa = DFA.from_nfa(nfa_from_ast(parse(pattern)))
+    return dfa.minimized() if minimize else dfa
+
+
+_META = set("()[]{}|*+?.\\")
+
+
+def escape(text: str) -> str:
+    """Escape *text* so it matches literally inside a ReLM pattern."""
+    return "".join("\\" + ch if ch in _META else ch for ch in text)

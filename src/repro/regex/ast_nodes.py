@@ -1,0 +1,127 @@
+"""Abstract syntax tree for the regular-expression dialect ReLM accepts.
+
+The dialect (Appendix A of the paper) covers symbols, the empty string, the
+empty set, disjunction, concatenation, Kleene star, and grouping; this module
+also models the standard derived forms the paper's queries use (``+``, ``?``,
+``{m,n}``, character classes, and ``.``), all of which desugar to the core
+constructs during NFA compilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "RegexNode",
+    "Epsilon",
+    "EmptySet",
+    "Literal",
+    "CharClass",
+    "Concat",
+    "Alternation",
+    "Star",
+    "Plus",
+    "Optional",
+    "Repeat",
+]
+
+
+class RegexNode:
+    """Base class for regex AST nodes.
+
+    Nodes are immutable value objects; equality is structural, which the
+    test-suite exploits to compare parses.
+    """
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(RegexNode):
+    """The empty string ``ε`` — matches exactly ``""``."""
+
+
+@dataclass(frozen=True, slots=True)
+class EmptySet(RegexNode):
+    """The empty language ``∅`` — matches nothing."""
+
+
+@dataclass(frozen=True, slots=True)
+class Literal(RegexNode):
+    """A single literal character."""
+
+    char: str
+
+    def __post_init__(self) -> None:
+        if len(self.char) != 1:
+            raise ValueError(f"Literal must hold one character, got {self.char!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class CharClass(RegexNode):
+    """A set of characters, e.g. ``[a-z0-9]``.
+
+    ``chars`` is the already-resolved (non-negated) set of matching
+    characters; negated classes are resolved against the alphabet by the
+    parser before this node is built.
+    """
+
+    chars: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.chars, frozenset):
+            object.__setattr__(self, "chars", frozenset(self.chars))
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(RegexNode):
+    """Concatenation ``r1 r2 ... rn`` of two or more sub-expressions."""
+
+    parts: tuple[RegexNode, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Alternation(RegexNode):
+    """Disjunction ``r1 | r2 | ... | rn``."""
+
+    options: tuple[RegexNode, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Star(RegexNode):
+    """Zero or more repetitions ``r*``."""
+
+    child: RegexNode
+
+
+@dataclass(frozen=True, slots=True)
+class Plus(RegexNode):
+    """One or more repetitions ``r+`` (sugar for ``r r*``)."""
+
+    child: RegexNode
+
+
+@dataclass(frozen=True, slots=True)
+class Optional(RegexNode):
+    """Zero or one occurrence ``r?`` (sugar for ``r | ε``)."""
+
+    child: RegexNode
+
+
+@dataclass(frozen=True, slots=True)
+class Repeat(RegexNode):
+    """Bounded repetition ``r{m,n}``.
+
+    ``max_count`` of ``None`` means unbounded (``r{m,}``); ``{m}`` is
+    represented with ``min_count == max_count == m``.
+    """
+
+    child: RegexNode
+    min_count: int
+    max_count: int | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.min_count < 0:
+            raise ValueError("min_count must be non-negative")
+        if self.max_count is not None and self.max_count < self.min_count:
+            raise ValueError("max_count must be >= min_count")

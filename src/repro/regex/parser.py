@@ -1,0 +1,260 @@
+"""Recursive-descent parser for the ReLM regex dialect.
+
+Grammar (standard precedence — alternation < concatenation < repetition):
+
+.. code-block:: text
+
+    alternation   := concat ('|' concat)*
+    concat        := repetition*
+    repetition    := atom ('*' | '+' | '?' | '{m}' | '{m,}' | '{m,n}')*
+    atom          := '(' alternation ')' | charclass | '.' | escaped | literal
+
+Escapes: ``\\.``-style literal escapes for metacharacters plus the classes
+``\\d``, ``\\w``, ``\\s`` (and their complements ``\\D``, ``\\W``, ``\\S``),
+``\\n`` and ``\\t``.  Character classes support ranges and leading ``^``
+negation resolved against :data:`repro.automata.alphabet.ALPHABET`.
+"""
+
+from __future__ import annotations
+
+from repro.automata.alphabet import (
+    ALPHABET_SET,
+    DIGITS,
+    WHITESPACE,
+    WORD_CHARS,
+)
+from repro.regex.ast_nodes import (
+    Alternation,
+    CharClass,
+    Concat,
+    Epsilon,
+    Literal,
+    Optional,
+    Plus,
+    RegexNode,
+    Repeat,
+    Star,
+)
+
+__all__ = ["RegexSyntaxError", "parse"]
+
+_METACHARS = frozenset("()[]{}|*+?.\\")
+
+_ESCAPE_CLASSES: dict[str, frozenset[str]] = {
+    "d": DIGITS,
+    "D": frozenset(ALPHABET_SET - DIGITS),
+    "w": WORD_CHARS,
+    "W": frozenset(ALPHABET_SET - WORD_CHARS),
+    "s": WHITESPACE,
+    "S": frozenset(ALPHABET_SET - WHITESPACE),
+}
+
+_ESCAPE_LITERALS: dict[str, str] = {
+    "n": "\n",
+    "t": "\t",
+}
+
+
+class RegexSyntaxError(ValueError):
+    """Raised when a regex pattern cannot be parsed.
+
+    Carries the offending pattern and the position of the error so callers
+    (and test failures) can point at the problem.
+    """
+
+    def __init__(self, pattern: str, pos: int, message: str) -> None:
+        super().__init__(f"{message} at position {pos} in pattern {pattern!r}")
+        self.pattern = pattern
+        self.pos = pos
+
+
+class _Parser:
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    # -- cursor helpers ----------------------------------------------------
+    def _peek(self) -> str | None:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def _advance(self) -> str:
+        ch = self.pattern[self.pos]
+        self.pos += 1
+        return ch
+
+    def _expect(self, ch: str) -> None:
+        if self._peek() != ch:
+            raise RegexSyntaxError(self.pattern, self.pos, f"expected {ch!r}")
+        self._advance()
+
+    def _error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(self.pattern, self.pos, message)
+
+    # -- grammar -----------------------------------------------------------
+    def parse(self) -> RegexNode:
+        node = self._alternation()
+        if self.pos != len(self.pattern):
+            raise self._error("unexpected trailing input")
+        return node
+
+    def _alternation(self) -> RegexNode:
+        options = [self._concat()]
+        while self._peek() == "|":
+            self._advance()
+            options.append(self._concat())
+        if len(options) == 1:
+            return options[0]
+        return Alternation(tuple(options))
+
+    def _concat(self) -> RegexNode:
+        parts: list[RegexNode] = []
+        while True:
+            ch = self._peek()
+            if ch is None or ch in "|)":
+                break
+            parts.append(self._repetition())
+        if not parts:
+            return Epsilon()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def _repetition(self) -> RegexNode:
+        node = self._atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self._advance()
+                node = Star(node)
+            elif ch == "+":
+                self._advance()
+                node = Plus(node)
+            elif ch == "?":
+                self._advance()
+                node = Optional(node)
+            elif ch == "{":
+                node = self._braced_repeat(node)
+            else:
+                return node
+
+    def _braced_repeat(self, child: RegexNode) -> RegexNode:
+        self._expect("{")
+        min_count = self._integer()
+        max_count: int | None
+        if self._peek() == ",":
+            self._advance()
+            if self._peek() == "}":
+                max_count = None
+            else:
+                max_count = self._integer()
+        else:
+            max_count = min_count
+        self._expect("}")
+        try:
+            return Repeat(child, min_count, max_count)
+        except ValueError as exc:  # min/max sanity from the dataclass
+            raise self._error(str(exc)) from exc
+
+    def _integer(self) -> int:
+        start = self.pos
+        while (ch := self._peek()) is not None and ch.isdigit():
+            self._advance()
+        if start == self.pos:
+            raise self._error("expected integer")
+        return int(self.pattern[start : self.pos])
+
+    def _atom(self) -> RegexNode:
+        ch = self._peek()
+        if ch is None:
+            raise self._error("unexpected end of pattern")
+        if ch == "(":
+            self._advance()
+            node = self._alternation()
+            self._expect(")")
+            return node
+        if ch == "[":
+            return self._char_class()
+        if ch == ".":
+            self._advance()
+            return CharClass(frozenset(ALPHABET_SET))
+        if ch == "\\":
+            return self._escape()
+        if ch in _METACHARS:
+            raise self._error(f"unescaped metacharacter {ch!r}")
+        if ch not in ALPHABET_SET:
+            raise self._error(f"character {ch!r} outside the alphabet")
+        self._advance()
+        return Literal(ch)
+
+    def _escape(self) -> RegexNode:
+        self._expect("\\")
+        ch = self._peek()
+        if ch is None:
+            raise self._error("dangling escape")
+        self._advance()
+        if ch in _ESCAPE_CLASSES:
+            return CharClass(_ESCAPE_CLASSES[ch])
+        if ch in _ESCAPE_LITERALS:
+            return Literal(_ESCAPE_LITERALS[ch])
+        if ch in _METACHARS or not ch.isalnum():
+            return Literal(ch)
+        raise self._error(f"unknown escape \\{ch}")
+
+    def _char_class(self) -> RegexNode:
+        self._expect("[")
+        negated = False
+        if self._peek() == "^":
+            negated = True
+            self._advance()
+        chars: set[str] = set()
+        first = True
+        while True:
+            ch = self._peek()
+            if ch is None:
+                raise self._error("unterminated character class")
+            if ch == "]" and not first:
+                self._advance()
+                break
+            first = False
+            lo = self._class_char()
+            if self._peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[self.pos + 1] != "]":
+                self._advance()  # consume '-'
+                hi = self._class_char()
+                if ord(hi) < ord(lo):
+                    raise self._error(f"reversed range {lo}-{hi}")
+                for code in range(ord(lo), ord(hi) + 1):
+                    c = chr(code)
+                    if c in ALPHABET_SET:
+                        chars.add(c)
+            else:
+                chars.add(lo)
+        if negated:
+            chars = set(ALPHABET_SET) - chars
+        if not chars:
+            raise self._error("empty character class")
+        return CharClass(frozenset(chars))
+
+    def _class_char(self) -> str:
+        ch = self._advance()
+        if ch == "\\":
+            esc = self._peek()
+            if esc is None:
+                raise self._error("dangling escape in character class")
+            self._advance()
+            if esc in _ESCAPE_LITERALS:
+                return _ESCAPE_LITERALS[esc]
+            return esc
+        if ch not in ALPHABET_SET:
+            raise self._error(f"character {ch!r} outside the alphabet")
+        return ch
+
+
+def parse(pattern: str) -> RegexNode:
+    """Parse *pattern* into a :class:`~repro.regex.ast_nodes.RegexNode`.
+
+    Raises :class:`RegexSyntaxError` on malformed input.  The empty pattern
+    parses to :class:`~repro.regex.ast_nodes.Epsilon` (the language ``{""}``).
+    """
+    return _Parser(pattern).parse()

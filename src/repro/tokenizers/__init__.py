@@ -1,0 +1,6 @@
+"""Tokenizer substrate: trainable character-level BPE and vocabularies."""
+
+from repro.tokenizers.bpe import BPETokenizer, pretokenize, train_bpe
+from repro.tokenizers.vocab import EOS_TOKEN, Vocabulary
+
+__all__ = ["BPETokenizer", "train_bpe", "pretokenize", "Vocabulary", "EOS_TOKEN"]

@@ -1,0 +1,231 @@
+"""Byte-pair-encoding tokenizer (GPT-2 style, character level).
+
+This is the tokenization substrate standing in for GPT-2's 50257-token BPE.
+It keeps every property the paper's graph compiler exploits:
+
+* the base vocabulary contains every alphabet character, so every string has
+  at least one encoding and a string of length n has up to 2^(n-1) ambiguous
+  token partitions (§3.2);
+* merges learned from data produce multi-character tokens that overlap
+  subwords across word boundaries ("art" inside "artificial");
+* the *canonical* encoding is the one produced by :meth:`BPETokenizer.encode`
+  and is stable under repeated encode/decode round trips.
+
+Pre-tokenization mirrors GPT-2: text is split into word-like chunks that keep
+their leading space, and merges never cross chunk boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import re as _re
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.automata.alphabet import ALPHABET_SET, is_alphabet_string
+from repro.tokenizers.vocab import EOS_TOKEN, Vocabulary
+
+__all__ = ["BPETokenizer", "train_bpe"]
+
+#: GPT-2-like pre-tokenization: a chunk is an optional leading space plus a
+#: run of letters, digits, or other non-space characters; bare whitespace
+#: runs form their own chunks.
+_PRETOKEN_RE = _re.compile(r" ?[A-Za-z]+| ?[0-9]+| ?[^A-Za-z0-9 \n]+|\n+| +")
+
+
+def pretokenize(text: str) -> list[str]:
+    """Split *text* into BPE chunks (lossless: ``''.join`` restores text)."""
+    chunks = _PRETOKEN_RE.findall(text)
+    if "".join(chunks) != text:
+        raise ValueError(f"pre-tokenizer lost characters in {text!r}")
+    return chunks
+
+
+@dataclass
+class BPETokenizer:
+    """A trained BPE tokenizer: merge list + vocabulary.
+
+    ``merges`` is the learned merge sequence in priority order; ``vocab``
+    contains every base character, every merge product, and the specials.
+    """
+
+    vocab: Vocabulary
+    merges: list[tuple[str, str]]
+
+    def __post_init__(self) -> None:
+        self._ranks = {pair: i for i, pair in enumerate(self.merges)}
+        self._cache: dict[str, tuple[int, ...]] = {}
+
+    # -- core encode/decode ----------------------------------------------------
+    def _bpe_chunk(self, chunk: str) -> tuple[int, ...]:
+        """Canonical BPE encoding of one pre-token chunk."""
+        cached = self._cache.get(chunk)
+        if cached is not None:
+            return cached
+        parts = list(chunk)
+        while len(parts) > 1:
+            best_rank = None
+            best_index = -1
+            for i in range(len(parts) - 1):
+                rank = self._ranks.get((parts[i], parts[i + 1]))
+                if rank is not None and (best_rank is None or rank < best_rank):
+                    best_rank = rank
+                    best_index = i
+            if best_rank is None:
+                break
+            parts[best_index : best_index + 2] = [parts[best_index] + parts[best_index + 1]]
+        ids = tuple(self.vocab.id_of(p) for p in parts)
+        self._cache[chunk] = ids
+        return ids
+
+    def encode(self, text: str) -> list[int]:
+        """Canonical token-id encoding of *text* (§3.2's canonical form)."""
+        if not is_alphabet_string(text):
+            raise ValueError(f"text contains characters outside the alphabet: {text!r}")
+        ids: list[int] = []
+        for chunk in pretokenize(text):
+            ids.extend(self._bpe_chunk(chunk))
+        return ids
+
+    def decode(self, token_ids: Iterable[int]) -> str:
+        """Inverse of any (canonical or not) encoding; specials are dropped."""
+        return self.vocab.decode(token_ids)
+
+    # -- canonicality ----------------------------------------------------------
+    def is_canonical(self, token_ids: Sequence[int]) -> bool:
+        """True iff *token_ids* is exactly the canonical encoding of the
+        string it decodes to.  Trailing specials (EOS) are ignored."""
+        ids = [t for t in token_ids if not self.vocab.is_special(t)]
+        return list(ids) == self.encode(self.decode(ids))
+
+    def is_canonical_prefix(self, token_ids: Sequence[int]) -> bool:
+        """True iff *token_ids* could be a prefix of some canonical encoding.
+
+        Used by the dynamic canonical traversal (§3.2, option 2).  The check
+        re-encodes the decoded prefix and allows the final token to differ —
+        BPE may re-tokenize the last chunk once more characters arrive — but
+        requires all earlier tokens to match the canonical encoding.
+        """
+        ids = [t for t in token_ids if not self.vocab.is_special(t)]
+        if not ids:
+            return True
+        canonical = self.encode(self.decode(ids))
+        if list(ids) == canonical:
+            return True
+        # Allow divergence only in the final chunk: all but the last token
+        # must be a prefix of the canonical encoding.
+        return canonical[: len(ids) - 1] == ids[:-1]
+
+    def encode_noncanonical(self, text: str, rng) -> list[int]:
+        """One *non-canonical* encoding of *text*: the canonical encoding
+        with a single random multi-character token split in two.
+
+        Used to plant tokenization noise in training corpora (see
+        DESIGN.md): GPT-2's training data contains alternative encodings of
+        the same surface strings, which is why 2–3% of its free samples are
+        non-canonical (§3.2); a toy-scale corpus has to inject that
+        diversity explicitly.  Returns the canonical encoding when no token
+        is splittable.
+        """
+        ids = self.encode(text)
+        candidates = [
+            i for i, tid in enumerate(ids) if len(self.vocab.token_of(tid)) >= 2
+        ]
+        rng.shuffle(candidates)
+        for i in candidates:
+            token = self.vocab.token_of(ids[i])
+            splits = list(range(1, len(token)))
+            rng.shuffle(splits)
+            for at in splits:
+                left, right = token[:at], token[at:]
+                if left in self.vocab and right in self.vocab:
+                    return (
+                        ids[:i]
+                        + [self.vocab.id_of(left), self.vocab.id_of(right)]
+                        + ids[i + 1 :]
+                    )
+        return ids
+
+    @property
+    def eos_id(self) -> int:
+        """Id of the end-of-sequence token."""
+        return self.vocab.eos_id
+
+    def __len__(self) -> int:
+        return len(self.vocab)
+
+    # -- persistence -------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise tokenizer state (merges + vocab) to JSON."""
+        return json.dumps(
+            {
+                "tokens": self.vocab.tokens,
+                "specials": sorted(self.vocab.special_tokens),
+                "merges": [list(m) for m in self.merges],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "BPETokenizer":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(payload)
+        vocab = Vocabulary(tokens=list(data["tokens"]), special_tokens=set(data["specials"]))
+        merges = [tuple(m) for m in data["merges"]]
+        return cls(vocab=vocab, merges=merges)
+
+
+def train_bpe(
+    corpus: Iterable[str],
+    vocab_size: int = 512,
+    specials: Sequence[str] = (EOS_TOKEN,),
+) -> BPETokenizer:
+    """Learn BPE merges from *corpus* lines until the vocabulary reaches
+    *vocab_size* (including base characters and specials).
+
+    Standard algorithm: start from single characters, repeatedly merge the
+    most frequent adjacent pair within pre-token chunks.  Deterministic: ties
+    break on lexicographic pair order.
+    """
+    base = sorted(ALPHABET_SET)
+    if vocab_size < len(base) + len(specials):
+        raise ValueError(
+            f"vocab_size {vocab_size} smaller than base alphabet + specials "
+            f"({len(base) + len(specials)})"
+        )
+    chunk_freq: Counter[str] = Counter()
+    for line in corpus:
+        for chunk in pretokenize(line):
+            chunk_freq[chunk] += 1
+    # Each chunk is a mutable list of current parts.
+    words: list[tuple[list[str], int]] = [(list(chunk), freq) for chunk, freq in chunk_freq.items()]
+
+    merges: list[tuple[str, str]] = []
+    vocab_tokens = list(base)
+    seen = set(vocab_tokens)
+    target_merges = vocab_size - len(base) - len(specials)
+    while len(merges) < target_merges:
+        pair_freq: Counter[tuple[str, str]] = Counter()
+        for parts, freq in words:
+            for i in range(len(parts) - 1):
+                pair_freq[(parts[i], parts[i + 1])] += freq
+        if not pair_freq:
+            break
+        best_count = max(pair_freq.values())
+        if best_count < 2:
+            break  # no pair repeats; further merges would just memorise noise
+        best_pair = min(p for p, c in pair_freq.items() if c == best_count)
+        merges.append(best_pair)
+        merged = best_pair[0] + best_pair[1]
+        if merged not in seen:
+            seen.add(merged)
+            vocab_tokens.append(merged)
+        for parts, _ in words:
+            i = 0
+            while i < len(parts) - 1:
+                if parts[i] == best_pair[0] and parts[i + 1] == best_pair[1]:
+                    parts[i : i + 2] = [merged]
+                else:
+                    i += 1
+    vocab = Vocabulary.build(vocab_tokens, specials)
+    return BPETokenizer(vocab=vocab, merges=merges)

@@ -1,0 +1,61 @@
+"""Shared fixtures: a small corpus, tokenizer, and models.
+
+Session-scoped so the (deterministic) training work happens once.  The
+``env`` fixture is the test-scale experiment environment used by the
+integration and experiment tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments.common import get_environment
+from repro.lm.ngram import NGramModel
+from repro.tokenizers.bpe import train_bpe
+
+#: A tiny, hand-written corpus exercising the template shapes the engine
+#: cares about (memorised URLs, bias templates, sentence variety).
+TINY_CORPUS = [
+    "The cat sat on the mat.",
+    "The dog ate the cat food.",
+    "The man was trained in engineering.",
+    "The man was trained in computer science.",
+    "The woman was trained in art.",
+    "The woman was trained in medicine.",
+    "Visit https://www.example.com for more information.",
+    "Visit https://www.example.com/news for more information.",
+    "My phone number is 555 123 4567.",
+    "George Washington was born on February 22, 1732.",
+] * 25
+
+
+@pytest.fixture(scope="session")
+def tokenizer():
+    """BPE tokenizer trained on the tiny corpus."""
+    return train_bpe(TINY_CORPUS, vocab_size=320)
+
+
+@pytest.fixture(scope="session")
+def model(tokenizer):
+    """Order-6 n-gram trained on the tiny corpus (memorises it).
+
+    Trained with a slice of encoding noise so non-canonical token paths
+    have visible probability (as in GPT-2, §3.2).
+    """
+    return NGramModel.train_on_text(
+        TINY_CORPUS, tokenizer, order=6, alpha=0.1, encoding_noise=0.05
+    )
+
+
+@pytest.fixture(scope="session")
+def env():
+    """The test-scale experiment environment (corpus + models + datasets)."""
+    return get_environment(seed=0, scale="test")
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic RNG per test."""
+    return random.Random(12345)

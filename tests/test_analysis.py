@@ -1,0 +1,136 @@
+"""Tests for analysis utilities: χ², metrics, edit distance."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import ExtractionLog, duplicate_rate, throughput, work_efficiency
+from repro.analysis.stats import chi_square_bias_test, conditional_distribution
+from repro.analysis.text import closest, edit_distance
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,d",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("cat", "cat", 0),
+            ("cat", "cut", 1),
+            ("cat", "cats", 1),
+            ("cat", "at", 1),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+        ],
+    )
+    def test_known_values(self, a, b, d):
+        assert edit_distance(a, b) == d
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=st.text(alphabet="abc", max_size=6), b=st.text(alphabet="abc", max_size=6))
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        a=st.text(alphabet="ab", max_size=5),
+        b=st.text(alphabet="ab", max_size=5),
+        c=st.text(alphabet="ab", max_size=5),
+    )
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=st.text(alphabet="abc", max_size=6))
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+    def test_closest(self):
+        assert closest("medicin", ["art", "medicine", "math"]) == "medicine"
+        with pytest.raises(ValueError):
+            closest("x", [])
+
+
+class TestChiSquare:
+    def test_strong_dependence_is_significant(self):
+        samples = {
+            "man": ["eng"] * 90 + ["art"] * 10,
+            "woman": ["eng"] * 10 + ["art"] * 90,
+        }
+        result = chi_square_bias_test(samples)
+        assert result.p_value < 1e-10
+        assert result.log10_p < -10
+
+    def test_independence_is_not_significant(self):
+        samples = {
+            "man": ["eng"] * 50 + ["art"] * 50,
+            "woman": ["eng"] * 50 + ["art"] * 50,
+        }
+        result = chi_square_bias_test(samples)
+        assert result.p_value > 0.9
+
+    def test_zero_columns_dropped(self):
+        samples = {"man": ["a", "b"], "woman": ["a", "b", "b"]}
+        result = chi_square_bias_test(samples, categories=["a", "b", "never"])
+        assert len(result.table[0]) == 2
+
+    def test_single_category_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_bias_test({"man": ["a"], "woman": ["a"]})
+
+    def test_log10_p_survives_underflow(self):
+        """p-values like the paper's 1e-229 underflow float ranges;
+        log10_p must still be finite."""
+        samples = {
+            "man": ["eng"] * 100000 + ["art"] * 100,
+            "woman": ["eng"] * 100 + ["art"] * 100000,
+        }
+        result = chi_square_bias_test(samples)
+        assert result.p_value == 0.0 or result.p_value < 1e-300
+        assert result.log10_p < -1000
+        assert result.log10_p != float("-inf")
+
+    def test_conditional_distribution(self):
+        dist = conditional_distribution(["a", "a", "b"], ["a", "b", "c"])
+        assert dist == {"a": 2 / 3, "b": 1 / 3, "c": 0.0}
+
+
+class TestExtractionLog:
+    def _log(self):
+        log = ExtractionLog()
+        log.record(1.0, "u1", True, work=10)
+        log.record(2.0, "u1", True, work=20)  # duplicate
+        log.record(3.0, "u2", False, work=30)
+        log.record(4.0, "u3", True, work=40)
+        return log
+
+    def test_valid_unique(self):
+        assert self._log().valid_unique() == ["u1", "u3"]
+
+    def test_success_rate(self):
+        assert self._log().success_rate() == pytest.approx(0.5)
+
+    def test_throughput(self):
+        assert throughput(self._log()) == pytest.approx(2 / 4.0)
+
+    def test_work_efficiency(self):
+        assert work_efficiency(self._log()) == pytest.approx(1000 * 2 / 40)
+
+    def test_series_is_monotone(self):
+        series = self._log().valid_unique_over_time()
+        counts = [c for _, c in series]
+        assert counts == sorted(counts)
+
+    def test_empty_log(self):
+        log = ExtractionLog()
+        assert log.success_rate() == 0.0
+        assert throughput(log) == 0.0
+        assert work_efficiency(log) == 0.0
+
+    def test_duplicate_rate(self):
+        assert duplicate_rate(["a", "a", "b"]) == pytest.approx(1 / 3)
+        assert duplicate_rate([]) == 0.0
+        assert duplicate_rate(["x"]) == 0.0

@@ -1,0 +1,115 @@
+"""Tests for the beam traversal and the elimination-tracking diagnostic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import prepare
+from repro.core.diagnostics import EliminationTracker
+from repro.core.query import QuerySearchStrategy, SearchQuery
+
+
+def _beam_query(pattern, width=8, **kw):
+    return SearchQuery(
+        pattern,
+        strategy=QuerySearchStrategy.BEAM,
+        beam_width=width,
+        **kw,
+    )
+
+
+class TestBeamSearch:
+    def test_finds_whole_small_language(self, model, tokenizer):
+        results = {r.text for r in prepare(model, tokenizer, _beam_query("The ((cat)|(dog))"))}
+        assert results == {"The cat", "The dog"}
+
+    def test_scores_match_model(self, model, tokenizer):
+        for r in prepare(model, tokenizer, _beam_query("The ((cat)|(dog))")):
+            assert r.total_logprob == pytest.approx(
+                model.sequence_logprob(r.tokens), abs=1e-9
+            )
+
+    def test_width_one_is_greedy_single_path(self, model, tokenizer):
+        results = list(
+            prepare(model, tokenizer, _beam_query("The ((cat)|(dog)|(man)|(woman))", width=1))
+        )
+        assert len(results) <= 1
+
+    def test_narrow_beam_loses_matches_wide_beam_keeps(self, model, tokenizer):
+        pattern = "The ((cat)|(dog)|(man)|(woman))"
+        wide = {r.text for r in prepare(model, tokenizer, _beam_query(pattern, width=32))}
+        narrow = {r.text for r in prepare(model, tokenizer, _beam_query(pattern, width=1))}
+        assert narrow <= wide
+        assert len(wide) == 4
+
+    def test_respects_topk(self, model, tokenizer):
+        results = {
+            r.text
+            for r in prepare(model, tokenizer, _beam_query("The ((cat)|(dog))", top_k=1))
+        }
+        assert len(results) <= 1
+
+    def test_require_eos_scores_terminator(self, model, tokenizer):
+        base = next(iter(prepare(model, tokenizer, _beam_query("The cat sat on the mat\\."))))
+        term = next(
+            iter(
+                prepare(
+                    model, tokenizer, _beam_query("The cat sat on the mat\\.", require_eos=True)
+                )
+            )
+        )
+        assert term.total_logprob < base.total_logprob
+
+    def test_prefix_fast_forward(self, model, tokenizer):
+        query = _beam_query(
+            "The cat sat on the ((mat)|(rug))\\.", width=8, prefix="The cat sat on the"
+        )
+        results = list(prepare(model, tokenizer, query))
+        assert results[0].text == "The cat sat on the mat."
+
+    def test_sequence_length_bounds_depth(self, model, tokenizer):
+        for r in prepare(model, tokenizer, _beam_query("a+", width=4, sequence_length=3)):
+            assert len(r.tokens) <= 3
+
+
+class TestEliminationTracker:
+    def test_tracks_killed_sequences(self, model, tokenizer):
+        query = SearchQuery("[0-9]{2}", top_k=2, sequence_length=6)
+        session = prepare(
+            model, tokenizer, query, max_expansions=500, track_elimination=True
+        )
+        list(session)
+        tracker = session.executor.elimination_tracker
+        assert tracker is not None
+        assert tracker.events == session.stats.pruned_edges
+        assert 0 <= tracker.eliminated <= tracker.total_sequences()
+
+    def test_no_pruning_no_elimination(self, model, tokenizer):
+        query = SearchQuery("The ((cat)|(dog))")  # no decision rule
+        session = prepare(model, tokenizer, query, track_elimination=True)
+        list(session)
+        assert session.executor.elimination_tracker.eliminated == 0
+
+    def test_tracker_counts_against_manual_dp(self, model, tokenizer):
+        """One pruned edge at the root of [0-9]{2} kills exactly the
+        10 two-digit strings through it (one encoding each at depth 2)."""
+        from repro.core.compiler import GraphCompiler
+
+        compiled = GraphCompiler(tokenizer).compile(SearchQuery("[0-9]{2}"))
+        tracker = EliminationTracker(compiled.token_automaton, max_tokens=2)
+        # Pick a single-character first edge and prune it.
+        start = compiled.token_automaton.start
+        row = compiled.token_automaton.successors(start)
+        one_char = [
+            (tid, dst)
+            for tid, dst in row.items()
+            if len(tokenizer.vocab.token_of(tid)) == 1
+        ]
+        tid, dst = one_char[0]
+        killed = tracker.record_pruned_edge(dst, 0)
+        # From dst with 1 token budget left: exactly the 10 second digits.
+        assert killed == 10
+
+    def test_disabled_by_default(self, model, tokenizer):
+        session = prepare(model, tokenizer, SearchQuery("ab"))
+        assert session.executor.elimination_tracker is None

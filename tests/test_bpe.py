@@ -1,0 +1,167 @@
+"""Tests for the BPE tokenizer (repro.tokenizers)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.alphabet import ALPHABET
+from repro.tokenizers.bpe import BPETokenizer, pretokenize, train_bpe
+from repro.tokenizers.vocab import EOS_TOKEN, Vocabulary
+
+_TEXT = st.text(alphabet="".join(ALPHABET), max_size=40)
+
+
+class TestPretokenize:
+    def test_lossless(self):
+        for text in ["The cat sat.", "a  b", "x7y", "hello, world!", " lead", "trail "]:
+            assert "".join(pretokenize(text)) == text
+
+    def test_keeps_leading_space_on_words(self):
+        assert pretokenize("a cat") == ["a", " cat"]
+
+    def test_digits_split_from_letters(self):
+        assert pretokenize("ab12") == ["ab", "12"]
+
+    @settings(max_examples=100, deadline=None)
+    @given(text=_TEXT)
+    def test_lossless_property(self, text):
+        assert "".join(pretokenize(text)) == text
+
+
+class TestVocabulary:
+    def test_build_and_lookup(self):
+        v = Vocabulary.build(["a", "b", "ab"])
+        assert v.id_of("ab") == 2
+        assert v.token_of(0) == "a"
+        assert len(v) == 4  # 3 ordinary + eos
+
+    def test_eos_is_special(self):
+        v = Vocabulary.build(["a"])
+        assert v.is_special(v.eos_id)
+        assert not v.is_special(v.id_of("a"))
+
+    def test_duplicate_token_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary.build(["a", "a"])
+
+    def test_empty_token_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary.build([""])
+
+    def test_decode_skips_specials(self):
+        v = Vocabulary.build(["hi"])
+        assert v.decode([v.id_of("hi"), v.eos_id]) == "hi"
+
+    def test_ordinary_items_excludes_specials(self):
+        v = Vocabulary.build(["a", "b"])
+        assert EOS_TOKEN not in dict(v.ordinary_items())
+
+
+class TestTraining:
+    def test_deterministic(self):
+        corpus = ["the cat sat on the mat"] * 20
+        t1 = train_bpe(corpus, vocab_size=150)
+        t2 = train_bpe(corpus, vocab_size=150)
+        assert t1.merges == t2.merges
+        assert t1.vocab.tokens == t2.vocab.tokens
+
+    def test_frequent_words_become_tokens(self):
+        corpus = ["the cat sat on the mat", "the cat ate the hat"] * 50
+        tok = train_bpe(corpus, vocab_size=200)
+        assert len(tok.encode(" cat")) == 1
+
+    def test_vocab_contains_all_base_chars(self):
+        tok = train_bpe(["ab"], vocab_size=120)
+        for ch in ALPHABET:
+            assert ch in tok.vocab
+
+    def test_too_small_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            train_bpe(["ab"], vocab_size=10)
+
+    def test_stops_when_no_repeating_pairs(self):
+        tok = train_bpe(["xyzq"], vocab_size=500)
+        assert len(tok) < 500  # merges saturate early on a tiny corpus
+
+
+class TestEncodeDecode:
+    def test_roundtrip_known(self, tokenizer):
+        for text in ["The cat sat on the mat.", "https://www.example.com",
+                     "My phone number is 555 123 4567."]:
+            assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_outside_alphabet_rejected(self, tokenizer):
+        with pytest.raises(ValueError):
+            tokenizer.encode("emoji: \N{SNOWMAN}")
+
+    @settings(max_examples=150, deadline=None)
+    @given(text=_TEXT)
+    def test_roundtrip_property(self, text):
+        tok = _SHARED
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_empty_text(self, tokenizer):
+        assert tokenizer.encode("") == []
+        assert tokenizer.decode([]) == ""
+
+
+class TestCanonicality:
+    def test_canonical_encoding_is_canonical(self, tokenizer):
+        ids = tokenizer.encode("The cat sat.")
+        assert tokenizer.is_canonical(ids)
+
+    def test_char_split_is_not_canonical(self, tokenizer):
+        ids = [tokenizer.vocab.id_of(c) for c in "The"]
+        # "The" merges in this vocab, so the char-by-char form is ambiguous.
+        if len(tokenizer.encode("The")) < 3:
+            assert not tokenizer.is_canonical(ids)
+
+    def test_eos_ignored_by_canonical_check(self, tokenizer):
+        ids = tokenizer.encode("The cat") + [tokenizer.eos_id]
+        assert tokenizer.is_canonical(ids)
+
+    def test_canonical_prefix_accepts_partial_chunks(self, tokenizer):
+        full = tokenizer.encode("The cat sat.")
+        for i in range(len(full) + 1):
+            assert tokenizer.is_canonical_prefix(full[:i]), full[:i]
+
+    def test_noncanonical_interior_rejected_as_prefix(self, tokenizer):
+        the = tokenizer.encode("The")
+        if len(the) == 1:
+            chars = [tokenizer.vocab.id_of(c) for c in "The"]
+            suffix = tokenizer.encode(" cat")
+            assert not tokenizer.is_canonical_prefix(chars + suffix)
+
+    def test_encode_noncanonical_roundtrips(self, tokenizer):
+        rng = random.Random(0)
+        text = "The cat sat on the mat."
+        ids = tokenizer.encode_noncanonical(text, rng)
+        assert tokenizer.decode(ids) == text
+        assert not tokenizer.is_canonical(ids)
+
+    @settings(max_examples=80, deadline=None)
+    @given(text=_TEXT, seed=st.integers(0, 100))
+    def test_noncanonical_still_decodes(self, text, seed):
+        tok = _SHARED
+        ids = tok.encode_noncanonical(text, random.Random(seed))
+        assert tok.decode(ids) == text
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self, tokenizer):
+        clone = BPETokenizer.from_json(tokenizer.to_json())
+        for text in ["The cat", "abc 123", "x"]:
+            assert clone.encode(text) == tokenizer.encode(text)
+        assert clone.eos_id == tokenizer.eos_id
+
+
+#: Module-level tokenizer for hypothesis tests (fixtures don't mix with
+#: @given cleanly).
+_SHARED = train_bpe(
+    ["The cat sat on the mat.", "the dog ate 123 things!", "a b c d e"] * 20,
+    vocab_size=200,
+)

@@ -1,0 +1,140 @@
+"""Tests for the CLI, DOT export, result logging, and the case-fold
+preprocessor."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.automata.visualize import dfa_to_dot, token_automaton_to_dot
+from repro.cli import build_parser, main
+from repro.core.api import prepare, search
+from repro.core.logging import MatchWriter, read_matches, tee_matches
+from repro.core.preprocessors import CaseFoldPreprocessor
+from repro.core.query import SearchQuery
+from repro.regex import compile_dfa
+
+
+class TestDotExport:
+    def test_char_dfa_dot(self):
+        dot = dfa_to_dot(compile_dfa("ab|ac"))
+        assert dot.startswith("digraph")
+        assert "doublecircle" in dot
+        assert 'label="a"' in dot
+        assert dot.endswith("}")
+
+    def test_parallel_edges_collapsed(self):
+        dot = dfa_to_dot(compile_dfa("[a-z]"), max_edges_per_pair=3)
+        assert "…" in dot  # 26 parallel edges truncated
+
+    def test_space_rendered_visibly(self):
+        dot = dfa_to_dot(compile_dfa("a b"))
+        assert "Ġ" in dot
+
+    def test_token_automaton_dot(self, model, tokenizer):
+        from repro.core.compiler import GraphCompiler
+
+        compiled = GraphCompiler(tokenizer).compile(
+            SearchQuery("The cat", prefix="The")
+        )
+        dot = token_automaton_to_dot(compiled.token_automaton, tokenizer)
+        assert "digraph" in dot
+        assert "lightgrey" in dot  # prefix region shaded
+
+
+class TestMatchLogging:
+    def test_write_and_read_roundtrip(self, model, tokenizer, tmp_path):
+        path = tmp_path / "matches.jsonl"
+        with MatchWriter(path) as writer:
+            for match in search(model, tokenizer, SearchQuery("The ((cat)|(dog))")):
+                writer.write(match)
+        loaded = read_matches(path)
+        assert {m.text for m in loaded} == {"The cat", "The dog"}
+        assert all(isinstance(m.tokens, tuple) for m in loaded)
+
+    def test_records_are_json_lines(self, model, tokenizer, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with MatchWriter(path) as writer:
+            for match in search(model, tokenizer, SearchQuery("The cat")):
+                writer.write(match)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[0])
+        assert record["text"] == "The cat"
+        assert "logprob" in record and "canonical" in record
+
+    def test_tee_passes_through(self, model, tokenizer, tmp_path):
+        writer = MatchWriter(tmp_path / "tee.jsonl")
+        matches = list(
+            tee_matches(search(model, tokenizer, SearchQuery("The ((cat)|(dog))")), writer)
+        )
+        writer.close()
+        assert len(matches) == 2
+        assert writer.count == 2
+
+    def test_append_mode(self, model, tokenizer, tmp_path):
+        path = tmp_path / "a.jsonl"
+        for _ in range(2):
+            with MatchWriter(path) as writer:
+                for match in search(model, tokenizer, SearchQuery("The cat")):
+                    writer.write(match)
+        assert len(read_matches(path)) == 2
+
+
+class TestCaseFold:
+    def test_expands_cases(self):
+        out = CaseFoldPreprocessor().apply(compile_dfa("ab"))
+        for s in ["ab", "Ab", "aB", "AB"]:
+            assert out.accepts_string(s), s
+        assert not out.accepts_string("ac")
+
+    def test_in_query_pipeline(self, model, tokenizer):
+        query = SearchQuery("the cat", preprocessors=(CaseFoldPreprocessor(),))
+        session = prepare(model, tokenizer, query, max_expansions=4000)
+        texts = {r.text for r in session}
+        assert "The cat" in texts  # the corpus casing is reachable
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_command(self, capsys):
+        code = main(["query", "The ((cat)|(dog))", "--max-matches", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "The cat" in out or "The dog" in out
+
+    def test_query_random_strategy(self, capsys):
+        code = main(
+            ["query", "The ((cat)|(dog))", "--strategy", "random", "--samples", "4"]
+        )
+        assert code == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 4
+
+    def test_query_with_log(self, capsys, tmp_path):
+        log = tmp_path / "out.jsonl"
+        code = main(["query", "The cat", "--log", str(log)])
+        assert code == 0
+        assert read_matches(log)
+
+    def test_dot_command(self, capsys):
+        code = main(["dot", "ab|ac"])
+        assert code == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_dot_tokens_command(self, capsys):
+        code = main(["dot", "The", "--tokens"])
+        assert code == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_experiment_encodings(self, capsys):
+        code = main(["experiment", "encodings"])
+        assert code == 0
+        assert "non-canonical" in capsys.readouterr().out
+
+    def test_experiment_bias(self, capsys):
+        code = main(["experiment", "bias"])
+        assert code == 0
+        assert "chi2" in capsys.readouterr().out

@@ -1,0 +1,199 @@
+"""Tests for the Graph Compiler (repro.core.compiler) — §3.2 of the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import GraphCompiler, prefixes_of
+from repro.core.query import (
+    QuerySearchStrategy,
+    QueryString,
+    QueryTokenizationStrategy,
+    SearchQuery,
+    SimpleSearchQuery,
+)
+from repro.regex import compile_dfa
+from repro.tokenizers.bpe import train_bpe
+from repro.tokenizers.vocab import Vocabulary
+from repro.tokenizers.bpe import BPETokenizer
+
+
+def _toy_tokenizer():
+    """Hand-built vocabulary mirroring the paper's Figure 3: T, h, e, Th,
+    he, The (plus the rest of the alphabet as base tokens)."""
+    from repro.automata.alphabet import ALPHABET_SET
+
+    base = sorted(ALPHABET_SET)
+    vocab = Vocabulary.build(base + ["Th", "he", "The"])
+    merges = [("T", "h"), ("h", "e"), ("Th", "e")]
+    return BPETokenizer(vocab=vocab, merges=merges)
+
+
+class TestAllEncodings:
+    def test_figure3a_four_paths(self):
+        """The paper's Figure 3a: `The` has exactly 4 ambiguous encodings
+        when the vocabulary holds T, h, e, Th, he, The."""
+        tok = _toy_tokenizer()
+        for needed in ("Th", "he", "The"):
+            assert needed in tok.vocab, f"vocab missing {needed}"
+        compiler = GraphCompiler(tok)
+        query = SearchQuery("The")
+        compiled = compiler.compile(query)
+        ta = compiled.token_automaton
+        # Count distinct accepting token paths by DFS.
+        def paths(state, depth=0):
+            total = 1 if state in ta.accepts else 0
+            if depth < 4:
+                for dst in ta.successors(state).values():
+                    total += paths(dst, depth + 1)
+            return total
+        assert paths(ta.start) == 4  # T-h-e, Th-e, T-he, The
+
+    def test_every_path_decodes_into_language(self, tokenizer):
+        compiler = GraphCompiler(tokenizer)
+        compiled = compiler.compile(SearchQuery("The ((cat)|(dog))"))
+        ta = compiled.token_automaton
+        # Enumerate all accepting token paths and decode them.
+        stack = [(ta.start, ())]
+        decoded = set()
+        while stack:
+            state, path = stack.pop()
+            if state in ta.accepts:
+                decoded.add(tokenizer.decode(path))
+            if len(path) < 12:
+                for tid, dst in ta.successors(state).items():
+                    stack.append((dst, path + (tid,)))
+        assert decoded == {"The cat", "The dog"}
+
+    def test_canonical_path_always_present(self, tokenizer):
+        compiler = GraphCompiler(tokenizer)
+        compiled = compiler.compile(SearchQuery("The cat sat on the mat\\."))
+        toks = tokenizer.encode("The cat sat on the mat.")
+        assert compiled.token_automaton.accepts_tokens(toks)
+
+    def test_infinite_language_compiles(self, tokenizer):
+        compiler = GraphCompiler(tokenizer)
+        compiled = compiler.compile(SearchQuery("[0-9]+"))
+        ta = compiled.token_automaton
+        assert ta.accepts_tokens(tokenizer.encode("123"))
+        assert ta.accepts_tokens(tokenizer.encode("5"))
+
+    def test_rejects_strings_outside_language(self, tokenizer):
+        compiler = GraphCompiler(tokenizer)
+        compiled = compiler.compile(SearchQuery("The cat"))
+        assert not compiled.token_automaton.accepts_tokens(tokenizer.encode("The dog"))
+
+    def test_empty_language_rejected(self, tokenizer):
+        compiler = GraphCompiler(tokenizer)
+        query = SimpleSearchQuery(query_string=QueryString("[0-9]"), preprocessors=())
+        # Make it empty via an impossible intersection encoded as a regex:
+        # a single char that is both a digit and a letter does not exist,
+        # so use a preprocessor-free empty construct instead.
+        from repro.core.preprocessors import FilterPreprocessor
+
+        empty_query = SimpleSearchQuery(
+            query_string=QueryString("a"),
+            preprocessors=(FilterPreprocessor(["a"]),),
+        )
+        with pytest.raises(ValueError):
+            compiler.compile(empty_query)
+
+
+class TestCanonical:
+    def test_enumerated_canonical_single_paths(self, tokenizer):
+        compiler = GraphCompiler(tokenizer)
+        query = SearchQuery(
+            "The ((cat)|(dog))",
+            tokenization=QueryTokenizationStrategy.CANONICAL,
+        )
+        compiled = compiler.compile(query)
+        ta = compiled.token_automaton
+        assert not ta.dynamic_canonical
+        # Exactly two accepting paths: the canonical encodings.
+        assert ta.accepts_tokens(tokenizer.encode("The cat"))
+        assert ta.accepts_tokens(tokenizer.encode("The dog"))
+        # The char-split path must not exist.
+        chars = [tokenizer.vocab.id_of(c) for c in "The cat"]
+        assert not ta.accepts_tokens(chars)
+
+    def test_canonical_edge_count_is_minimal(self, tokenizer):
+        compiler = GraphCompiler(tokenizer)
+        all_enc = compiler.compile(SearchQuery("The ((cat)|(dog))")).token_automaton
+        canonical = compiler.compile(
+            SearchQuery("The ((cat)|(dog))", tokenization=QueryTokenizationStrategy.CANONICAL)
+        ).token_automaton
+        assert canonical.num_edges < all_enc.num_edges
+
+    def test_large_language_falls_back_to_dynamic(self, tokenizer):
+        compiler = GraphCompiler(tokenizer, enumeration_limit=10)
+        compiled = compiler.compile(
+            SearchQuery("[0-9]{4}", tokenization=QueryTokenizationStrategy.CANONICAL)
+        )
+        assert compiled.token_automaton.dynamic_canonical
+
+    def test_infinite_language_falls_back_to_dynamic(self, tokenizer):
+        compiler = GraphCompiler(tokenizer)
+        compiled = compiler.compile(
+            SearchQuery("[0-9]+", tokenization=QueryTokenizationStrategy.CANONICAL)
+        )
+        assert compiled.token_automaton.dynamic_canonical
+
+
+class TestPrefixRegion:
+    def test_prefix_edges_marked(self, tokenizer):
+        compiler = GraphCompiler(tokenizer)
+        compiled = compiler.compile(
+            SearchQuery("The cat sat", prefix="The cat")
+        )
+        ta = compiled.token_automaton
+        state = ta.start
+        flags = []
+        for tok in tokenizer.encode("The cat sat"):
+            dst = ta.successors(state)[tok]
+            flags.append(ta.is_prefix_edge(dst))
+            state = dst
+        # Tokens inside "The cat" are prefix edges; " sat" is not.
+        assert flags[0] is True
+        assert flags[-1] is False
+
+    def test_boundary_spanning_token_is_scored(self, tokenizer):
+        """A token crossing the prefix boundary must not be exempt."""
+        compiler = GraphCompiler(tokenizer)
+        compiled = compiler.compile(SearchQuery("The cat", prefix="The c"))
+        ta = compiled.token_automaton
+        # " cat" spans from inside the prefix ("The c") past its end.
+        state = ta.start
+        for tok in tokenizer.encode("The"):
+            state = ta.successors(state)[tok]
+        cat = tokenizer.encode(" cat")[0]
+        dst = ta.successors(state).get(cat)
+        assert dst is not None
+        assert not ta.is_prefix_edge(dst)
+
+    def test_no_prefix_means_nothing_live(self, tokenizer):
+        compiled = GraphCompiler(tokenizer).compile(SearchQuery("The cat"))
+        assert not compiled.token_automaton.prefix_live
+
+    def test_prefix_closure_language(self, tokenizer):
+        compiled = GraphCompiler(tokenizer).compile(
+            SearchQuery("The ((cat)|(dog))", prefix="The ((cat)|(dog))")
+        )
+        closure = compiled.prefix_closure
+        for s in ["", "T", "The ", "The c", "The cat", "The d"]:
+            assert closure.accepts_string(s), s
+        assert not closure.accepts_string("The x")
+
+
+class TestPrefixesOf:
+    def test_all_prefixes_accepted(self):
+        dfa = compile_dfa("abc|abd")
+        closure = prefixes_of(dfa)
+        for s in ["", "a", "ab", "abc", "abd"]:
+            assert closure.accepts_string(s)
+        assert not closure.accepts_string("abx")
+
+    def test_empty_language_closure(self):
+        from repro.automata.dfa import DFA
+
+        closure = prefixes_of(DFA.from_strings([]))
+        assert closure.accepts_string("")

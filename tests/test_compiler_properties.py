@@ -1,0 +1,128 @@
+"""Property-based invariants of the graph compiler and DFA pipeline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import GraphCompiler, prefixes_of
+from repro.core.query import QueryTokenizationStrategy, SearchQuery
+from repro.regex import compile_dfa
+from repro.tokenizers.bpe import train_bpe
+
+_TOK = train_bpe(
+    ["the cat sat on the mat", "dogs ran past the gate", "a cab at bat"] * 15,
+    vocab_size=220,
+)
+
+_WORDS = ["cat", "dog", "the", "mat", "at", "a", "bat", "cab"]
+_language = st.lists(st.sampled_from(_WORDS), min_size=1, max_size=4, unique=True)
+
+
+def _all_paths(automaton, max_depth=10):
+    """Enumerate accepting token paths (small automata only)."""
+    out = []
+    stack = [(automaton.start, ())]
+    while stack:
+        state, path = stack.pop()
+        if state in automaton.accepts:
+            out.append(path)
+        if len(path) < max_depth:
+            for tid, dst in automaton.successors(state).items():
+                stack.append((dst, path + (tid,)))
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(words=_language)
+def test_all_encodings_paths_decode_to_language(words):
+    """Every accepting path of the all-encodings automaton decodes into
+    the language, and every language member has at least one path."""
+    pattern = "(" + "|".join(f"({w})" for w in words) + ")"
+    compiler = GraphCompiler(_TOK)
+    automaton = compiler.compile(SearchQuery(pattern)).token_automaton
+    decoded = {_TOK.decode(p) for p in _all_paths(automaton)}
+    assert decoded == set(words)
+
+
+@settings(max_examples=40, deadline=None)
+@given(words=_language)
+def test_canonical_automaton_is_exactly_canonical(words):
+    """The canonical automaton accepts exactly the canonical encoding of
+    each language member — no more, no fewer."""
+    pattern = "(" + "|".join(f"({w})" for w in words) + ")"
+    compiler = GraphCompiler(_TOK)
+    automaton = compiler.compile(
+        SearchQuery(pattern, tokenization=QueryTokenizationStrategy.CANONICAL)
+    ).token_automaton
+    assert not automaton.dynamic_canonical
+    paths = set(_all_paths(automaton))
+    expected = {tuple(_TOK.encode(w)) for w in words}
+    assert paths == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(words=_language)
+def test_canonical_paths_subset_of_all_encodings(words):
+    pattern = "(" + "|".join(f"({w})" for w in words) + ")"
+    compiler = GraphCompiler(_TOK)
+    all_enc = set(_all_paths(compiler.compile(SearchQuery(pattern)).token_automaton))
+    canonical = set(
+        _all_paths(
+            compiler.compile(
+                SearchQuery(pattern, tokenization=QueryTokenizationStrategy.CANONICAL)
+            ).token_automaton
+        )
+    )
+    assert canonical <= all_enc
+
+
+@settings(max_examples=40, deadline=None)
+@given(words=_language, probe=st.text(alphabet="abcdegmost h", max_size=6))
+def test_prefixes_of_membership(words, probe):
+    """prefixes_of(L) accepts exactly the prefixes of members of L."""
+    from repro.automata.dfa import DFA
+
+    dfa = DFA.from_strings(words)
+    closure = prefixes_of(dfa)
+    expected = any(w.startswith(probe) for w in words)
+    assert closure.accepts_string(probe) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(words=_language)
+def test_minimization_idempotent(words):
+    from repro.automata.dfa import DFA
+
+    dfa = DFA.from_strings(words)
+    once = dfa.minimized()
+    twice = once.minimized()
+    assert len(once.states) == len(twice.states)
+
+
+@settings(max_examples=30, deadline=None)
+@given(words=_language, prefix_len=st.integers(1, 3))
+def test_prefix_region_states_are_sound(words, prefix_len):
+    """Every state marked prefix-live is reached by a string that is a
+    prefix of some prefix-language member."""
+    target = sorted(words)[0]
+    prefix_str = target[: min(prefix_len, len(target))]
+    pattern = "(" + "|".join(f"({w})" for w in words) + ")"
+    matching = [w for w in words if w.startswith(prefix_str)]
+    if not matching:
+        return
+    compiler = GraphCompiler(_TOK)
+    compiled = compiler.compile(SearchQuery(pattern, prefix=prefix_str))
+    automaton = compiled.token_automaton
+    # Walk every path; whenever we land on a live state, the consumed text
+    # must be a prefix of the prefix language (i.e. of prefix_str).
+    stack = [(automaton.start, "")]
+    while stack:
+        state, text = stack.pop()
+        if state in automaton.prefix_live:
+            assert prefix_str.startswith(text) or text.startswith(prefix_str[:len(text)])
+            assert compiled.prefix_closure.accepts_string(text)
+        if len(text) < 12:
+            for tid, dst in automaton.successors(state).items():
+                stack.append((dst, text + _TOK.vocab.token_of(tid)))

@@ -1,0 +1,207 @@
+"""Tests for the synthetic dataset substrates (repro.datasets)."""
+
+from __future__ import annotations
+
+import re as _re
+
+import pytest
+
+from repro.analysis.text import edit_distance
+from repro.datasets.corpus import DEFAULT_BIAS, BiasTable, build_corpus
+from repro.datasets.lambada import build_lambada
+from repro.datasets.lexicon import GENDERS, INSULTS, PROFESSIONS
+from repro.datasets.pile import build_pile_shard
+from repro.datasets.stopwords import STOP_WORDS, is_stop_word
+from repro.datasets.webworld import WebWorld
+
+
+class TestWebWorld:
+    def test_deterministic(self):
+        a, b = WebWorld.create(seed=5), WebWorld.create(seed=5)
+        assert a.registered == b.registered
+        assert a.corpus_lines() == b.corpus_lines()
+
+    def test_oracle(self):
+        web = WebWorld.create()
+        some_url = next(iter(web.registered))
+        assert web.url_exists(some_url)
+        assert not web.url_exists("https://www.not-a-site.com/nope")
+
+    def test_fabricated_never_registered(self):
+        web = WebWorld.create()
+        for url in web.fabricated:
+            assert not web.url_exists(url)
+
+    def test_popularity_covers_registered(self):
+        web = WebWorld.create()
+        assert {u for u, _ in web.popularity} == set(web.registered)
+
+    def test_corpus_mentions_match_popularity(self):
+        web = WebWorld.create(num_sites=5)
+        text = "\n".join(web.corpus_lines())
+        for url, count in web.popularity:
+            # Count occurrences; bare-host URLs also appear inside their
+            # pathed variants, so expect *at least* the configured count.
+            assert text.count(url) >= count
+
+    def test_top_urls_ranked(self):
+        web = WebWorld.create()
+        top = web.top_urls(3)
+        counts = dict(web.popularity)
+        assert counts[top[0]] >= counts[top[1]] >= counts[top[2]]
+
+    def test_urls_match_paper_pattern(self):
+        pattern = _re.compile(r"https://www\.[a-zA-Z0-9_#%-]+\.[a-zA-Z0-9_#%/-]+$")
+        web = WebWorld.create()
+        for url in list(web.registered) + list(web.fabricated):
+            assert pattern.match(url), url
+
+
+class TestBiasTable:
+    def test_default_is_normalised(self):
+        for gender in GENDERS:
+            assert abs(sum(DEFAULT_BIAS.table[gender].values()) - 1.0) < 1e-9
+
+    def test_counts_sum_exactly(self):
+        for gender in GENDERS:
+            counts = DEFAULT_BIAS.counts(gender, 397)
+            assert sum(counts.values()) == 397
+
+    def test_stereotypes_planted(self):
+        t = DEFAULT_BIAS.table
+        assert t["man"]["engineering"] > t["woman"]["engineering"]
+        assert t["woman"]["medicine"] > t["man"]["medicine"]
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            BiasTable({"man": {p: 0.0 for p in PROFESSIONS}, "woman": DEFAULT_BIAS.table["woman"]})
+
+    def test_missing_profession_rejected(self):
+        bad = {p: 1.0 / (len(PROFESSIONS) - 1) for p in PROFESSIONS[:-1]}
+        with pytest.raises(ValueError):
+            BiasTable({"man": bad, "woman": bad})
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = build_corpus(seed=3, general_count=50, bias_per_gender=20, toxic_repeats=2)
+        b = build_corpus(seed=3, general_count=50, bias_per_gender=20, toxic_repeats=2)
+        assert a.lines == b.lines
+
+    def test_sections_partition_lines(self):
+        corpus = build_corpus(seed=0, general_count=50, bias_per_gender=20, toxic_repeats=2)
+        total = sum(len(v) for v in corpus.sections.values())
+        assert total == corpus.num_lines
+
+    def test_bias_counts_exact(self):
+        corpus = build_corpus(seed=0, general_count=10, bias_per_gender=100, toxic_repeats=2)
+        bias_lines = corpus.section("bias")
+        men = [l for l in bias_lines if l.startswith("The man")]
+        assert len(men) == 100
+        eng = [l for l in men if "engineering" in l]
+        assert len(eng) == DEFAULT_BIAS.counts("man", 100)["engineering"]
+
+    def test_toxic_section_contains_all_insults(self):
+        corpus = build_corpus(seed=0, general_count=10, bias_per_gender=10, toxic_repeats=2)
+        text = "\n".join(corpus.section("toxic"))
+        for insult in INSULTS:
+            assert insult in text
+
+
+class TestPileShard:
+    @pytest.fixture(scope="class")
+    def shard(self):
+        corpus = build_corpus(seed=0, general_count=20, bias_per_gender=10, toxic_repeats=4)
+        return build_pile_shard(corpus.section("toxic"), seed=0, benign_count=200)
+
+    def test_provenance_aligned(self, shard):
+        assert len(shard.lines) == len(shard.provenance)
+        assert set(shard.provenance) <= {"verbatim", "edited", "unrelated", "benign"}
+
+    def test_grep_finds_toxic_lines(self, shard):
+        result = shard.grep("|".join(INSULTS))
+        assert result.matches
+        assert result.lines_scanned == len(shard.lines)
+        for line in result.matches:
+            assert any(ins in line for ins in INSULTS)
+
+    def test_benign_lines_not_matched(self, shard):
+        result = shard.grep("|".join(INSULTS))
+        for line in result.matches:
+            assert shard.provenance_of(line) != "benign"
+
+    def test_edited_lines_one_edit_from_source(self, shard):
+        corpus = build_corpus(seed=0, general_count=20, bias_per_gender=10, toxic_repeats=4)
+        sources = set(corpus.section("toxic"))
+        for line, label in zip(shard.lines, shard.provenance):
+            if label == "edited":
+                assert min(edit_distance(line, src) for src in sources) == 1
+            if label == "verbatim":
+                assert line in sources
+
+    def test_edits_keep_insult_intact(self, shard):
+        for line, label in zip(shard.lines, shard.provenance):
+            if label == "edited":
+                assert any(ins in line for ins in INSULTS), line
+
+    def test_edit_lands_in_completion_region(self, shard):
+        """The edit must be at or after the insult (prompt edits would be
+        forgiven by prefix conditioning)."""
+        corpus = build_corpus(seed=0, general_count=20, bias_per_gender=10, toxic_repeats=4)
+        sources = sorted(set(corpus.section("toxic")))
+        for line, label in zip(shard.lines, shard.provenance):
+            if label != "edited":
+                continue
+            src = min(sources, key=lambda s: edit_distance(line, s))
+            insult_start = min(line.find(i) for i in INSULTS if i in line)
+            # Prompt region (before the insult) must match the source.
+            assert line[:insult_start] == src[:insult_start]
+
+
+class TestLambada:
+    def test_deterministic(self):
+        assert build_lambada(seed=1).items == build_lambada(seed=1).items
+
+    def test_kind_counts(self):
+        ds = build_lambada(num_easy=5, num_generic=2, num_multiword=3,
+                           num_stopword=2, num_hard=1)
+        assert len(ds.of_kind("easy")) == 5
+        assert len(ds.of_kind("generic")) == 2
+        assert len(ds.of_kind("multiword")) + len(ds.of_kind("multiword_donor")) == 3
+        assert len(ds.of_kind("stopword")) == 2
+        assert len(ds.of_kind("hard")) == 1
+
+    def test_context_has_no_trailing_space(self):
+        for item in build_lambada().items:
+            assert not item.context.endswith(" ")
+
+    def test_target_is_single_word(self):
+        for item in build_lambada().items:
+            assert _re.fullmatch("[a-zA-Z]+", item.target), item
+
+    def test_stopword_items_contain_lowercase_her(self):
+        for item in build_lambada().of_kind("stopword"):
+            assert "her" in item.context.split()
+
+    def test_test_passages_not_in_training(self):
+        ds = build_lambada()
+        training = set(ds.training_lines)
+        for item in ds.items:
+            assert item.context + " " + item.target not in training
+
+    def test_easy_targets_appear_in_context(self):
+        for item in build_lambada().of_kind("easy"):
+            assert item.target in item.context
+
+
+class TestStopwords:
+    def test_common_words_present(self):
+        for w in ["the", "a", "her", "it", "and"]:
+            assert w in STOP_WORDS
+
+    def test_content_words_absent(self):
+        for w in ["kettle", "engineering", "Sarah"]:
+            assert not is_stop_word(w)
+
+    def test_case_insensitive(self):
+        assert is_stop_word("The")

@@ -1,0 +1,130 @@
+"""Tests for decoding policies (repro.lm.decoding)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lm.decoding import GREEDY, UNRESTRICTED, DecodingPolicy
+
+
+def _logprobs(probs):
+    p = np.asarray(probs, dtype=float)
+    return np.log(p / p.sum())
+
+
+class TestTopK:
+    def test_keeps_exactly_k(self):
+        lp = _logprobs([0.5, 0.3, 0.1, 0.06, 0.04])
+        mask = DecodingPolicy(top_k=2).allowed_mask(lp)
+        assert mask.sum() == 2
+        assert mask[0] and mask[1]
+
+    def test_k_larger_than_vocab_keeps_all(self):
+        lp = _logprobs([0.5, 0.5])
+        assert DecodingPolicy(top_k=40).allowed_mask(lp).all()
+
+    def test_greedy_is_top1(self):
+        lp = _logprobs([0.2, 0.5, 0.3])
+        mask = GREEDY.allowed_mask(lp)
+        assert mask.sum() == 1 and mask[1]
+
+    def test_ties_at_threshold_keep_exactly_k(self):
+        lp = _logprobs([0.25, 0.25, 0.25, 0.25])
+        assert DecodingPolicy(top_k=2).allowed_mask(lp).sum() == 2
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            DecodingPolicy(top_k=0)
+
+
+class TestTopP:
+    def test_nucleus_cut(self):
+        lp = _logprobs([0.6, 0.3, 0.05, 0.05])
+        mask = DecodingPolicy(top_p=0.8).allowed_mask(lp)
+        assert mask[0] and mask[1]
+        assert not mask[2] and not mask[3]
+
+    def test_p_one_keeps_all(self):
+        lp = _logprobs([0.7, 0.2, 0.1])
+        assert DecodingPolicy(top_p=1.0).allowed_mask(lp).all()
+
+    def test_always_keeps_argmax(self):
+        lp = _logprobs([0.9, 0.1])
+        mask = DecodingPolicy(top_p=0.01).allowed_mask(lp)
+        assert mask[0]
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            DecodingPolicy(top_p=0.0)
+        with pytest.raises(ValueError):
+            DecodingPolicy(top_p=1.5)
+
+
+class TestTemperature:
+    def test_scaled_logprobs_renormalise(self):
+        lp = _logprobs([0.8, 0.2])
+        scaled = DecodingPolicy(temperature=2.0).scaled_logprobs(lp)
+        assert abs(np.exp(scaled).sum() - 1.0) < 1e-9
+
+    def test_high_temperature_flattens(self):
+        lp = _logprobs([0.9, 0.1])
+        scaled = DecodingPolicy(temperature=10.0).scaled_logprobs(lp)
+        gap = scaled[0] - scaled[1]
+        assert gap < (lp[0] - lp[1])
+
+    def test_temperature_one_is_identity(self):
+        lp = _logprobs([0.6, 0.4])
+        assert DecodingPolicy(temperature=1.0).scaled_logprobs(lp) is lp
+
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            DecodingPolicy(temperature=0.0)
+
+
+class TestFiltered:
+    def test_filtered_renormalises_over_support(self):
+        lp = _logprobs([0.5, 0.3, 0.2])
+        out = DecodingPolicy(top_k=2).filtered_logprobs(lp)
+        assert np.isneginf(out[2])
+        assert abs(np.exp(out[:2]).sum() - 1.0) < 1e-9
+
+    def test_unrestricted_keeps_everything(self):
+        lp = _logprobs([0.4, 0.3, 0.3])
+        assert UNRESTRICTED.allowed_mask(lp).all()
+
+    def test_filters_compose(self):
+        lp = _logprobs([0.4, 0.3, 0.15, 0.1, 0.05])
+        mask = DecodingPolicy(top_k=4, top_p=0.7).allowed_mask(lp)
+        # top-p alone keeps {0,1}; top-k alone keeps {0..3}.
+        assert mask[0] and mask[1]
+        assert not mask[4]
+        assert mask.sum() == 2
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    probs=st.lists(st.floats(0.001, 1.0), min_size=2, max_size=30),
+    k=st.integers(1, 8),
+)
+def test_topk_mask_size_property(probs, k):
+    lp = _logprobs(probs)
+    mask = DecodingPolicy(top_k=k).allowed_mask(lp)
+    assert mask.sum() == min(k, len(probs))
+    # Every kept token is at least as likely as every dropped token.
+    if mask.sum() < len(probs):
+        assert lp[mask].min() >= lp[~mask].max() - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    probs=st.lists(st.floats(0.001, 1.0), min_size=2, max_size=30),
+    p=st.floats(0.05, 1.0),
+)
+def test_topp_keeps_minimal_covering_set(probs, p):
+    lp = _logprobs(probs)
+    mask = DecodingPolicy(top_p=p).allowed_mask(lp)
+    kept = np.exp(lp[mask]).sum()
+    assert kept >= p - 1e-9 or mask.all()

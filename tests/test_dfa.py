@@ -1,0 +1,196 @@
+"""Unit tests for DFAs: construction, boolean ops, enumeration
+(repro.automata.dfa)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.regex import compile_dfa
+
+
+class TestFromString:
+    def test_accepts_exactly_the_string(self):
+        dfa = DFA.from_string("cat")
+        assert dfa.accepts_string("cat")
+        assert not dfa.accepts_string("ca")
+        assert not dfa.accepts_string("cats")
+        assert not dfa.accepts_string("")
+
+    def test_empty_string(self):
+        dfa = DFA.from_string("")
+        assert dfa.accepts_string("")
+        assert not dfa.accepts_string("a")
+
+
+class TestFromStrings:
+    def test_trie_language(self):
+        dfa = DFA.from_strings(["cat", "car", "dog"])
+        assert sorted(dfa.enumerate_strings()) == ["car", "cat", "dog"]
+
+    def test_empty_set(self):
+        dfa = DFA.from_strings([])
+        assert dfa.is_empty()
+
+    def test_prefix_member(self):
+        dfa = DFA.from_strings(["a", "ab"])
+        assert dfa.accepts_string("a")
+        assert dfa.accepts_string("ab")
+        assert not dfa.accepts_string("b")
+
+    def test_minimised_shares_suffixes(self):
+        # "cat"/"bat" share the "at" suffix: the minimal DFA has fewer
+        # states than the 7-state trie.
+        dfa = DFA.from_strings(["cat", "bat"])
+        assert len(dfa.states) < 7
+
+
+class TestSubsetConstruction:
+    def test_nfa_determinisation(self):
+        # NFA for (a|ab): nondeterministic on 'a'.
+        nfa = NFA(start=0, accepts={1, 3})
+        nfa.num_states = 4
+        nfa.add_transition(0, "a", 1)
+        nfa.add_transition(0, "a", 2)
+        nfa.add_transition(2, "b", 3)
+        dfa = DFA.from_nfa(nfa)
+        assert dfa.accepts_string("a")
+        assert dfa.accepts_string("ab")
+        assert not dfa.accepts_string("b")
+        assert not dfa.accepts_string("abb")
+
+    def test_epsilon_closure_respected(self):
+        nfa = NFA(start=0, accepts={2})
+        nfa.num_states = 3
+        nfa.add_epsilon(0, 1)
+        nfa.add_transition(1, "x", 2)
+        dfa = DFA.from_nfa(nfa)
+        assert dfa.accepts_string("x")
+
+
+class TestMinimize:
+    def test_equivalent_language(self):
+        dfa = compile_dfa("(ab|ac)*", minimize=False)
+        mini = dfa.minimized()
+        for s in ["", "ab", "ac", "abac", "acab", "a", "abc", "abab"]:
+            assert dfa.accepts_string(s) == mini.accepts_string(s)
+
+    def test_not_larger(self):
+        dfa = compile_dfa("a(b|c)d|a(b|c)e", minimize=False)
+        assert len(dfa.minimized().states) <= len(dfa.states)
+
+    def test_distinguishes_accepting_depth(self):
+        dfa = compile_dfa("aa|ab", minimize=True)
+        assert dfa.accepts_string("aa")
+        assert dfa.accepts_string("ab")
+        assert not dfa.accepts_string("a")
+
+
+class TestTrim:
+    def test_removes_dead_states(self):
+        # State 2 is a dead end.
+        dfa = DFA(start=0, accepts=frozenset({1}), transitions={0: {"a": 1, "b": 2}})
+        trimmed = dfa.trimmed()
+        assert trimmed.accepts_string("a")
+        assert not trimmed.accepts_string("b")
+        assert len(trimmed.states) == 2
+
+    def test_empty_language_keeps_start(self):
+        dfa = DFA(start=0, accepts=frozenset(), transitions={0: {"a": 1}})
+        trimmed = dfa.trimmed()
+        assert trimmed.is_empty()
+        assert trimmed.start in (trimmed.states or [trimmed.start])
+
+
+class TestBooleanOps:
+    def test_intersection(self):
+        a = compile_dfa("[ab]{2}")
+        b = compile_dfa("a.")
+        assert sorted(a.intersect(b).enumerate_strings()) == ["aa", "ab"]
+
+    def test_union(self):
+        a = compile_dfa("cat")
+        b = compile_dfa("dog")
+        assert sorted(a.union(b).enumerate_strings()) == ["cat", "dog"]
+
+    def test_difference(self):
+        a = compile_dfa("[abc]")
+        b = compile_dfa("b")
+        assert sorted(a.difference(b).enumerate_strings()) == ["a", "c"]
+
+    def test_difference_to_empty(self):
+        a = compile_dfa("x")
+        assert a.difference(a).is_empty()
+
+    def test_intersection_disjoint_is_empty(self):
+        assert compile_dfa("aa").intersect(compile_dfa("bb")).is_empty()
+
+    def test_union_with_empty(self):
+        a = compile_dfa("ab")
+        empty = DFA.from_strings([])
+        assert sorted(a.union(empty).enumerate_strings()) == ["ab"]
+
+    def test_partial_dfa_difference_keeps_unshared_paths(self):
+        # Regression: difference must treat missing transitions in `other`
+        # as rejection, not as a crash or over-removal.
+        a = compile_dfa("abc|xyz")
+        b = compile_dfa("abc")
+        assert sorted(a.difference(b).enumerate_strings()) == ["xyz"]
+
+
+class TestEnumerate:
+    def test_shortlex_order(self):
+        dfa = compile_dfa("b|a|aa")
+        assert list(dfa.enumerate_strings()) == ["a", "b", "aa"]
+
+    def test_limit(self):
+        dfa = compile_dfa("a*")
+        assert list(dfa.enumerate_strings(limit=3)) == ["", "a", "aa"]
+
+    def test_max_length(self):
+        dfa = compile_dfa("a*")
+        assert list(dfa.enumerate_strings(max_length=2)) == ["", "a", "aa"]
+
+    def test_unbounded_infinite_raises(self):
+        with pytest.raises(ValueError):
+            list(compile_dfa("a*").enumerate_strings())
+
+    def test_count_strings(self):
+        assert compile_dfa("[0-9]{2}").count_strings() == 100
+        assert compile_dfa("a?b?").count_strings() == 4
+
+
+class TestCycles:
+    def test_finite_has_no_cycle(self):
+        assert not compile_dfa("abc|abd").has_cycle()
+
+    def test_star_has_cycle(self):
+        assert compile_dfa("ab*c").has_cycle()
+
+    def test_plus_has_cycle(self):
+        assert compile_dfa("[0-9]+").has_cycle()
+
+
+class TestConcatString:
+    def test_appends_literal(self):
+        dfa = compile_dfa("(cat)|(dog)").concat_string("!")
+        assert sorted(dfa.enumerate_strings()) == ["cat!", "dog!"]
+
+    def test_conflicting_edge_falls_back_correctly(self):
+        # "a" followed by literal "a" where accepting state already has an
+        # outgoing 'a' edge (language a|aa).
+        dfa = compile_dfa("a|aa").concat_string("a")
+        assert sorted(dfa.enumerate_strings()) == ["aa", "aaa"]
+
+    def test_empty_suffix_is_identity(self):
+        dfa = compile_dfa("ab")
+        assert dfa.concat_string("") is dfa
+
+
+class TestShortest:
+    def test_shortest_string(self):
+        assert compile_dfa("aaa|bb|c").shortest_string() == "c"
+
+    def test_empty_language_shortest_is_none(self):
+        assert DFA.from_strings([]).shortest_string() is None

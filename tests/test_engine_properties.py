@@ -1,0 +1,119 @@
+"""Property-based tests of engine invariants over random patterns.
+
+For arbitrary patterns from a restricted generator, every match the
+engine yields — by either traversal — must (1) decode into the regex's
+language, (2) carry a correctly-scored log-probability, and (3) respect
+the decision rule at every non-prefix step.
+"""
+
+from __future__ import annotations
+
+import re as pyre
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import prepare
+from repro.core.query import QuerySearchStrategy, SearchQuery
+from repro.lm.decoding import DecodingPolicy
+from repro.lm.ngram import NGramModel
+from repro.tokenizers.bpe import train_bpe
+
+_CORPUS = [
+    "the cat sat on the mat",
+    "a dog ate the food",
+    "cats and dogs ran fast",
+] * 15
+
+_TOK = train_bpe(_CORPUS, vocab_size=200)
+_MODEL = NGramModel.train_on_text(_CORPUS, _TOK, order=4, alpha=0.2)
+
+# Patterns over corpus-adjacent words keep languages small but non-trivial.
+_WORDS = ["cat", "dog", "mat", "the", "a", "sat", "ran"]
+_atom = st.sampled_from(_WORDS)
+_pattern = st.one_of(
+    st.lists(_atom, min_size=2, max_size=4, unique=True).map(
+        lambda ws: "(" + "|".join(f"({w})" for w in ws) + ")"
+    ),
+    st.tuples(_atom, _atom).map(lambda t: f"{t[0]} {t[1]}"),
+    st.tuples(_atom, _atom, _atom).map(lambda t: f"{t[0]} (({t[1]})|({t[2]}))"),
+    _atom.map(lambda w: f"{w}s?"),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern=_pattern)
+def test_shortest_path_matches_are_members(pattern):
+    compiled = pyre.compile(pattern)
+    session = prepare(_MODEL, _TOK, SearchQuery(pattern), max_expansions=2000)
+    count = 0
+    for match in session:
+        assert compiled.fullmatch(match.text), (pattern, match.text)
+        count += 1
+        if count >= 10:
+            break
+
+
+@settings(max_examples=30, deadline=None)
+@given(pattern=_pattern, seed=st.integers(0, 1000))
+def test_random_matches_are_members(pattern, seed):
+    compiled = pyre.compile(pattern)
+    query = SearchQuery(
+        pattern,
+        strategy=QuerySearchStrategy.RANDOM_SAMPLING,
+        num_samples=8,
+        seed=seed,
+    )
+    session = prepare(_MODEL, _TOK, query, max_attempts=200)
+    for match in session:
+        assert compiled.fullmatch(match.text), (pattern, match.text)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pattern=_pattern)
+def test_logprob_is_model_score(pattern):
+    session = prepare(_MODEL, _TOK, SearchQuery(pattern), max_expansions=2000)
+    for i, match in enumerate(session):
+        expected = _MODEL.sequence_logprob(match.tokens)
+        assert match.total_logprob == pytest.approx(expected, abs=1e-9)
+        if i >= 5:
+            break
+
+
+@settings(max_examples=25, deadline=None)
+@given(pattern=_pattern, k=st.integers(1, 6))
+def test_topk_decision_rule_respected(pattern, k):
+    """Every non-prefix token of every match survives top-k at its step."""
+    policy = DecodingPolicy(top_k=k)
+    session = prepare(_MODEL, _TOK, SearchQuery(pattern, top_k=k), max_expansions=2000)
+    for i, match in enumerate(session):
+        context: list[int] = []
+        for tok in match.tokens:
+            mask = policy.allowed_mask(_MODEL.logprobs(context))
+            assert mask[tok], (pattern, match.text, tok)
+            context.append(tok)
+        if i >= 5:
+            break
+
+
+@settings(max_examples=25, deadline=None)
+@given(pattern=_pattern, seed=st.integers(0, 500))
+def test_traversals_agree_on_language_support(pattern, seed):
+    """Anything random sampling produces, shortest path can also reach
+    (same compiled language, same decision rule)."""
+    random_query = SearchQuery(
+        pattern,
+        strategy=QuerySearchStrategy.RANDOM_SAMPLING,
+        num_samples=5,
+        seed=seed,
+    )
+    sampled = {
+        m.text for m in prepare(_MODEL, _TOK, random_query, max_attempts=100)
+    }
+    enumerated = {
+        m.text
+        for m in prepare(_MODEL, _TOK, SearchQuery(pattern), max_expansions=4000)
+    }
+    assert sampled <= enumerated or not enumerated

@@ -1,0 +1,75 @@
+"""Acceptance tests: every example script runs end-to-end.
+
+Examples are the repository's demonstration surface; this module imports
+each one and executes its ``main()``, asserting on key output lines so
+documentation rot is caught by CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", _EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run_example("quickstart", capsys)
+    assert "My phone number is 555 123 4567" in out
+    assert "The cat" in out and "The dog" in out
+
+
+def test_birthdate(capsys):
+    out = _run_example("birthdate", capsys)
+    assert "13,200,000" in out
+    assert "#1: February 22, 1732" in out
+
+
+def test_url_extraction(capsys):
+    out = _run_example("url_extraction", capsys)
+    assert "relm" in out
+    assert "baseline_n16" in out
+    assert "speedup" in out
+
+
+def test_bias_audit(capsys):
+    out = _run_example("bias_audit", capsys)
+    assert "fig7b_canonical_prefix" in out
+    assert "chi^2" in out
+    assert "Ground truth" in out
+
+
+def test_toxicity_screen(capsys):
+    out = _run_example("toxicity_screen", capsys)
+    assert "Prompted extraction success" in out
+    assert "ratio" in out
+
+
+def test_lambada_tuning(capsys):
+    out = _run_example("lambada_tuning", capsys)
+    assert "Table 1" in out
+    assert "no_stop" in out
+
+
+def test_transformer_backend(capsys):
+    out = _run_example("transformer_backend", capsys)
+    assert "loss:" in out
+    assert "The cat" in out
+
+
+def test_keyword_generation(capsys):
+    out = _run_example("keyword_generation", capsys)
+    assert "lantern" in out and "harbor" in out

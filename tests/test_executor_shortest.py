@@ -1,0 +1,172 @@
+"""Tests for the shortest-path (Dijkstra) traversal — §3.3."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.api import prepare
+from repro.core.query import (
+    QuerySearchStrategy,
+    QueryTokenizationStrategy,
+    SearchQuery,
+)
+from repro.lm.base import LanguageModel
+
+
+class UniformModel(LanguageModel):
+    """Uniform next-token distribution: path cost depends only on length."""
+
+    def __init__(self, vocab_size, eos_id):
+        self.vocab_size = vocab_size
+        self.eos_id = eos_id
+        self.max_sequence_length = 64
+
+    def logprobs(self, context):
+        return np.full(self.vocab_size, -math.log(self.vocab_size))
+
+
+class TestOrdering:
+    def test_matches_in_decreasing_probability(self, model, tokenizer):
+        query = SearchQuery("The ((cat)|(dog)|(woman)|(man))")
+        results = list(prepare(model, tokenizer, query))
+        logprobs = [r.total_logprob for r in results]
+        assert logprobs == sorted(logprobs, reverse=True)
+
+    def test_memorised_string_ranks_first(self, model, tokenizer):
+        # "The cat sat on the mat." is in the corpus; other endings are not.
+        query = SearchQuery("The cat sat on the ((mat)|(rug)|(box))\\.")
+        first = next(iter(prepare(model, tokenizer, query)))
+        assert first.text == "The cat sat on the mat."
+
+    def test_exhausts_finite_language(self, model, tokenizer):
+        query = SearchQuery("The ((cat)|(dog))")
+        texts = {r.text for r in prepare(model, tokenizer, query)}
+        assert texts == {"The cat", "The dog"}
+
+    def test_logprob_matches_model_score(self, model, tokenizer):
+        query = SearchQuery("The cat")
+        result = next(iter(prepare(model, tokenizer, query)))
+        expected = model.sequence_logprob(result.tokens)
+        assert result.total_logprob == pytest.approx(expected, abs=1e-9)
+
+    def test_uniform_model_yields_shortest_token_paths_first(self, tokenizer):
+        model = UniformModel(len(tokenizer), tokenizer.eos_id)
+        query = SearchQuery("a{1,4}")
+        results = list(prepare(model, tokenizer, query))
+        lengths = [len(r.tokens) for r in results]
+        assert lengths == sorted(lengths)
+
+
+class TestTopKPruning:
+    def test_topk_prunes_unlikely_strings(self, model, tokenizer):
+        # With greedy decoding only the single most likely branch survives.
+        query = SearchQuery("The ((cat)|(dog))", top_k=None)
+        all_texts = {r.text for r in prepare(model, tokenizer, query)}
+        assert len(all_texts) == 2
+        greedy = SearchQuery("The ((cat)|(dog))", top_k=1)
+        greedy_texts = {r.text for r in prepare(model, tokenizer, greedy)}
+        assert len(greedy_texts) <= 1
+
+    def test_transitive_elimination_counted(self, model, tokenizer):
+        query = SearchQuery("The ((cat)|(dog)|(man)|(woman))", top_k=1)
+        session = prepare(model, tokenizer, query)
+        list(session)
+        assert session.stats.pruned_edges > 0
+
+    def test_prefix_edges_bypass_topk(self, model, tokenizer):
+        # 'George Washington...' is low-probability at the start of text,
+        # but as a prefix it must not be pruned even under top_k=1.
+        query = SearchQuery(
+            "George Washington was born on February 22, 1732\\.",
+            prefix="George Washington was born on",
+            top_k=1,
+        )
+        results = list(prepare(model, tokenizer, query))
+        assert len(results) == 1
+
+
+class TestRequireEos:
+    def test_eos_scored_and_required(self, model, tokenizer):
+        # "The cat sat on the" continues in the corpus; with require_eos
+        # the match must be a plausible full line.
+        query = SearchQuery("The cat sat on the mat\\.", require_eos=True)
+        result = next(iter(prepare(model, tokenizer, query)))
+        without = SearchQuery("The cat sat on the mat\\.")
+        base = next(iter(prepare(model, tokenizer, without)))
+        # EOS step adds cost.
+        assert result.total_logprob < base.total_logprob
+
+    def test_eos_disambiguates_nested_matches(self, model, tokenizer):
+        # Language {"The cat", "The cat sat"}: with require_eos both are
+        # still yielded but ranked by P(string + EOS).
+        query = SearchQuery("The cat( sat)?", require_eos=True)
+        results = list(prepare(model, tokenizer, query))
+        assert {r.text for r in results} == {"The cat", "The cat sat"}
+
+
+class TestDedupe:
+    def test_same_string_different_encodings_deduped(self, model, tokenizer):
+        query = SearchQuery("The cat")
+        session = prepare(model, tokenizer, query)
+        texts = [r.text for r in session]
+        assert len(texts) == len(set(texts)) == 1
+        assert session.stats.duplicates_suppressed >= 0
+
+    def test_dedupe_off_yields_encodings(self, model, tokenizer):
+        query = SearchQuery("The cat")
+        session = prepare(model, tokenizer, query, dedupe=False, max_expansions=3000)
+        texts = [r.text for r in session]
+        assert len(texts) > 1
+        assert set(texts) == {"The cat"}
+
+
+class TestDynamicCanonical:
+    def test_dynamic_canonical_yields_only_canonical(self, model, tokenizer):
+        query = SearchQuery(
+            "[0-9]{2,3}",
+            tokenization=QueryTokenizationStrategy.CANONICAL,
+        )
+        # Force dynamic mode via a tiny enumeration limit.
+        from repro.core.compiler import GraphCompiler
+        from repro.core.executor import Executor
+
+        compiler = GraphCompiler(tokenizer, enumeration_limit=5)
+        compiled = compiler.compile(query)
+        assert compiled.token_automaton.dynamic_canonical
+        executor = Executor(model, compiled, max_expansions=4000)
+        results = list(executor.run())
+        assert results
+        assert all(r.canonical for r in results)
+
+
+class TestBudgets:
+    def test_max_expansions_terminates_search(self, model, tokenizer):
+        query = SearchQuery("[a-z]+")  # infinite language
+        session = prepare(model, tokenizer, query, max_expansions=50)
+        results = list(session)
+        assert session.stats.nodes_expanded <= 50
+
+    def test_sequence_length_caps_matches(self, model, tokenizer):
+        query = SearchQuery("a+", sequence_length=3)
+        session = prepare(model, tokenizer, query, max_expansions=500)
+        for r in session:
+            assert len(r.tokens) <= 3
+
+
+class TestPrefixSemantics:
+    def test_prefix_cost_excluded_from_logprob(self, model, tokenizer):
+        query = SearchQuery(
+            "The cat sat on the mat\\.", prefix="The cat sat on the"
+        )
+        result = next(iter(prepare(model, tokenizer, query)))
+        # total scores everything; logprob scores the suffix only.
+        assert result.logprob > result.total_logprob
+        assert result.prefix_text == "The cat sat on the"
+
+    def test_suffix_text(self, model, tokenizer):
+        query = SearchQuery("The cat sat", prefix="The cat")
+        result = next(iter(prepare(model, tokenizer, query)))
+        assert result.suffix_text == " sat"

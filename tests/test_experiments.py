@@ -1,0 +1,215 @@
+"""Integration tests for the paper-experiment modules.
+
+Each experiment runs at reduced scale and is checked for the paper's
+*shape* claims (who wins, monotonicity) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.experiments.bias import (
+    FIGURE7_CONFIGS,
+    bias_report,
+    classify_gender,
+    classify_profession,
+    edit_positions,
+)
+from repro.experiments.encodings import non_canonical_rate
+from repro.experiments.lambada_eval import (
+    STRATEGIES,
+    build_query,
+    context_words,
+    evaluate_strategy,
+)
+from repro.experiments.memorization import (
+    memorization_report,
+    run_baseline_extraction,
+    run_relm_extraction,
+)
+from repro.experiments.toxicity import (
+    extraction_query,
+    scan_shard,
+    split_prompt,
+    toxicity_report,
+)
+
+
+class TestEnvironment:
+    def test_environment_is_cached(self, env):
+        from repro.experiments.common import get_environment
+
+        assert get_environment(seed=0, scale="test") is env
+
+    def test_models_share_vocab(self, env):
+        assert env.model("xl").vocab_size == env.model("small").vocab_size
+
+    def test_unknown_model_size_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.model("medium")
+
+    def test_unknown_scale_rejected(self):
+        from repro.experiments.common import get_environment
+
+        with pytest.raises(ValueError):
+            get_environment(scale="galactic")
+
+
+class TestMemorization:
+    def test_relm_extracts_popular_urls(self, env):
+        log = run_relm_extraction(env, max_matches=20)
+        valid = log.valid_unique()
+        assert valid
+        # The most popular URL is among the first few extractions.
+        assert env.web.top_urls(1)[0] in valid[:5]
+
+    def test_relm_never_duplicates(self, env):
+        log = run_relm_extraction(env, max_matches=25)
+        candidates = [c for _, c, _, _ in log.events]
+        assert len(candidates) == len(set(candidates))
+
+    def test_baseline_duplicates_grow_at_small_n(self, env):
+        log = run_baseline_extraction(env, stop_length=2, num_samples=80)
+        from repro.analysis.metrics import duplicate_rate
+
+        assert duplicate_rate([c for _, c, _, _ in log.events]) > 0.5
+
+    def test_relm_beats_best_baseline_per_forward_pass(self, env):
+        report = memorization_report(env, relm_matches=25, baseline_samples=80)
+        best_baseline = max(
+            r.urls_per_kfwd for name, r in report.items() if name.startswith("baseline")
+        )
+        assert report["relm"].urls_per_kfwd > best_baseline
+
+    def test_tiny_stop_lengths_fail(self, env):
+        report = memorization_report(
+            env, relm_matches=5, baseline_samples=40, stop_lengths=(1, 2)
+        )
+        assert report["baseline_n1"].unique_valid == 0
+
+
+class TestBias:
+    @pytest.fixture(scope="class")
+    def panels(self, env):
+        return bias_report(env, configs=FIGURE7_CONFIGS, samples_per_gender=60)
+
+    def test_canonical_prefix_shows_stereotypes(self, panels):
+        dist = panels["fig7b_canonical_prefix"].distributions
+        assert dist["man"]["engineering"] > dist["woman"]["engineering"]
+        assert dist["woman"]["medicine"] > dist["man"]["medicine"]
+
+    def test_canonical_most_significant(self, panels):
+        assert (
+            panels["fig7b_canonical_prefix"].chi_square.log10_p
+            < panels["fig7c_canonical_prefix_edits"].chi_square.log10_p
+        )
+
+    def test_edits_flatten_distribution(self, panels):
+        """Observation 3: edits measurably diminish significance."""
+        assert panels["fig7c_canonical_prefix_edits"].chi_square.log10_p > -5
+
+    def test_sample_counts_recorded(self, panels):
+        for panel in panels.values():
+            assert all(n > 0 for n in panel.num_samples.values())
+
+    def test_classifiers(self):
+        assert classify_profession(" engineering") == "engineering"
+        assert classify_profession(" enginering") == "engineering"  # 1 edit
+        assert classify_gender("The woman was trained in art") == "woman"
+        assert classify_gender("The man was trained in art") == "man"
+
+    def test_edit_positions_uniform_edges_skew_early(self, env):
+        norm = edit_positions(env, uniform_edges=False, num_samples=150)
+        unif = edit_positions(env, uniform_edges=True, num_samples=150)
+        assert statistics.median(unif) < statistics.median(norm)
+
+
+class TestToxicity:
+    def test_scan_finds_only_toxic_lines(self, env):
+        result = scan_shard(env)
+        assert result.matches
+        for line in result.matches:
+            assert env.pile.provenance_of(line) != "benign"
+
+    def test_split_prompt(self):
+        prompt, completion = split_prompt("He called me a dimwit yesterday.")
+        assert prompt == "He called me a "
+        assert completion == "dimwit yesterday."
+
+    def test_split_prompt_requires_insult(self):
+        with pytest.raises(ValueError):
+            split_prompt("a perfectly nice sentence")
+
+    def test_query_construction(self):
+        q = extraction_query("He called me a dimwit today.", prompted=True, relm_features=True)
+        assert q.preprocessors
+        assert q.query_string.prefix_str is not None
+        q2 = extraction_query("He called me a dimwit today.", prompted=False, relm_features=False)
+        assert not q2.preprocessors and q2.query_string.prefix_str is None
+
+    def test_relm_rate_at_least_baseline(self, env):
+        report = toxicity_report(env, max_lines=8, volume_cap=20, max_expansions=2500)
+        assert report.prompted_relm_rate >= report.prompted_baseline_rate
+        assert report.unprompted_relm_volume >= report.unprompted_baseline_volume
+
+    def test_edits_unlock_edited_lines(self, env):
+        report = toxicity_report(env, max_lines=10, volume_cap=10, max_expansions=2500)
+        edited = report.by_provenance.get("edited")
+        if edited:  # depends on which lines the scan surfaces first
+            assert edited["relm"] > edited["baseline"]
+
+
+class TestLambada:
+    def test_context_words(self):
+        assert context_words("The cat, the dog.") == ["The", "cat", "the", "dog"]
+
+    def test_query_shapes(self, env):
+        item = env.lambada.items[0]
+        base = build_query(item, "baseline")
+        words = build_query(item, "words")
+        term = build_query(item, "terminated")
+        nostop = build_query(item, "no_stop")
+        assert not base.require_eos and term.require_eos and nostop.require_eos
+        assert nostop.preprocessors
+        assert "[a-zA-Z]+" in base.query_string.query_str
+        assert "[a-zA-Z]+" not in words.query_string.query_str
+
+    def test_unknown_strategy_rejected(self, env):
+        with pytest.raises(ValueError):
+            build_query(env.lambada.items[0], "psychic")
+
+    def test_ladder_on_easy_items(self, env):
+        """Easy items are solved by every strategy."""
+        items = env.lambada.of_kind("easy")[:4]
+        for strategy in STRATEGIES:
+            result = evaluate_strategy(env, strategy, items=items)
+            assert result.accuracy == 1.0, (strategy, result.predictions)
+
+    def test_stopword_items_need_no_stop(self, env):
+        items = env.lambada.of_kind("stopword")
+        base = evaluate_strategy(env, "baseline", items=items)
+        nostop = evaluate_strategy(env, "no_stop", items=items)
+        assert nostop.accuracy > base.accuracy
+
+    def test_multiword_items_need_termination(self, env):
+        items = env.lambada.of_kind("multiword")
+        base = evaluate_strategy(env, "baseline", items=items)
+        term = evaluate_strategy(env, "terminated", items=items)
+        assert term.accuracy > base.accuracy
+
+
+class TestEncodings:
+    def test_rate_in_plausible_band(self, env):
+        report = non_canonical_rate(env, model_size="xl", num_samples=200)
+        assert 0.0 < report.rate < 0.2
+
+    def test_small_model_noisier(self, env):
+        xl = non_canonical_rate(env, model_size="xl", num_samples=300)
+        small = non_canonical_rate(env, model_size="small", num_samples=300)
+        assert small.rate > xl.rate
+
+    def test_examples_capped(self, env):
+        report = non_canonical_rate(env, num_samples=100)
+        assert len(report.examples) <= 8

@@ -1,0 +1,129 @@
+"""End-to-end integration tests: the paper's worked examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import prepare, search
+from repro.core.query import (
+    QuerySearchStrategy,
+    QueryString,
+    QueryTokenizationStrategy,
+    SearchQuery,
+    SimpleSearchQuery,
+)
+
+_MONTHS = "|".join(
+    f"({m})"
+    for m in [
+        "January", "February", "March", "April", "May", "June", "July",
+        "August", "September", "October", "November", "December",
+    ]
+)
+
+
+class TestBirthdateExample:
+    """Figure 1 / Figure 11: the George Washington birth-date query.
+
+    The conftest corpus contains the correct date, so the top match over
+    the full space of dates must be February 22, 1732.
+    """
+
+    def test_figure11_query(self, model, tokenizer):
+        query_string = QueryString(
+            query_str=(
+                f"George Washington was born on ({_MONTHS}) [0-9]{{1,2}}, [0-9]{{4}}"
+            ),
+            prefix_str="George Washington was born on",
+        )
+        query = SimpleSearchQuery(
+            query_string=query_string,
+            search_strategy=QuerySearchStrategy.SHORTEST_PATH,
+            tokenization_strategy=QueryTokenizationStrategy.ALL_TOKENS,
+            top_k_sampling=None,
+            sequence_length=None,
+        )
+        session = prepare(model, tokenizer, query, max_expansions=5000)
+        first = next(iter(session))
+        assert first.text == "George Washington was born on February 22, 1732"
+
+    def test_search_space_is_millions(self):
+        """The paper's point: the date language is too large to enumerate
+        as multiple choice (12 * 110 * 10000 candidates)."""
+        from repro.regex import compile_dfa
+
+        dfa = compile_dfa(f"({_MONTHS}) [0-9]{{1,2}}, [0-9]{{4}}")
+        assert dfa.count_strings() == 13_200_000
+
+
+class TestPhoneNumberExample:
+    """Figure 4: the phone-number query."""
+
+    def test_phone_query_recovers_number(self, model, tokenizer):
+        query = SearchQuery(
+            r"My phone number is ([0-9]{3}) ([0-9]{3}) ([0-9]{4})",
+            prefix="My phone number is",
+            top_k=40,
+        )
+        first = next(search(model, tokenizer, query))
+        assert first.text == "My phone number is 555 123 4567"
+
+    def test_result_iterating_api(self, model, tokenizer):
+        query = SearchQuery(
+            r"My phone number is ([0-9]{3}) ([0-9]{3}) ([0-9]{4})",
+            prefix="My phone number is",
+            top_k=40,
+        )
+        texts = []
+        for x in search(model, tokenizer, query):
+            texts.append(x.text)
+            if len(texts) >= 3:
+                break
+        assert len(set(texts)) == len(texts)
+
+
+class TestTransformerEndToEnd:
+    """The engine is model-agnostic: run a query against the NumPy
+    transformer."""
+
+    def test_transformer_backed_search(self, tokenizer):
+        from repro.lm.transformer import TransformerConfig, TransformerModel
+
+        config = TransformerConfig(
+            vocab_size=len(tokenizer), block_size=24, n_layer=1, n_head=2, n_embd=32
+        )
+        lm = TransformerModel(config, eos_id=tokenizer.eos_id, seed=0)
+        corpus = ["The cat sat on the mat.", "The dog ate the cat food."] * 30
+        lm.fit([tokenizer.encode(line) for line in corpus], steps=250, batch_size=8, lr=1e-2)
+        query = SearchQuery("The ((cat)|(dog))")
+        results = list(prepare(lm, tokenizer, query, max_expansions=4000))
+        assert {r.text for r in results} == {"The cat", "The dog"}
+
+    def test_transformer_random_sampling(self, tokenizer):
+        from repro.lm.transformer import TransformerConfig, TransformerModel
+
+        config = TransformerConfig(
+            vocab_size=len(tokenizer), block_size=24, n_layer=1, n_head=2, n_embd=32
+        )
+        lm = TransformerModel(config, eos_id=tokenizer.eos_id, seed=1)
+        lm.fit([tokenizer.encode("The cat sat.")] * 40, steps=120, batch_size=8, lr=1e-2)
+        query = SearchQuery(
+            "The ((cat)|(dog))",
+            strategy=QuerySearchStrategy.RANDOM_SAMPLING,
+            num_samples=5,
+            seed=0,
+        )
+        results = list(prepare(lm, tokenizer, query, max_attempts=200))
+        for r in results:
+            assert r.text in ("The cat", "The dog")
+
+
+class TestStatsAccounting:
+    def test_stats_track_pruning_and_calls(self, model, tokenizer):
+        query = SearchQuery("The ((cat)|(dog)|(man)|(woman))", top_k=2)
+        session = prepare(model, tokenizer, query)
+        list(session)
+        stats = session.stats
+        assert stats.lm_calls > 0
+        assert stats.tokens_scored >= stats.lm_calls
+        assert stats.matches_yielded >= 1

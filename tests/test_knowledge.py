@@ -1,0 +1,98 @@
+"""Tests for the Figure 1 knowledge experiment (repro.experiments.knowledge)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.knowledge import (
+    FACTS,
+    FIGURE1_CHOICES,
+    date_pattern,
+    figure1_report,
+    free_response,
+    knowledge_world,
+    multiple_choice,
+    structured_query,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return knowledge_world(0)
+
+
+class TestMultipleChoice:
+    def test_xl_picks_correct_date(self, world):
+        ranking = multiple_choice(world)
+        assert ranking[0][0] == "February 22, 1732"
+
+    def test_scores_sorted(self, world):
+        ranking = multiple_choice(world)
+        scores = [lp for _, lp in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_candidate_list_dependence(self, world):
+        """The paper's fragility: drop the correct answer and the argmax
+        silently becomes a wrong-but-confident candidate."""
+        bad_choices = tuple(c for c in FIGURE1_CHOICES if c != "February 22, 1732")
+        ranking = multiple_choice(world, choices=bad_choices)
+        assert ranking[0][0] != "February 22, 1732"  # trivially
+        assert len(ranking) == 3
+
+    def test_other_subjects(self, world):
+        ranking = multiple_choice(
+            world, subject="John Adams",
+            choices=("October 30, 1735", "February 22, 1732", "a farm"),
+        )
+        assert ranking[0][0] == "October 30, 1735"
+
+
+class TestFreeResponse:
+    def test_xl_mostly_correct(self, world):
+        buckets = free_response(world, num_samples=30)
+        assert buckets["correct"] > buckets["unexpected"]
+
+    def test_small_wanders(self, world):
+        buckets = free_response(world, num_samples=30, model_size="small")
+        assert buckets["correct"] < 30  # cannot reliably produce the date
+
+    def test_buckets_partition_samples(self, world):
+        buckets = free_response(world, num_samples=25)
+        assert sum(buckets.values()) == 25
+
+
+class TestStructuredQuery:
+    def test_search_space_size(self):
+        from repro.regex import compile_dfa
+
+        assert compile_dfa(date_pattern()).count_strings() == 13_200_000
+
+    def test_xl_rank_one(self, world):
+        top = structured_query(world, top_n=5)
+        assert top[0][0] == "February 22, 1732"
+
+    def test_small_correct_in_top10(self, world):
+        """The paper: the correct prediction is in the top 10 even when
+        the top-1 is wrong."""
+        top = structured_query(world, top_n=10, model_size="small")
+        assert "February 22, 1732" in [d for d, _ in top]
+
+    def test_results_only_dates(self, world):
+        import re as pyre
+
+        compiled = pyre.compile(date_pattern())
+        for date, _ in structured_query(world, top_n=8):
+            assert compiled.fullmatch(date), date
+
+
+class TestReport:
+    def test_report_bundles_panels(self):
+        report = figure1_report()
+        assert report.correct == "February 22, 1732"
+        assert report.structured_rank == 1
+        assert sum(report.free_response.values()) > 0
+
+    def test_every_fact_answerable_by_xl(self, world):
+        for subject, date in FACTS:
+            top = structured_query(world, subject=subject, top_n=3)
+            assert top[0][0] == date, subject

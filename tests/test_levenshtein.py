@@ -1,0 +1,88 @@
+"""Tests for Levenshtein automata (repro.automata.levenshtein)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.text import edit_distance
+from repro.automata.levenshtein import levenshtein_expand
+from repro.regex import compile_dfa
+
+#: Small alphabet for brute-force comparisons.
+_SIGMA = "abc"
+
+
+def _brute_within(dfa, text: str, k: int, probes: list[str]) -> bool:
+    return any(edit_distance(text, p) <= k for p in probes)
+
+
+class TestDistanceOne:
+    def test_membership_examples(self):
+        lv = levenshtein_expand(compile_dfa("cat"), 1)
+        for s in ["cat", "bat", "cut", "ca", "at", "cats", "coat", "cart"]:
+            assert lv.accepts_string(s), s
+
+    def test_non_members(self):
+        lv = levenshtein_expand(compile_dfa("cat"), 1)
+        for s in ["dog", "c", "catsx", "cr", ""]:
+            assert not lv.accepts_string(s), s
+
+    def test_distance_zero_is_identity(self):
+        base = compile_dfa("ab|cd")
+        lv = levenshtein_expand(base, 0)
+        assert sorted(lv.enumerate_strings()) == ["ab", "cd"]
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            levenshtein_expand(compile_dfa("a"), -1)
+
+    def test_expansion_of_alternation(self):
+        lv = levenshtein_expand(compile_dfa("(ab)|(cd)"), 1)
+        assert lv.accepts_string("ad")  # 1 sub from ab... and from cd
+        assert lv.accepts_string("abd")  # insertion
+        assert not lv.accepts_string("xy")
+
+
+class TestDistanceTwo:
+    def test_two_edits(self):
+        lv = levenshtein_expand(compile_dfa("hello"), 2)
+        assert lv.accepts_string("hello")
+        assert lv.accepts_string("hxllx")  # two substitutions
+        assert lv.accepts_string("hel")  # two deletions
+        assert not lv.accepts_string("h")  # four deletions
+
+    def test_budget_composes(self):
+        # distance-1 twice == distance-2 membership on probes.
+        base = compile_dfa("abc")
+        once = levenshtein_expand(base, 1)
+        twice = levenshtein_expand(once, 1)
+        two = levenshtein_expand(base, 2)
+        for probe in ["abc", "ab", "a", "abcde", "xbc", "xyc", "xyz"]:
+            assert twice.accepts_string(probe) == two.accepts_string(probe), probe
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    word=st.text(alphabet=_SIGMA, min_size=1, max_size=4),
+    probe=st.text(alphabet=_SIGMA, max_size=5),
+)
+def test_single_word_distance1_matches_edit_distance(word, probe):
+    lv = levenshtein_expand(compile_dfa(word), 1)
+    assert lv.accepts_string(probe) == (edit_distance(word, probe) <= 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    words=st.lists(
+        st.text(alphabet=_SIGMA, min_size=1, max_size=3), min_size=1, max_size=3, unique=True
+    ),
+    probe=st.text(alphabet=_SIGMA, max_size=4),
+)
+def test_language_distance1_matches_min_edit_distance(words, probe):
+    from repro.automata.dfa import DFA
+
+    lv = levenshtein_expand(DFA.from_strings(words), 1)
+    expected = min(edit_distance(w, probe) for w in words) <= 1
+    assert lv.accepts_string(probe) == expected

@@ -1,0 +1,94 @@
+"""Tests for the LM interface and logits cache (repro.lm.base)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lm.base import LanguageModel, LogitsCache
+from repro.lm.decoding import DecodingPolicy
+
+
+class CountingModel(LanguageModel):
+    """Deterministic toy model that counts its forward passes."""
+
+    def __init__(self, vocab_size=8):
+        self.vocab_size = vocab_size
+        self.eos_id = vocab_size - 1
+        self.max_sequence_length = 32
+        self.calls = 0
+
+    def logprobs(self, context):
+        self.calls += 1
+        # Distribution depends on context length so caching is observable.
+        base = np.arange(1.0, self.vocab_size + 1.0) + (len(context) % 3)
+        return np.log(base / base.sum())
+
+
+class TestLogitsCache:
+    def test_repeat_lookup_hits_cache(self):
+        model = CountingModel()
+        cache = LogitsCache(model, capacity=16)
+        cache.logprobs((1, 2))
+        cache.logprobs((1, 2))
+        assert model.calls == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_different_contexts_miss(self):
+        model = CountingModel()
+        cache = LogitsCache(model, capacity=16)
+        cache.logprobs((1,))
+        cache.logprobs((2,))
+        assert model.calls == 2
+
+    def test_lru_eviction(self):
+        model = CountingModel()
+        cache = LogitsCache(model, capacity=2)
+        cache.logprobs((1,))
+        cache.logprobs((2,))
+        cache.logprobs((3,))  # evicts (1,)
+        cache.logprobs((1,))
+        assert model.calls == 4
+
+    def test_hit_rate(self):
+        model = CountingModel()
+        cache = LogitsCache(model, capacity=4)
+        assert cache.hit_rate == 0.0
+        cache.logprobs(())
+        cache.logprobs(())
+        assert cache.hit_rate == 0.5
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LogitsCache(CountingModel(), capacity=0)
+
+
+class TestGenerate:
+    def test_respects_max_new_tokens(self, rng):
+        model = CountingModel()
+        out = model.generate([0], rng, max_new_tokens=5)
+        assert len(out) <= 5
+
+    def test_policy_restricts_sampling(self, rng):
+        model = CountingModel()
+        policy = DecodingPolicy(top_k=1)
+        out = model.generate([0], rng, max_new_tokens=4, policy=policy, stop_at_eos=False)
+        # Greedy on this model always picks the max-index token.
+        assert all(t == model.vocab_size - 1 for t in out)
+
+    def test_stop_at_eos(self, rng):
+        model = CountingModel()
+        out = model.generate([0], rng, max_new_tokens=20, policy=DecodingPolicy(top_k=1))
+        # Greedy immediately picks EOS (the most likely token) and stops.
+        assert out == []
+
+
+class TestSequenceLogprob:
+    def test_empty_sequence_is_zero(self):
+        assert CountingModel().sequence_logprob([]) == 0.0
+
+    def test_additivity(self):
+        model = CountingModel()
+        a = model.sequence_logprob([1, 2])
+        b = model.sequence_logprob([1]) + model.sequence_logprob([2], prefix=[1])
+        assert abs(a - b) < 1e-12

@@ -1,0 +1,110 @@
+"""Unit tests for the NFA layer (repro.automata.nfa)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.nfa import NFA, nfa_from_ast
+from repro.regex import ast_nodes as ast
+from repro.regex.parser import parse
+
+
+class TestEpsilonClosure:
+    def test_reflexive(self):
+        nfa = NFA(start=0, accepts=set())
+        nfa.num_states = 1
+        assert nfa.epsilon_closure({0}) == frozenset({0})
+
+    def test_transitive(self):
+        nfa = NFA(start=0, accepts=set())
+        nfa.num_states = 4
+        nfa.add_epsilon(0, 1)
+        nfa.add_epsilon(1, 2)
+        nfa.add_epsilon(2, 3)
+        assert nfa.epsilon_closure({0}) == frozenset({0, 1, 2, 3})
+
+    def test_cyclic_epsilons_terminate(self):
+        nfa = NFA(start=0, accepts=set())
+        nfa.num_states = 2
+        nfa.add_epsilon(0, 1)
+        nfa.add_epsilon(1, 0)
+        assert nfa.epsilon_closure({0}) == frozenset({0, 1})
+
+    def test_closure_of_set(self):
+        nfa = NFA(start=0, accepts=set())
+        nfa.num_states = 4
+        nfa.add_epsilon(0, 2)
+        nfa.add_epsilon(1, 3)
+        assert nfa.epsilon_closure({0, 1}) == frozenset({0, 1, 2, 3})
+
+
+class TestThompsonConstruction:
+    def test_empty_set_matches_nothing(self):
+        nfa = nfa_from_ast(ast.EmptySet())
+        assert not nfa.accepts_string("")
+        assert not nfa.accepts_string("a")
+
+    def test_epsilon_matches_empty_only(self):
+        nfa = nfa_from_ast(ast.Epsilon())
+        assert nfa.accepts_string("")
+        assert not nfa.accepts_string("a")
+
+    def test_literal(self):
+        nfa = nfa_from_ast(ast.Literal("x"))
+        assert nfa.accepts_string("x")
+        assert not nfa.accepts_string("")
+        assert not nfa.accepts_string("xx")
+
+    def test_star_includes_empty(self):
+        nfa = nfa_from_ast(parse("a*"))
+        for s in ["", "a", "aaaa"]:
+            assert nfa.accepts_string(s)
+        assert not nfa.accepts_string("b")
+
+    def test_plus_excludes_empty(self):
+        nfa = nfa_from_ast(parse("a+"))
+        assert not nfa.accepts_string("")
+        assert nfa.accepts_string("aaa")
+
+    def test_repeat_bounds(self):
+        nfa = nfa_from_ast(parse("a{2,3}"))
+        assert not nfa.accepts_string("a")
+        assert nfa.accepts_string("aa")
+        assert nfa.accepts_string("aaa")
+        assert not nfa.accepts_string("aaaa")
+
+    def test_repeat_zero_times(self):
+        nfa = nfa_from_ast(parse("a{0}"))
+        assert nfa.accepts_string("")
+        assert not nfa.accepts_string("a")
+
+    def test_unknown_node_rejected(self):
+        class Bogus(ast.RegexNode):
+            pass
+
+        with pytest.raises(TypeError):
+            nfa_from_ast(Bogus())
+
+
+class TestLiteralValidation:
+    def test_multichar_literal_rejected(self):
+        with pytest.raises(ValueError):
+            ast.Literal("ab")
+
+    def test_charclass_coerces_to_frozenset(self):
+        node = ast.CharClass({"a", "b"})  # type: ignore[arg-type]
+        assert isinstance(node.chars, frozenset)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    text=st.text(alphabet="ab", max_size=6),
+    reps=st.integers(0, 3),
+)
+def test_star_accepts_exact_repetitions(text, reps):
+    nfa = nfa_from_ast(parse("(ab)*"))
+    assert nfa.accepts_string("ab" * reps)
+    expected = len(text) % 2 == 0 and text == "ab" * (len(text) // 2)
+    assert nfa.accepts_string(text) == expected

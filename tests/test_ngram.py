@@ -1,0 +1,129 @@
+"""Tests for the n-gram language model (repro.lm.ngram)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lm.ngram import NGramModel
+from repro.tokenizers.bpe import train_bpe
+
+_CORPUS = ["the cat sat on the mat", "the cat ate the fish", "a dog sat on the rug"] * 20
+
+
+@pytest.fixture(scope="module")
+def tok():
+    return train_bpe(_CORPUS, vocab_size=180)
+
+
+@pytest.fixture(scope="module")
+def lm(tok):
+    return NGramModel.train_on_text(_CORPUS, tok, order=4, alpha=0.1)
+
+
+class TestDistribution:
+    def test_proper_distribution_everywhere(self, lm, tok):
+        for ctx in [[], tok.encode("the cat"), tok.encode("zz qq"), tok.encode("a dog sat")]:
+            lp = lm.logprobs(ctx)
+            assert lp.shape == (lm.vocab_size,)
+            assert abs(np.exp(lp).sum() - 1.0) < 1e-9
+
+    def test_full_support(self, lm, tok):
+        lp = lm.logprobs(tok.encode("the"))
+        assert np.all(np.isfinite(lp))  # smoothing: every token has p > 0
+
+    def test_memorises_continuations(self, lm, tok):
+        ctx = tok.encode("the cat sat on the")
+        best = int(np.argmax(lm.logprobs(ctx)))
+        assert tok.vocab.token_of(best) == " mat"
+
+    def test_seen_beats_unseen(self, lm, tok):
+        ctx = tok.encode("the cat")
+        lp = lm.logprobs(ctx)
+        seen = tok.encode(" sat")[0]
+        unseen = tok.vocab.id_of("Z")
+        assert lp[seen] > lp[unseen]
+
+    def test_bos_padding_shapes_sentence_starts(self, lm, tok):
+        # Sentence-initial tokens dominate the empty-context distribution.
+        lp = lm.logprobs([])
+        best = tok.vocab.token_of(int(np.argmax(lp)))
+        assert best in ("the", "a")
+
+    def test_eos_predicted_at_line_end(self, lm, tok):
+        ctx = tok.encode("the cat sat on the mat")
+        lp = lm.logprobs(ctx)
+        assert int(np.argmax(lp)) == lm.eos_id
+
+
+class TestTraining:
+    def test_fit_accumulates(self, tok):
+        m = NGramModel(vocab_size=len(tok), eos_id=tok.eos_id, order=3)
+        m.fit([tok.encode("the cat")])
+        before = m.num_parameters()
+        m.fit([tok.encode("a dog")])
+        assert m.num_parameters() > before
+
+    def test_unfitted_raises(self, tok):
+        m = NGramModel(vocab_size=len(tok), eos_id=tok.eos_id, order=2)
+        with pytest.raises(RuntimeError):
+            m.logprobs([])
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            NGramModel(vocab_size=10, eos_id=0, order=0)
+
+    def test_zero_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            NGramModel(vocab_size=10, eos_id=0, alpha=0.0)
+
+    def test_context_count(self, lm, tok):
+        assert lm.context_count(tok.encode("the cat sat")) > 0
+        assert lm.context_count(tok.encode("zz qq zz")) == 0
+
+    def test_encoding_noise_plants_noncanonical(self, tok):
+        noisy = NGramModel.train_on_text(
+            _CORPUS, tok, order=3, encoding_noise=1.0, noise_seed=1
+        )
+        clean = NGramModel.train_on_text(_CORPUS, tok, order=3)
+        # The noisy model has different statistics (split tokens counted).
+        assert noisy.num_parameters() != clean.num_parameters()
+
+
+class TestOrderBehaviour:
+    def test_higher_order_sharper_on_long_context(self, tok):
+        low = NGramModel.train_on_text(_CORPUS, tok, order=2, alpha=0.1)
+        high = NGramModel.train_on_text(_CORPUS, tok, order=5, alpha=0.1)
+        ctx = tok.encode("the cat sat on the")
+        target = tok.encode(" mat")[0]
+        assert high.logprobs(ctx)[target] >= low.logprobs(ctx)[target]
+
+    def test_unigram_model_ignores_context(self, tok):
+        uni = NGramModel.train_on_text(_CORPUS, tok, order=1, alpha=0.1)
+        a = uni.logprobs(tok.encode("the cat"))
+        b = uni.logprobs(tok.encode("a dog"))
+        assert np.allclose(a, b)
+
+
+class TestSequenceScoring:
+    def test_chain_rule(self, lm, tok):
+        tokens = tok.encode("the cat sat")
+        total = lm.sequence_logprob(tokens)
+        manual = 0.0
+        ctx: list[int] = []
+        for t in tokens:
+            manual += float(lm.logprobs(ctx)[t])
+            ctx.append(t)
+        assert abs(total - manual) < 1e-9
+
+    def test_prefix_not_scored(self, lm, tok):
+        prefix = tok.encode("the cat")
+        suffix = tok.encode(" sat")
+        conditional = lm.sequence_logprob(suffix, prefix=prefix)
+        joint = lm.sequence_logprob(prefix + suffix)
+        assert conditional > joint  # prefix mass excluded
+
+    def test_generate_stops_at_eos(self, lm, tok, rng):
+        out = lm.generate(tok.encode("the cat sat on the mat"), rng, max_new_tokens=50)
+        assert lm.eos_id not in out
+        assert len(out) <= 50

@@ -1,0 +1,95 @@
+"""Tests for query objects and the top-level API (repro.core.query/api)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import prepare, search
+from repro.core.query import (
+    QuerySearchStrategy,
+    QueryString,
+    QueryTokenizationStrategy,
+    SearchQuery,
+    SimpleSearchQuery,
+)
+
+
+class TestSearchQueryConstructor:
+    def test_figure4_form(self):
+        query = SearchQuery(
+            r"My phone number is ([0-9]{3}) ([0-9]{3}) ([0-9]{4})",
+            prefix="My phone number is",
+            top_k=40,
+        )
+        assert query.top_k_sampling == 40
+        assert query.query_string.prefix_str == "My phone number is"
+        assert query.query_string.query_str.startswith("My phone number is")
+
+    def test_prefix_prepended_when_absent(self):
+        query = SearchQuery(" ([0-9]+)", prefix="Count:")
+        assert query.query_string.query_str == "Count: ([0-9]+)"
+
+    def test_prefix_not_duplicated_when_present(self):
+        query = SearchQuery("abc def", prefix="abc")
+        assert query.query_string.query_str == "abc def"
+
+    def test_defaults(self):
+        query = SearchQuery("a")
+        assert query.search_strategy is QuerySearchStrategy.SHORTEST_PATH
+        assert query.tokenization_strategy is QueryTokenizationStrategy.ALL_TOKENS
+        assert query.top_k_sampling is None
+        assert not query.require_eos
+
+    def test_with_replaces_fields(self):
+        query = SearchQuery("a")
+        changed = query.with_(num_samples=7, seed=3)
+        assert changed.num_samples == 7 and changed.seed == 3
+        assert query.num_samples is None  # original untouched
+
+
+class TestFigure11Form:
+    def test_simple_search_query(self):
+        months = "|".join(
+            ["(January)", "(February)", "(March)", "(April)", "(May)", "(June)",
+             "(July)", "(August)", "(September)", "(October)", "(November)",
+             "(December)"]
+        )
+        query_string = QueryString(
+            query_str=f"George Washington was born on ({months}) [0-9]{{1,2}}, [0-9]{{4}}",
+            prefix_str="George Washington was born on",
+        )
+        query = SimpleSearchQuery(
+            query_string=query_string,
+            search_strategy=QuerySearchStrategy.SHORTEST_PATH,
+            tokenization_strategy=QueryTokenizationStrategy.ALL_TOKENS,
+            top_k_sampling=None,
+            sequence_length=None,
+        )
+        assert query.query_string.prefix_str.endswith("born on")
+
+
+class TestSearchApi:
+    def test_search_returns_iterator(self, model, tokenizer):
+        results = search(model, tokenizer, SearchQuery("The ((cat)|(dog))"))
+        first = next(results)
+        assert first.text in ("The cat", "The dog")
+
+    def test_prepare_exposes_stats(self, model, tokenizer):
+        session = prepare(model, tokenizer, SearchQuery("The cat"))
+        list(session)
+        stats = session.stats.as_dict()
+        assert stats["matches_yielded"] == 1
+        assert stats["lm_calls"] > 0
+
+    def test_figure2_example(self, model, tokenizer):
+        """The worked example of Figure 2: `The ((cat)|(dog))` returns
+        `The cat` (the corpus's most likely branch first)."""
+        results = list(search(model, tokenizer, SearchQuery("The ((cat)|(dog))", top_k=40)))
+        assert results[0].text in ("The cat", "The dog")
+        assert {r.text for r in results} <= {"The cat", "The dog"}
+
+    def test_invalid_pattern_raises_at_compile(self, model, tokenizer):
+        from repro.regex.parser import RegexSyntaxError
+
+        with pytest.raises(RegexSyntaxError):
+            prepare(model, tokenizer, SearchQuery("(unclosed"))

@@ -1,0 +1,108 @@
+"""Differential and property-based tests: our regex engine vs Python's
+``re``.
+
+Random patterns from a restricted generator are compiled both ways and
+compared on random candidate strings.  This is the strongest correctness
+evidence for the parser → NFA → DFA pipeline.
+"""
+
+from __future__ import annotations
+
+import re as pyre
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regex import compile_dfa, escape
+
+# -- pattern generator ----------------------------------------------------------
+# A recursive strategy over the shared dialect (literals from a small
+# alphabet, classes, alternation, concat, bounded repetition).
+
+_LITERALS = "abc01"
+
+_literal = st.sampled_from(_LITERALS).map(lambda c: c)
+_char_class = st.lists(
+    st.sampled_from(_LITERALS), min_size=1, max_size=3, unique=True
+).map(lambda cs: "[" + "".join(sorted(cs)) + "]")
+
+_atom = st.one_of(_literal, _char_class)
+
+
+def _combine(children):
+    return st.one_of(
+        st.tuples(children, children).map(lambda t: t[0] + t[1]),
+        st.tuples(children, children).map(lambda t: f"({t[0]}|{t[1]})"),
+        children.map(lambda c: f"({c})*"),
+        children.map(lambda c: f"({c})?"),
+        children.map(lambda c: f"({c})+"),
+        children.map(lambda c: f"({c}){{1,2}}"),
+    )
+
+
+_pattern = st.recursive(_atom, _combine, max_leaves=8)
+
+_candidate = st.text(alphabet=_LITERALS, max_size=8)
+
+
+@settings(max_examples=200, deadline=None)
+@given(pattern=_pattern, text=_candidate)
+def test_matches_python_re(pattern, text):
+    """Full-match agreement with the stdlib engine on random inputs."""
+    ours = compile_dfa(pattern)
+    theirs = pyre.compile(pattern)
+    assert ours.accepts_string(text) == bool(theirs.fullmatch(text)), (
+        pattern,
+        text,
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(pattern=_pattern)
+def test_enumerated_strings_all_match(pattern):
+    """Every string our DFA enumerates full-matches under Python re."""
+    dfa = compile_dfa(pattern)
+    theirs = pyre.compile(pattern)
+    for s in dfa.enumerate_strings(limit=20, max_length=10):
+        assert theirs.fullmatch(s), (pattern, s)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pattern=_pattern, text=_candidate)
+def test_nfa_and_dfa_agree(pattern, text):
+    """The unminimised NFA and the minimised DFA define the same
+    language."""
+    from repro.automata.nfa import nfa_from_ast
+    from repro.regex.parser import parse
+
+    nfa = nfa_from_ast(parse(pattern))
+    dfa = compile_dfa(pattern)
+    assert nfa.accepts_string(text) == dfa.accepts_string(text)
+
+
+@settings(max_examples=100, deadline=None)
+@given(text=st.text(alphabet=_LITERALS + "().*+?[]{}|\\", max_size=10))
+def test_escape_roundtrip(text):
+    """escape(s) compiles to the singleton language {s}."""
+    dfa = compile_dfa(escape(text))
+    assert dfa.accepts_string(text)
+    assert dfa.count_strings() == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(p1=_pattern, p2=_pattern, text=_candidate)
+def test_product_ops_semantics(p1, p2, text):
+    """Intersection/union/difference behave set-theoretically."""
+    a, b = compile_dfa(p1), compile_dfa(p2)
+    in_a, in_b = a.accepts_string(text), b.accepts_string(text)
+    assert a.intersect(b).accepts_string(text) == (in_a and in_b)
+    assert a.union(b).accepts_string(text) == (in_a or in_b)
+    assert a.difference(b).accepts_string(text) == (in_a and not in_b)
+
+
+@settings(max_examples=80, deadline=None)
+@given(pattern=_pattern, text=_candidate)
+def test_minimization_preserves_language(pattern, text):
+    raw = compile_dfa(pattern, minimize=False)
+    mini = raw.minimized()
+    assert raw.accepts_string(text) == mini.accepts_string(text)

@@ -1,0 +1,174 @@
+"""Unit tests for the regex parser (repro.regex.parser)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.alphabet import ALPHABET_SET, DIGITS, WORD_CHARS
+from repro.regex import ast_nodes as ast
+from repro.regex.parser import RegexSyntaxError, parse
+
+
+class TestLiteralsAndConcat:
+    def test_single_literal(self):
+        assert parse("a") == ast.Literal("a")
+
+    def test_concatenation(self):
+        node = parse("abc")
+        assert isinstance(node, ast.Concat)
+        assert node.parts == (ast.Literal("a"), ast.Literal("b"), ast.Literal("c"))
+
+    def test_empty_pattern_is_epsilon(self):
+        assert parse("") == ast.Epsilon()
+
+    def test_space_is_a_literal(self):
+        node = parse("a b")
+        assert node.parts[1] == ast.Literal(" ")
+
+    def test_grouping_is_transparent(self):
+        assert parse("(a)") == ast.Literal("a")
+        assert parse("((a))") == ast.Literal("a")
+
+
+class TestAlternation:
+    def test_two_way(self):
+        node = parse("a|b")
+        assert isinstance(node, ast.Alternation)
+        assert node.options == (ast.Literal("a"), ast.Literal("b"))
+
+    def test_n_way_stays_flat(self):
+        node = parse("a|b|c|d")
+        assert len(node.options) == 4
+
+    def test_precedence_concat_binds_tighter(self):
+        node = parse("ab|cd")
+        assert isinstance(node, ast.Alternation)
+        assert all(isinstance(opt, ast.Concat) for opt in node.options)
+
+    def test_empty_branch_is_epsilon(self):
+        node = parse("a|")
+        assert node.options[1] == ast.Epsilon()
+
+    def test_paper_query_shape(self):
+        node = parse("The ((cat)|(dog))")
+        assert isinstance(node, ast.Concat)
+        assert isinstance(node.parts[-1], ast.Alternation)
+
+
+class TestRepetition:
+    def test_star(self):
+        assert parse("a*") == ast.Star(ast.Literal("a"))
+
+    def test_plus(self):
+        assert parse("a+") == ast.Plus(ast.Literal("a"))
+
+    def test_optional(self):
+        assert parse("a?") == ast.Optional(ast.Literal("a"))
+
+    def test_star_applies_to_previous_atom_only(self):
+        node = parse("ab*")
+        assert node.parts[0] == ast.Literal("a")
+        assert node.parts[1] == ast.Star(ast.Literal("b"))
+
+    def test_star_applies_to_group(self):
+        node = parse("(ab)*")
+        assert isinstance(node, ast.Star)
+        assert isinstance(node.child, ast.Concat)
+
+    def test_braced_exact(self):
+        assert parse("a{3}") == ast.Repeat(ast.Literal("a"), 3, 3)
+
+    def test_braced_range(self):
+        assert parse("a{2,5}") == ast.Repeat(ast.Literal("a"), 2, 5)
+
+    def test_braced_open_ended(self):
+        assert parse("a{2,}") == ast.Repeat(ast.Literal("a"), 2, None)
+
+    def test_stacked_quantifiers(self):
+        node = parse("a*?")
+        assert node == ast.Optional(ast.Star(ast.Literal("a")))
+
+    def test_reversed_brace_range_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{5,2}")
+
+
+class TestCharClasses:
+    def test_simple_class(self):
+        assert parse("[abc]") == ast.CharClass(frozenset("abc"))
+
+    def test_range(self):
+        assert parse("[a-e]") == ast.CharClass(frozenset("abcde"))
+
+    def test_multiple_ranges(self):
+        node = parse("[a-cx-z0-1]")
+        assert node.chars == frozenset("abcxyz01")
+
+    def test_negation(self):
+        node = parse("[^a]")
+        assert node.chars == frozenset(ALPHABET_SET) - {"a"}
+
+    def test_literal_dash_at_end(self):
+        node = parse("[a-]")
+        assert node.chars == frozenset("a-")
+
+    def test_paper_url_class(self):
+        node = parse("[a-zA-Z0-9]")
+        assert len(node.chars) == 62
+
+    def test_dot_matches_alphabet(self):
+        node = parse(".")
+        assert node.chars == frozenset(ALPHABET_SET)
+
+    def test_close_bracket_first_is_literal(self):
+        node = parse("[]a]")
+        assert node.chars == frozenset("]a")
+
+    def test_unterminated_class_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[abc")
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[z-a]")
+
+
+class TestEscapes:
+    def test_escaped_metachars(self):
+        for ch in "()[]{}|*+?.\\":
+            assert parse("\\" + ch) == ast.Literal(ch)
+
+    def test_digit_class(self):
+        assert parse("\\d") == ast.CharClass(DIGITS)
+
+    def test_word_class(self):
+        assert parse("\\w") == ast.CharClass(WORD_CHARS)
+
+    def test_negated_classes_partition_alphabet(self):
+        d, nd = parse("\\d"), parse("\\D")
+        assert d.chars | nd.chars == frozenset(ALPHABET_SET)
+        assert not d.chars & nd.chars
+
+    def test_newline_escape(self):
+        assert parse("\\n") == ast.Literal("\n")
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("\\q")
+
+    def test_dangling_escape_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("abc\\")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("pattern", ["(a", "a)", "*a", "a{", "a{x}", "+", "?"])
+    def test_malformed_patterns_rejected(self, pattern):
+        with pytest.raises(RegexSyntaxError):
+            parse(pattern)
+
+    def test_error_carries_position(self):
+        with pytest.raises(RegexSyntaxError) as excinfo:
+            parse("ab[")
+        assert excinfo.value.pos >= 2
+        assert excinfo.value.pattern == "ab["

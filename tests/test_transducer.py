@@ -1,0 +1,88 @@
+"""Tests for finite-state transducers (repro.automata.transducer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.alphabet import ALPHABET
+from repro.automata.transducer import FST, identity_fst, replace_fst
+from repro.regex import compile_dfa
+
+
+class TestIdentity:
+    def test_preserves_language(self):
+        fst = identity_fst("abc")
+        dfa = compile_dfa("(ab)|(ba)")
+        image = fst.apply_dfa(dfa)
+        assert sorted(image.enumerate_strings()) == ["ab", "ba"]
+
+    def test_drops_strings_outside_fst_alphabet(self):
+        fst = identity_fst("a")
+        image = fst.apply_dfa(compile_dfa("a|b"))
+        assert sorted(image.enumerate_strings()) == ["a"]
+
+
+class TestReplace:
+    def test_optional_rewrite_keeps_both(self):
+        fst = replace_fst({"a": "A"}, ALPHABET)
+        image = fst.apply_dfa(compile_dfa("cat"))
+        assert sorted(image.enumerate_strings()) == ["cAt", "cat"]
+
+    def test_multiple_positions(self):
+        fst = replace_fst({"a": "x"}, "abc")
+        image = fst.apply_dfa(compile_dfa("aa"))
+        assert sorted(image.enumerate_strings()) == ["aa", "ax", "xa", "xx"]
+
+
+class TestCustomFST:
+    def test_deleting_transducer(self):
+        # Maps 'b' to epsilon, identity elsewhere: image of "abc" is "ac".
+        fst = FST(start=0, accepts={0})
+        fst.num_states = 1
+        for ch in "ac":
+            fst.add_edge(0, ch, ch, 0)
+        fst.add_edge(0, "b", None, 0)
+        image = fst.apply_dfa(compile_dfa("abc"))
+        assert sorted(image.enumerate_strings()) == ["ac"]
+
+    def test_inserting_transducer(self):
+        # Inserts an optional '!' anywhere (epsilon input, '!' output).
+        fst = identity_fst("ab")
+        fst.add_edge(0, None, "!", 0)
+        image = fst.apply_dfa(compile_dfa("ab"))
+        assert image.accepts_string("ab")
+        assert image.accepts_string("a!b")
+        assert image.accepts_string("!ab!")
+
+    def test_two_state_transducer(self):
+        # Uppercases only the first character.
+        fst = FST(start=0, accepts={1})
+        fst.num_states = 2
+        fst.add_edge(0, "a", "A", 1)
+        for ch in "ab":
+            fst.add_edge(1, ch, ch, 1)
+        image = fst.apply_dfa(compile_dfa("ab|aa"))
+        assert sorted(image.enumerate_strings()) == ["Aa", "Ab"]
+
+    def test_bad_labels_rejected(self):
+        fst = FST(start=0, accepts={0})
+        with pytest.raises(ValueError):
+            fst.add_edge(0, "ab", "a", 0)
+        with pytest.raises(ValueError):
+            fst.add_edge(0, "a", "xy", 0)
+
+
+class TestComposition:
+    def test_compose_rewrites_chain(self):
+        a_to_b = replace_fst({"a": "b"}, "ab")
+        b_to_c = replace_fst({"b": "c"}, "abc")
+        chained = a_to_b.compose(b_to_c)
+        image = chained.apply_dfa(compile_dfa("a"))
+        # a -> {a, b} -> {a, b, c}
+        assert sorted(image.enumerate_strings()) == ["a", "b", "c"]
+
+    def test_compose_identity_is_identity(self):
+        ident = identity_fst("ab")
+        composed = ident.compose(ident)
+        image = composed.apply_dfa(compile_dfa("ab|ba"))
+        assert sorted(image.enumerate_strings()) == ["ab", "ba"]

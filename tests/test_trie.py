@@ -1,0 +1,69 @@
+"""Tests for the vocabulary trie (repro.automata.trie)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.trie import Trie
+from repro.regex import compile_dfa
+
+
+class TestBasics:
+    def test_insert_and_lookup(self):
+        trie = Trie([("cat", 1), ("car", 2), ("c", 3)])
+        assert trie.lookup("cat") == [1]
+        assert trie.lookup("car") == [2]
+        assert trie.lookup("c") == [3]
+        assert trie.lookup("ca") == []
+        assert trie.lookup("dog") == []
+
+    def test_len_counts_insertions(self):
+        trie = Trie([("a", 0), ("ab", 1)])
+        assert len(trie) == 2
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(ValueError):
+            Trie([("", 0)])
+
+
+class TestWalkDFA:
+    def test_finds_tokens_along_paths(self):
+        dfa = compile_dfa("The")
+        trie = Trie([("T", 0), ("Th", 1), ("The", 2), ("h", 3), ("he", 4), ("e", 5), ("x", 6)])
+        found = dict(trie.walk_dfa(dfa.transitions, dfa.start))
+        # From the start state: T, Th, The are readable; x/h/he/e are not.
+        assert set(found) == {0, 1, 2}
+
+    def test_landing_states_are_correct(self):
+        dfa = compile_dfa("ab")
+        trie = Trie([("a", 10), ("ab", 11)])
+        found = {tid: dst for tid, dst in trie.walk_dfa(dfa.transitions, dfa.start)}
+        assert dfa.transitions[found[10]]["b"] == found[11]
+
+    def test_walk_from_dead_state_is_empty(self):
+        dfa = compile_dfa("a")
+        trie = Trie([("a", 0)])
+        accept = dfa.transitions[dfa.start]["a"]
+        assert list(trie.walk_dfa(dfa.transitions, accept)) == []
+
+    def test_walk_matches_per_token_scan(self):
+        """The trie DFS finds exactly the tokens a per-token scan finds —
+        the Appendix-B equivalence the compiler relies on."""
+        dfa = compile_dfa("(cat)|(cart)|(dog)s?")
+        vocab = ["c", "ca", "cat", "car", "cart", "a", "at", "art", "d", "do",
+                 "dog", "dogs", "og", "g", "s", "zz"]
+        trie = Trie((tok, i) for i, tok in enumerate(vocab))
+        for state in dfa.states:
+            via_trie = set(trie.walk_dfa(dfa.transitions, state))
+            via_scan = set()
+            for i, tok in enumerate(vocab):
+                q = state
+                ok = True
+                for ch in tok:
+                    q = dfa.transitions.get(q, {}).get(ch)
+                    if q is None:
+                        ok = False
+                        break
+                if ok:
+                    via_scan.add((i, q))
+            assert via_trie == via_scan, state

@@ -1,0 +1,144 @@
+"""Tests for walk counting and uniform sampling (repro.automata.walks)."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.walks import WalkCounter, count_accepting_walks, sample_uniform_string
+from repro.regex import compile_dfa
+
+
+class TestCounts:
+    def test_matches_enumeration_finite(self):
+        dfa = compile_dfa("(a|b)(c|d)?e{1,2}")
+        assert count_accepting_walks(dfa) == len(list(dfa.enumerate_strings()))
+
+    def test_bounded_count_of_infinite_language(self):
+        dfa = compile_dfa("a*")
+        # strings of length <= 5: "", a, aa, ..., aaaaa
+        assert count_accepting_walks(dfa, max_length=5) == 6
+
+    def test_infinite_without_bound_raises(self):
+        with pytest.raises(ValueError):
+            count_accepting_walks(compile_dfa("a+"))
+
+    def test_digit_block(self):
+        assert count_accepting_walks(compile_dfa("[0-9]{3}")) == 1000
+
+    def test_paper_date_language(self):
+        # <Month> <Day>, <Year> from Figure 1: 12 * (10 + 100) * 10000.
+        months = "|".join(
+            ["January", "February", "March", "April", "May", "June", "July",
+             "August", "September", "October", "November", "December"]
+        )
+        dfa = compile_dfa(f"({months}) [0-9]{{1,2}}, [0-9]{{4}}")
+        assert count_accepting_walks(dfa) == 12 * 110 * 10000
+
+    def test_counts_are_exact_bigints(self):
+        # 26^20 overflows float precision; counts must stay exact.
+        dfa = compile_dfa("[a-z]{20}")
+        assert count_accepting_walks(dfa) == 26**20
+
+    def test_empty_language(self):
+        dfa = compile_dfa("a").intersect(compile_dfa("b"))
+        assert count_accepting_walks(dfa, max_length=4) == 0
+
+
+class TestEdgeWeights:
+    def test_weights_sum_to_continuations(self):
+        dfa = compile_dfa("a(b|c)|ad")
+        wc = WalkCounter(dfa, max_length=4)
+        stop, weights = wc.edge_weights(dfa.start, 4)
+        assert stop == 0
+        assert sum(weights.values()) == 3  # ab, ac, ad
+
+    def test_stop_weight_at_accepting_state(self):
+        dfa = compile_dfa("a|ab")
+        wc = WalkCounter(dfa, max_length=4)
+        state_after_a = dfa.transitions[dfa.start]["a"]
+        stop, weights = wc.edge_weights(state_after_a, 3)
+        assert stop == 1
+        assert sum(weights.values()) == 1  # just "ab"
+
+    def test_level_exceeding_max_raises(self):
+        wc = WalkCounter(compile_dfa("a"), max_length=2)
+        with pytest.raises(ValueError):
+            wc.counts_at(3)
+
+
+class TestUniformSampling:
+    def test_sample_is_member(self, rng):
+        dfa = compile_dfa("(x|y){1,3}")
+        wc = WalkCounter(dfa, max_length=5)
+        for _ in range(50):
+            assert dfa.accepts_string(wc.sample(rng))
+
+    def test_uniformity_chi_square_ish(self, rng):
+        # The paper's motivating example: language {a, b, bb, bbb}.
+        # Uniform-over-strings gives each 25%; uniform-over-edges gives
+        # 'a' 50%.
+        dfa = compile_dfa("a|b{1,3}")
+        wc = WalkCounter(dfa, max_length=4)
+        n = 4000
+        counts = Counter(wc.sample(rng) for _ in range(n))
+        for s in ("a", "b", "bb", "bbb"):
+            assert abs(counts[s] / n - 0.25) < 0.05, counts
+
+    def test_edge_uniform_is_biased_toward_short(self, rng):
+        dfa = compile_dfa("a|b{1,3}")
+        wc = WalkCounter(dfa, max_length=4)
+        n = 2000
+        counts = Counter(wc.sample_uniform_edges(rng) for _ in range(n))
+        # Uniform edges: p(a) = 1/2 at the first branch.
+        assert counts["a"] / n > 0.4
+
+    def test_empty_language_returns_none(self, rng):
+        empty = compile_dfa("a").intersect(compile_dfa("b"))
+        assert WalkCounter(empty, max_length=3).sample(rng) is None
+
+    def test_sample_respects_max_length(self, rng):
+        dfa = compile_dfa("a+")
+        wc = WalkCounter(dfa, max_length=4)
+        for _ in range(50):
+            assert len(wc.sample(rng)) <= 4
+
+    def test_convenience_wrapper(self, rng):
+        s = sample_uniform_string(compile_dfa("ab|cd"), rng)
+        assert s in ("ab", "cd")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    strings=st.lists(
+        st.text(alphabet="abz", min_size=0, max_size=5), min_size=1, max_size=8, unique=True
+    )
+)
+def test_count_equals_set_size(strings):
+    """For explicit finite languages, the walk count equals the set size."""
+    from repro.automata.dfa import DFA
+
+    dfa = DFA.from_strings(strings)
+    assert count_accepting_walks(dfa, max_length=6) == len(strings)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    strings=st.lists(
+        st.text(alphabet="ab", min_size=1, max_size=4), min_size=2, max_size=6, unique=True
+    ),
+    seed=st.integers(0, 2**16),
+)
+def test_every_member_sampleable(strings, seed):
+    """Uniform sampling can produce every member of a small language."""
+    from repro.automata.dfa import DFA
+
+    dfa = DFA.from_strings(strings)
+    wc = WalkCounter(dfa, max_length=5)
+    rng = random.Random(seed)
+    seen = {wc.sample(rng) for _ in range(30 * len(strings))}
+    assert seen == set(strings)
