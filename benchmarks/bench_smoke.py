@@ -1,0 +1,152 @@
+"""Benchmark smoke run: median wall-times for the executor and compiler
+benches, written to ``BENCH_executor.json``.
+
+A fast, CI-friendly subset of the pytest-benchmark suite: it times the
+batching ablation, the dict-vs-arrays backend comparison (the fast path's
+>=2x acceptance bar at batch_size >= 4 on the n-gram model), and the
+compiler benches (all-encodings compile cost plus the cross-query
+compilation cache), and records medians as JSON::
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py --out BENCH_executor.json
+
+Exit code is non-zero when the backend speedup bar or the cache hit-rate
+bar is missed, so CI fails loudly instead of silently regressing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from repro.core.api import prepare
+from repro.core.compiler import CompilationCache, GraphCompiler
+from repro.core.query import SearchQuery
+from repro.experiments.bias import FIGURE7_CONFIGS, bias_query
+from repro.experiments.common import get_environment
+from repro.regex import compile_dfa
+
+#: URL-shaped language: several hundred token edges per state, the shape
+#: the vectorized backend exists for.
+FANOUT_PATTERN = r"https://www\.([a-zA-Z0-9]|-)+\.([a-zA-Z0-9]|/)+"
+
+#: The A3 batching pattern (small language, exercises frontier batching).
+BATCH_PATTERN = "The ((cat)|(dog)|(man)|(woman)|(bird)) ((sat)|(ate)|(ran))"
+
+
+def _median_time(fn, repeats: int) -> tuple[float, object]:
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), result
+
+
+def bench_batching(env, repeats: int) -> dict:
+    """Median executor wall-time per batch size (n-gram XL)."""
+    model = env.model("xl")
+    out = {}
+    reference = None
+    for batch_size in (1, 4, 16):
+        def run():
+            session = prepare(
+                model, env.tokenizer, SearchQuery(BATCH_PATTERN),
+                batch_size=batch_size,
+            )
+            return {r.text for r in session}
+        median, texts = _median_time(run, repeats)
+        if reference is None:
+            reference = texts
+        assert texts == reference, "batching changed the match set"
+        out[f"batch_{batch_size}_ms"] = round(1000 * median, 3)
+    return out
+
+
+def bench_backends(env, repeats: int, batch_size: int = 4) -> dict:
+    """dict vs arrays backend on the high-fanout pattern (n-gram XL)."""
+    model = env.model("xl")
+    results = {}
+    streams = {}
+    for backend in ("dict", "arrays"):
+        def run():
+            session = prepare(
+                model, env.tokenizer, SearchQuery(FANOUT_PATTERN),
+                backend=backend, batch_size=batch_size, max_expansions=3000,
+            )
+            return [r.text for r in session]
+        median, texts = _median_time(run, repeats)
+        results[f"{backend}_ms"] = round(1000 * median, 3)
+        streams[backend] = texts
+    assert streams["dict"] == streams["arrays"], "backends diverged"
+    results["batch_size"] = batch_size
+    results["matches"] = len(streams["arrays"])
+    results["speedup"] = round(results["dict_ms"] / results["arrays_ms"], 2)
+    return results
+
+
+def bench_compiler(env, repeats: int) -> dict:
+    """All-encodings compile cost + the cross-query compilation cache."""
+    out = {}
+    compiler = GraphCompiler(env.tokenizer)
+    dfa = compile_dfa(FANOUT_PATTERN)
+    median, _ = _median_time(lambda: compiler.compile_all_tokens(dfa, None), repeats)
+    out["compile_url_ms"] = round(1000 * median, 3)
+
+    config = FIGURE7_CONFIGS[1]
+    queries = [
+        bias_query(config, gender, 10, seed)
+        for seed in range(25)
+        for gender in ("man", "woman")
+    ]
+    cold = GraphCompiler(env.tokenizer, cache=False)
+    median, _ = _median_time(lambda: [cold.compile(q) for q in queries], 1)
+    out["bias_loop_uncached_ms"] = round(1000 * median, 3)
+    cache = CompilationCache()
+    warm = GraphCompiler(env.tokenizer, cache=cache)
+    [warm.compile(q) for q in queries]  # populate
+    median, _ = _median_time(lambda: [warm.compile(q) for q in queries], repeats)
+    out["bias_loop_cached_ms"] = round(1000 * median, 3)
+    out["cache_hit_rate"] = round(cache.hit_rate, 4)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_executor.json")
+    parser.add_argument("--scale", choices=["test", "full"], default="test")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    env = get_environment(seed=0, scale=args.scale)
+    report = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "batching": bench_batching(env, args.repeats),
+        "backend": bench_backends(env, args.repeats),
+        "compiler": bench_compiler(env, args.repeats),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+
+    failures = []
+    if report["backend"]["speedup"] < 2.0:
+        failures.append(
+            f"backend speedup {report['backend']['speedup']}x is below the 2x bar"
+        )
+    if report["compiler"]["cache_hit_rate"] < 0.9:
+        failures.append(
+            f"cache hit rate {report['compiler']['cache_hit_rate']} is below 0.9"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -93,3 +93,50 @@ def test_bench_canonical_enumeration_cost(env, compiler, benchmark):
     print(f"\ncanonical automaton: {automaton.num_states} states, "
           f"{automaton.num_edges} edges, dynamic={automaton.dynamic_canonical}")
     assert not automaton.dynamic_canonical
+
+
+def test_bench_compilation_cache(env, benchmark):
+    """Cross-query compilation cache on the bias experiment's query loop.
+
+    The bias probes compile the same two templated patterns hundreds of
+    times (one per gender x seed); with a shared compiler the loop is >90%
+    cache hits and the amortised compile cost collapses to a dict lookup.
+    """
+    from repro.core.compiler import CompilationCache
+    from repro.experiments.bias import FIGURE7_CONFIGS, bias_query
+
+    config = FIGURE7_CONFIGS[1]
+    queries = [
+        bias_query(config, gender, 10, seed)
+        for seed in range(25)
+        for gender in ("man", "woman")
+    ]
+
+    def cold_loop():
+        compiler = GraphCompiler(env.tokenizer, cache=False)
+        for query in queries:
+            compiler.compile(query)
+
+    cache = CompilationCache()
+    warm_compiler = GraphCompiler(env.tokenizer, cache=cache)
+
+    def warm_loop():
+        for query in queries:
+            warm_compiler.compile(query)
+
+    start = time.perf_counter()
+    cold_loop()
+    cold_time = time.perf_counter() - start
+    benchmark.pedantic(warm_loop, rounds=3, iterations=1)
+    start = time.perf_counter()
+    warm_loop()
+    warm_time = time.perf_counter() - start
+    print_table(
+        "Compilation cache (50-query bias loop)",
+        ["configuration", "time", "hit rate"],
+        [
+            ["no cache", f"{1000 * cold_time:.1f} ms", "-"],
+            ["shared cache", f"{1000 * warm_time:.1f} ms", f"{cache.hit_rate:.2f}"],
+        ],
+    )
+    assert cache.hit_rate > 0.9

@@ -21,6 +21,7 @@ Typical usage (the paper's Figure 4)::
 
 from repro.core import (
     CaseFoldPreprocessor,
+    CompilationCache,
     ExecutionStats,
     Executor,
     FilterPreprocessor,
@@ -43,6 +44,7 @@ from repro.core import (
 )
 from repro.lm import (
     GREEDY,
+    LogitsCache,
     UNRESTRICTED,
     DecodingPolicy,
     LanguageModel,
@@ -67,6 +69,7 @@ __all__ = [
     "QuerySearchStrategy",
     "QueryTokenizationStrategy",
     "GraphCompiler",
+    "CompilationCache",
     "TokenAutomaton",
     "Executor",
     "ExecutionStats",
@@ -81,6 +84,7 @@ __all__ = [
     "CaseFoldPreprocessor",
     # models
     "LanguageModel",
+    "LogitsCache",
     "DecodingPolicy",
     "GREEDY",
     "UNRESTRICTED",

@@ -77,3 +77,29 @@ class Trie:
                     yield token_id, nxt
                 if child.children:
                     stack.append((child, nxt))
+
+    def walk_dfa_into(
+        self, transitions: dict[int, dict[str, int]], state: int, row_out: dict[int, int]
+    ) -> None:
+        """Fill ``row_out[token_id] = landing_state`` for every token whose
+        character walk exists in *transitions* starting at *state*.
+
+        Loop-level equivalent of :meth:`walk_dfa` without generator
+        resumption overhead — the compiler calls this once per automaton
+        state, so the saving is proportional to the edge count.  Traversal
+        (and therefore insertion) order is identical to :meth:`walk_dfa`.
+        """
+        stack: list[tuple[_TrieNode, int]] = [(self.root, state)]
+        while stack:
+            node, q = stack.pop()
+            row = transitions.get(q)
+            if row is None:
+                continue
+            for ch, child in node.children.items():
+                nxt = row.get(ch)
+                if nxt is None:
+                    continue
+                for token_id in child.token_ids:
+                    row_out[token_id] = nxt
+                if child.children:
+                    stack.append((child, nxt))

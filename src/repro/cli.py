@@ -40,6 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--edits", type=int, default=0, help="Levenshtein preprocessor distance")
     query.add_argument("--require-eos", action="store_true")
     query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--backend", choices=["arrays", "dict"], default="arrays",
+        help="executor backend: vectorized arrays (default) or the reference dict paths",
+    )
     query.add_argument("--model", choices=["xl", "small"], default="xl")
     query.add_argument("--scale", choices=["test", "full"], default="test")
     query.add_argument("--log", default=None, help="append matches to this JSONL file")
@@ -88,6 +92,8 @@ def _cmd_query(args) -> int:
     )
     session = relm.prepare(
         env.model(args.model), env.tokenizer, query,
+        compiler=env.compiler, logits_cache=env.logits_cache(args.model),
+        backend=args.backend,
         max_expansions=50_000, max_attempts=50 * args.samples,
     )
     writer = MatchWriter(args.log) if args.log else None
@@ -106,6 +112,13 @@ def _cmd_query(args) -> int:
     print(
         f"# {count} matches; lm_calls={stats['lm_calls']} "
         f"pruned={stats['pruned_edges']} failed={stats['failed_attempts']}",
+        file=sys.stderr,
+    )
+    print(
+        f"# caches: logits {stats['logits_hits']}/{stats['logits_hits'] + stats['logits_misses']} hits "
+        f"({session.stats.logits_hit_rate:.0%}); "
+        f"compilation hits={stats['compilation_cache_hits']} "
+        f"misses={stats['compilation_cache_misses']}",
         file=sys.stderr,
     )
     return 0

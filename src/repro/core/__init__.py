@@ -12,7 +12,14 @@ Public surface (mirrors the paper's API, Figures 4 and 11):
 
 from repro.core.api import SearchSession, prepare, search
 from repro.core.logging import MatchWriter, read_matches, tee_matches
-from repro.core.compiler import CompiledQuery, GraphCompiler, TokenAutomaton, prefixes_of
+from repro.core.arrays import AutomatonArrays, StateRow
+from repro.core.compiler import (
+    CompilationCache,
+    CompiledQuery,
+    GraphCompiler,
+    TokenAutomaton,
+    prefixes_of,
+)
 from repro.core.diagnostics import EliminationTracker
 from repro.core.executor import Executor
 from repro.core.preprocessors import (
@@ -46,7 +53,10 @@ __all__ = [
     "QuerySearchStrategy",
     "QueryTokenizationStrategy",
     "GraphCompiler",
+    "CompilationCache",
     "CompiledQuery",
+    "AutomatonArrays",
+    "StateRow",
     "TokenAutomaton",
     "prefixes_of",
     "Executor",

@@ -10,6 +10,17 @@ Mirrors the paper's Figure 4 / Figure 11 usage::
 The returned iterator is lazy: shortest-path queries stream matches in
 decreasing probability until the language is exhausted; random queries are
 an unbounded sample stream unless ``num_samples`` bounds them.
+
+Repeated-query workloads should reuse one :class:`GraphCompiler` (its
+compilation cache skips recompiling repeated patterns) and may share one
+:class:`~repro.lm.base.LogitsCache` per model across sessions::
+
+    compiler = GraphCompiler(tokenizer)
+    shared = LogitsCache(model, capacity=65536)
+    for query in queries:
+        for match in search(model, tokenizer, query,
+                            compiler=compiler, logits_cache=shared):
+            ...
 """
 
 from __future__ import annotations
@@ -30,7 +41,9 @@ class SearchSession:
     """A prepared query: compiled automaton plus executor, with stats.
 
     Useful when the caller needs execution statistics or wants to re-run
-    the same compiled query with different executor limits.
+    the same compiled query with different executor limits.  Pass
+    ``compiler=`` to reuse a caller-owned :class:`GraphCompiler` (and its
+    compilation cache) across sessions.
     """
 
     def __init__(
@@ -38,10 +51,22 @@ class SearchSession:
         model: LanguageModel,
         tokenizer: BPETokenizer,
         query: SimpleSearchQuery,
+        compiler: GraphCompiler | None = None,
         **executor_kwargs,
     ) -> None:
-        self.compiled: CompiledQuery = GraphCompiler(tokenizer).compile(query)
+        if compiler is None:
+            compiler = GraphCompiler(tokenizer)
+        elif compiler.tokenizer is not tokenizer:
+            raise ValueError("compiler was built for a different tokenizer")
+        self.compiler = compiler
+        cache = compiler.cache
+        hits_before = cache.hits if cache is not None else 0
+        misses_before = cache.misses if cache is not None else 0
+        self.compiled: CompiledQuery = compiler.compile(query)
         self.executor = Executor(model, self.compiled, **executor_kwargs)
+        if cache is not None:
+            self.executor.stats.compilation_cache_hits = cache.hits - hits_before
+            self.executor.stats.compilation_cache_misses = cache.misses - misses_before
 
     def __iter__(self) -> Iterator[MatchResult]:
         return self.executor.run()
@@ -56,17 +81,19 @@ def prepare(
     model: LanguageModel,
     tokenizer: BPETokenizer,
     query: SimpleSearchQuery,
+    compiler: GraphCompiler | None = None,
     **executor_kwargs,
 ) -> SearchSession:
     """Compile *query* and return a re-iterable session with stats."""
-    return SearchSession(model, tokenizer, query, **executor_kwargs)
+    return SearchSession(model, tokenizer, query, compiler=compiler, **executor_kwargs)
 
 
 def search(
     model: LanguageModel,
     tokenizer: BPETokenizer,
     query: SimpleSearchQuery,
+    compiler: GraphCompiler | None = None,
     **executor_kwargs,
 ) -> Iterator[MatchResult]:
     """Launch *query* against *model*; returns the lazy match iterator."""
-    return iter(prepare(model, tokenizer, query, **executor_kwargs))
+    return iter(prepare(model, tokenizer, query, compiler=compiler, **executor_kwargs))

@@ -1,0 +1,127 @@
+"""Array lowering of token automata: the executor's vectorized fast path.
+
+The dict-based :class:`~repro.core.compiler.TokenAutomaton` is the
+reference representation, but traversing it costs a Python-level loop per
+edge: a ``dict`` iteration, two scalar NumPy indexing operations
+(``mask[token_id]``, ``lp[token_id]``), an ``np.isfinite`` call, and a
+tuple construction for every successor of every expanded state.  Willard &
+Louf ("Efficient Guided Generation for Large Language Models") and Koo et
+al. ("Automata-based constraints for language-model decoding") both
+observe that precomputing a per-state index over the vocabulary turns
+constrained decoding into O(1) vectorized mask lookups; this module is the
+same move for ReLM's LLM automaton.
+
+At compile time every state's successor dict is lowered into three
+parallel NumPy arrays — ``token_ids``, ``dst_states``, ``is_prefix`` — so
+one frontier expansion becomes a handful of fancy-indexing operations
+(``lp[token_ids]``, vectorized finiteness/policy masking, one ``np.exp``
+for sampling) instead of a per-edge loop.  Array order preserves the edge
+dict's insertion order, so tie-breaking in the executor is bit-identical
+to the reference backend.
+
+For small automata a dense per-state allowed-token bitmask is also built
+(``state × vocab`` booleans), giving external callers — e.g. guided
+generation that only needs "which tokens are legal here?" — a single-row
+lookup with no per-edge work at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StateRow", "AutomatonArrays", "DENSE_MASK_BUDGET"]
+
+#: Maximum ``num_states * vocab_size`` for which the dense per-state
+#: allowed-token bitmask is materialised (4M booleans ≈ 4 MB).
+DENSE_MASK_BUDGET = 1 << 22
+
+
+@dataclass(frozen=True)
+class StateRow:
+    """The outgoing edges of one state, as parallel arrays.
+
+    ``token_ids[i]`` labels the i-th edge, ``dst_states[i]`` is its
+    successor, and ``is_prefix[i]`` marks edges landing inside the prefix
+    region (exempt from decoding rules, §3.3).  Order matches the edge
+    dict's insertion order so traversal tie-breaking is unchanged.
+    """
+
+    token_ids: np.ndarray
+    dst_states: np.ndarray
+    is_prefix: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.token_ids.size)
+
+
+class AutomatonArrays:
+    """Per-state array index over a token automaton's edges.
+
+    Built once at compile time (see ``TokenAutomaton.arrays``) and shared
+    by every executor that runs the compiled query — including cached
+    re-uses of the same compilation.
+    """
+
+    def __init__(
+        self,
+        edges: dict[int, dict[int, int]],
+        prefix_live: frozenset[int],
+        vocab_size: int,
+        dense_budget: int = DENSE_MASK_BUDGET,
+    ) -> None:
+        self.vocab_size = vocab_size
+        self._rows: dict[int, StateRow] = {}
+        for state, row in edges.items():
+            if not row:
+                continue
+            token_ids = np.fromiter(row.keys(), dtype=np.intp, count=len(row))
+            dst_states = np.fromiter(row.values(), dtype=np.intp, count=len(row))
+            is_prefix = np.fromiter(
+                (dst in prefix_live for dst in row.values()),
+                dtype=bool,
+                count=len(row),
+            )
+            self._rows[state] = StateRow(token_ids, dst_states, is_prefix)
+        self.num_edges = sum(r.num_edges for r in self._rows.values())
+        self._dense: np.ndarray | None = None
+        self._dense_index: dict[int, int] | None = None
+        if vocab_size > 0 and len(self._rows) * vocab_size <= dense_budget:
+            dense = np.zeros((len(self._rows), vocab_size), dtype=bool)
+            index: dict[int, int] = {}
+            for i, (state, row) in enumerate(self._rows.items()):
+                index[state] = i
+                dense[i, row.token_ids] = True
+            self._dense = dense
+            self._dense_index = index
+
+    def row(self, state: int) -> StateRow | None:
+        """The edge arrays for *state* (``None`` when it has no successors)."""
+        return self._rows.get(state)
+
+    @property
+    def num_states(self) -> int:
+        """Number of states with at least one outgoing edge."""
+        return len(self._rows)
+
+    @property
+    def has_dense_mask(self) -> bool:
+        """Whether the dense per-state bitmask was materialised."""
+        return self._dense is not None
+
+    def token_mask(self, state: int) -> np.ndarray | None:
+        """Dense ``(vocab_size,)`` boolean mask of tokens leaving *state*.
+
+        Returns ``None`` when the automaton was too large for the dense
+        bitmask; states with no successors get an all-False mask.  The
+        returned row aliases the shared matrix — callers must not write to
+        it.
+        """
+        if self._dense is None or self._dense_index is None:
+            return None
+        i = self._dense_index.get(state)
+        if i is None:
+            return np.zeros(self.vocab_size, dtype=bool)
+        return self._dense[i]

@@ -23,11 +23,13 @@ bypass decoding rules (§3.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Hashable, Iterable
 
 from repro.automata.dfa import DFA
 from repro.automata.trie import Trie
+from repro.core.arrays import AutomatonArrays
 from repro.core.query import (
     QueryTokenizationStrategy,
     SimpleSearchQuery,
@@ -35,7 +37,13 @@ from repro.core.query import (
 from repro.regex import compile_dfa
 from repro.tokenizers.bpe import BPETokenizer
 
-__all__ = ["TokenAutomaton", "CompiledQuery", "GraphCompiler", "prefixes_of"]
+__all__ = [
+    "TokenAutomaton",
+    "CompiledQuery",
+    "CompilationCache",
+    "GraphCompiler",
+    "prefixes_of",
+]
 
 
 @dataclass
@@ -54,6 +62,10 @@ class TokenAutomaton:
     edges: dict[int, dict[int, int]] = field(default_factory=dict)
     prefix_live: frozenset[int] = frozenset()
     dynamic_canonical: bool = False
+    #: Memoised array lowering (see :meth:`arrays`); not part of identity.
+    _arrays: AutomatonArrays | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def successors(self, state: int) -> dict[int, int]:
         """Token edges leaving *state* (empty dict if none)."""
@@ -85,6 +97,21 @@ class TokenAutomaton:
                 return False
             state = nxt
         return state in self.accepts
+
+    def arrays(self, vocab_size: int | None = None) -> AutomatonArrays:
+        """The array lowering of this automaton (built once, then memoised).
+
+        ``vocab_size`` sizes the dense per-state bitmask; it is required on
+        the first call (the compiler passes it at compile time) and ignored
+        afterwards.
+        """
+        if self._arrays is None:
+            if vocab_size is None:
+                vocab_size = 1 + max(
+                    (tok for row in self.edges.values() for tok in row), default=-1
+                )
+            self._arrays = AutomatonArrays(self.edges, self.prefix_live, vocab_size)
+        return self._arrays
 
 
 @dataclass
@@ -122,17 +149,132 @@ def prefixes_of(dfa: DFA) -> DFA:
     )
 
 
-class GraphCompiler:
-    """Compiles queries for one tokenizer (the vocabulary trie is shared)."""
+class CompilationCache:
+    """A bounded LRU cache of compiled queries, shareable across compilers.
 
-    def __init__(self, tokenizer: BPETokenizer, enumeration_limit: int = 20000) -> None:
+    Keys capture everything compilation depends on — regex and prefix
+    strings, tokenization strategy, the preprocessor pipeline's signature,
+    the tokenizer fingerprint, and the enumeration limit — so templated
+    experiment loops (bias/toxicity/memorization compile hundreds of
+    near-identical patterns) skip straight to the compiled automaton.
+    Runtime-only query fields (seed, sample counts, decoding rules) are
+    deliberately absent from the key; hits are re-bound to the incoming
+    query object.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._store: OrderedDict[Hashable, CompiledQuery] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: Hashable) -> CompiledQuery | None:
+        """The cached compilation for *key* (LRU-touched), or ``None``."""
+        cached = self._store.get(key)
+        if cached is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return cached
+
+    def put(self, key: Hashable, compiled: CompiledQuery) -> None:
+        """Insert *compiled*, evicting the least recently used entry when
+        full."""
+        self._store[key] = compiled
+        if len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._store.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, int | float]:
+        """Plain-dict counter view for logging/reporting."""
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class GraphCompiler:
+    """Compiles queries for one tokenizer (the vocabulary trie is shared).
+
+    ``cache`` enables cross-query compilation reuse; by default each
+    compiler owns a private :class:`CompilationCache`, and callers that
+    share a tokenizer across compilers may pass a shared one instead.
+    ``cache=False`` disables caching entirely.
+    """
+
+    def __init__(
+        self,
+        tokenizer: BPETokenizer,
+        enumeration_limit: int = 20000,
+        cache: CompilationCache | bool | None = None,
+    ) -> None:
         self.tokenizer = tokenizer
         self.enumeration_limit = enumeration_limit
         self._trie = Trie(tokenizer.vocab.ordinary_items())
+        if cache is None or cache is True:
+            cache = CompilationCache()
+        elif cache is False:
+            cache = None
+        self.cache = cache
+        self._fingerprint = tokenizer.fingerprint()
 
     # -- public entry point ------------------------------------------------------
+    def cache_key(self, query: SimpleSearchQuery) -> Hashable | None:
+        """The compilation-cache key for *query* (``None`` = uncacheable)."""
+        signatures = []
+        for preprocessor in query.preprocessors:
+            signature = getattr(preprocessor, "cache_signature", lambda: None)()
+            if signature is None:
+                return None  # opaque rewrite: never share compilations
+            signatures.append(signature)
+        return (
+            query.query_string.query_str,
+            query.query_string.prefix_str,
+            query.tokenization_strategy,
+            tuple(signatures),
+            self._fingerprint,
+            self.enumeration_limit,
+        )
+
     def compile(self, query: SimpleSearchQuery) -> CompiledQuery:
-        """Run the full Figure 2 pipeline for *query*."""
+        """Run the full Figure 2 pipeline for *query*, consulting the
+        compilation cache first.
+
+        Cache hits share the (immutable-in-practice) automata and DFAs but
+        carry the incoming query object, so runtime parameters like seeds
+        and decoding rules stay per-query.
+        """
+        key = self.cache_key(query) if self.cache is not None else None
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return replace(cached, query=query)
+        compiled = self._compile_uncached(query)
+        if key is not None:
+            self.cache.put(key, compiled)
+        return compiled
+
+    def _compile_uncached(self, query: SimpleSearchQuery) -> CompiledQuery:
         char_dfa = compile_dfa(query.query_string.query_str)
         prefix_dfa: DFA | None = None
         if query.query_string.prefix_str is not None:
@@ -160,6 +302,9 @@ class GraphCompiler:
             token_automaton = self.compile_all_tokens(char_dfa, prefix_closure)
         else:
             token_automaton = self.compile_canonical(char_dfa, prefix_closure)
+        # Lower to arrays now: cached compilations then share the lowering
+        # across every executor/backend that runs this query.
+        token_automaton.arrays(vocab_size=len(self.tokenizer))
         return CompiledQuery(
             query=query,
             tokenizer=self.tokenizer,
@@ -181,8 +326,7 @@ class GraphCompiler:
         edges: dict[int, dict[int, int]] = {}
         for state in product.states:
             row: dict[int, int] = {}
-            for token_id, dst in self._trie.walk_dfa(product.transitions, state):
-                row[token_id] = dst
+            self._trie.walk_dfa_into(product.transitions, state, row)
             if row:
                 edges[state] = row
         return TokenAutomaton(

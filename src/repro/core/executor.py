@@ -16,12 +16,25 @@ Two traversals are provided, matching the paper:
 Top-k/top-p pruning happens per expansion: an edge whose token falls
 outside the decision rule is dropped, transitively eliminating every string
 through it — the complexity-control lever §3.3 describes.
+
+Two execution backends implement each traversal:
+
+* ``"arrays"`` (default) — the vectorized fast path: per-state edge arrays
+  (see :mod:`repro.core.arrays`) turn each frontier expansion into a few
+  fancy-indexing operations plus a stable sort, and Dijkstra pushes one
+  lazy heap entry per expansion (see :class:`_LazyGroup`) instead of one
+  per edge.
+* ``"dict"`` — the reference backend: a Python loop over the successor
+  dict, kept as the differential-testing oracle.
+
+Both backends produce bit-identical match streams (same order, same
+log-probabilities): edge costs are the same float64 values, and array
+order mirrors the edge dict's insertion order so tie-breaking agrees.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 import random
 from typing import Iterator, Sequence
@@ -37,6 +50,37 @@ from repro.lm.decoding import DecodingPolicy
 
 __all__ = ["Executor"]
 
+#: Below this fan-out the vectorized backend falls back to the scalar edge
+#: loop: array setup (fancy indexing + argsort) costs more than a loop over
+#: a handful of edges.  Both expansions are exactly equivalent, so the
+#: match stream is unaffected by where the line sits.
+_SCALAR_FANOUT_CUTOFF = 16
+
+
+class _LazyGroup:
+    """One expansion's surviving successors, sorted by priority.
+
+    The vectorized Dijkstra pushes a single heap entry per expansion — the
+    group's cheapest member — instead of one entry per edge; popping member
+    *i* re-pushes member *i+1*.  Because members are sorted ascending by
+    (priority, counter) and their counters are block-reserved at expansion
+    time, the global pop sequence is exactly the eager backend's: at any
+    moment the heap holds each group's minimum, and the overall minimum of
+    those is the eager heap's minimum.  This turns the dominant cost on
+    high-fanout automata (|edges| heap pushes and tuple constructions per
+    expansion, most never popped) into O(pops).
+    """
+
+    __slots__ = ("tok", "dst", "tot", "suf", "base", "tokens")
+
+    def __init__(self, tok, dst, tot, suf, base, tokens):
+        self.tok = tok
+        self.dst = dst
+        self.tot = tot
+        self.suf = suf
+        self.base = base
+        self.tokens = tokens
+
 
 class Executor:
     """Runs one compiled query against one model.
@@ -44,6 +88,12 @@ class Executor:
     Instantiate per query; :meth:`run` returns the stream of
     :class:`~repro.core.results.MatchResult` tuples.  ``stats`` accumulates
     counters across the run (lm calls, pruned edges, ...).
+
+    ``backend`` selects the execution strategy (``"arrays"`` vectorized
+    fast path, ``"dict"`` reference loop).  ``logits_cache`` lets several
+    executors over the same model share one logits cache — scored contexts
+    then carry over between queries; when omitted, a private cache of
+    ``cache_size`` entries is created.
     """
 
     def __init__(
@@ -57,6 +107,8 @@ class Executor:
         max_prefix_chars: int = 128,
         batch_size: int = 1,
         track_elimination: bool = False,
+        backend: str = "arrays",
+        logits_cache: LogitsCache | None = None,
     ) -> None:
         self.model = model
         self.compiled = compiled
@@ -71,7 +123,22 @@ class Executor:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = batch_size
-        self._cache = LogitsCache(model, capacity=cache_size)
+        if backend not in ("arrays", "dict"):
+            raise ValueError(f"unknown backend {backend!r} (use 'arrays' or 'dict')")
+        self.backend = backend
+        if logits_cache is not None:
+            if logits_cache.model is not model:
+                raise ValueError("shared logits_cache was built for a different model")
+            self._cache = logits_cache
+        else:
+            self._cache = LogitsCache(model, capacity=cache_size)
+        # Shared caches carry counts from earlier executors; stats report
+        # the delta attributable to this run.
+        self._cache_hits_base = self._cache.hits
+        self._cache_misses_base = self._cache.misses
+        self._arrays = (
+            self.automaton.arrays(model.vocab_size) if backend == "arrays" else None
+        )
         q = compiled.query
         if q.top_k_sampling is None and q.top_p_sampling is None and q.temperature == 1.0:
             self.policy: DecodingPolicy | None = None
@@ -97,10 +164,16 @@ class Executor:
         self._dynamic_prune = self.automaton.dynamic_canonical
 
     # -- shared helpers -----------------------------------------------------------
+    def _sync_cache_stats(self) -> None:
+        """Mirror the logits-cache counters into :attr:`stats`."""
+        self.stats.logits_hits = self._cache.hits - self._cache_hits_base
+        self.stats.logits_misses = self._cache.misses - self._cache_misses_base
+
     def _scored_logprobs(self, context: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
         """(scaled log-probs, allowed mask) for the next token."""
         self.stats.lm_calls += 1
         lp = self._cache.logprobs(context)
+        self._sync_cache_stats()
         self.stats.tokens_scored += lp.size
         if self.policy is None:
             return lp, lp > -np.inf
@@ -113,6 +186,7 @@ class Executor:
         self.stats.lm_calls += len(contexts)
         self.stats.lm_batches += 1
         rows = self._cache.logprobs_batch(contexts)
+        self._sync_cache_stats()
         out = []
         for lp in rows:
             self.stats.tokens_scored += lp.size
@@ -161,16 +235,87 @@ class Executor:
             return self._beam_search()
         return self._random_sampling()
 
+    # -- vectorized edge expansion -------------------------------------------------
+    def _expand_vectorized(
+        self,
+        state: int,
+        tokens: tuple[int, ...],
+        lp: np.ndarray,
+        mask: np.ndarray,
+        prefix_bypass: bool = True,
+        count_nonfinite_prunes: bool = True,
+        record_eliminations: bool = True,
+    ):
+        """Vectorized expansion of *state*'s edges against (lp, mask).
+
+        Returns ``(token_ids, dst_states, costs, is_prefix)`` arrays for
+        the surviving edges (``None`` when the state has none), updating
+        prune counters exactly as the reference backend does.  The flags
+        mirror per-traversal reference semantics: random sampling treats
+        every committed edge as a suffix edge (``prefix_bypass=False``),
+        does not count non-finite drops, and only Dijkstra feeds the
+        elimination tracker.
+        """
+        row = self._arrays.row(state)
+        if row is None:
+            return None
+        token_ids = row.token_ids
+        lps = lp[token_ids]
+        finite = np.isfinite(lps)
+        allowed = mask[token_ids]
+        if prefix_bypass:
+            allowed = row.is_prefix | allowed
+        ok = finite & allowed
+        dropped = ~ok if count_nonfinite_prunes else ~allowed
+        n_dropped = int(np.count_nonzero(dropped))
+        if n_dropped:
+            self.stats.pruned_edges += n_dropped
+            if record_eliminations and self.elimination_tracker is not None:
+                depth = len(tokens)
+                for dst in row.dst_states[dropped].tolist():
+                    self.elimination_tracker.record_pruned_edge(dst, depth)
+        if not ok.any():
+            return (
+                np.empty(0, dtype=np.intp),
+                np.empty(0, dtype=np.intp),
+                np.empty(0, dtype=float),
+                np.empty(0, dtype=bool),
+            )
+        sel_tokens = token_ids[ok]
+        sel_dsts = row.dst_states[ok]
+        sel_prefix = row.is_prefix[ok]
+        costs = -lps[ok]
+        if self._dynamic_prune:
+            keep = np.ones(sel_tokens.size, dtype=bool)
+            for i, tok in enumerate(sel_tokens.tolist()):
+                if not self.tokenizer.is_canonical_prefix(tokens + (tok,)):
+                    keep[i] = False
+                    self.stats.pruned_edges += 1
+                    if record_eliminations and self.elimination_tracker is not None:
+                        self.elimination_tracker.record_pruned_edge(
+                            int(sel_dsts[i]), len(tokens)
+                        )
+            if not keep.all():
+                sel_tokens = sel_tokens[keep]
+                sel_dsts = sel_dsts[keep]
+                sel_prefix = sel_prefix[keep]
+                costs = costs[keep]
+        return sel_tokens, sel_dsts, costs, sel_prefix
+
     # -- Dijkstra ------------------------------------------------------------------
     def _shortest_path(self) -> Iterator[MatchResult]:
         automaton = self.automaton
         eos = self.model.eos_id
-        counter = itertools.count()
+        vectorized = self.backend == "arrays"
+        counter = 0
         #: heap items: (priority, tiebreak, state|None, tokens, total, suffix)
-        #: state None marks an EOS-terminated final node.
-        heap: list[tuple[float, int, int | None, tuple[int, ...], float, float]] = []
+        #: state None marks an EOS-terminated final node.  The vectorized
+        #: backend additionally pushes (priority, tiebreak, _LazyGroup,
+        #: member_index, 0, 0) entries, materialised at pop time.
+        heap: list[tuple] = []
         start_state, start_tokens, start_total = self._fast_forward_prefix()
-        heapq.heappush(heap, (start_total, next(counter), start_state, start_tokens, start_total, 0.0))
+        heapq.heappush(heap, (start_total, counter, start_state, start_tokens, start_total, 0.0))
+        counter += 1
         seen_texts: set[str] = set()
         expansions = 0
         # With batch_size > 1, up to batch_size frontier nodes are expanded
@@ -179,9 +324,20 @@ class Executor:
         # locally deviate from strict global cost order by at most the
         # batch's priority spread; batch_size=1 is exact Dijkstra.
         while heap:
-            pending: list[tuple[int, tuple[int, ...], float, float, dict[int, int], bool]] = []
+            pending: list[tuple[int, tuple[int, ...], float, float, bool]] = []
             while heap and len(pending) < self.batch_size:
                 priority, _, state, tokens, total, suffix = heapq.heappop(heap)
+                if type(state) is _LazyGroup:
+                    group, i = state, tokens
+                    if i + 1 < group.tok.size:
+                        heapq.heappush(
+                            heap,
+                            (float(group.tot[i + 1]), group.base + i + 1, group, i + 1, 0.0, 0.0),
+                        )
+                    state = int(group.dst[i])
+                    tokens = group.tokens + (int(group.tok[i]),)
+                    total = float(group.tot[i])
+                    suffix = float(group.suf[i])
                 if state is None:  # EOS-terminated match
                     yield from self._emit(tokens, suffix, total, seen_texts)
                     continue
@@ -194,15 +350,19 @@ class Executor:
                     return
                 if len(tokens) >= self.max_tokens:
                     continue
-                successors = automaton.successors(state)
+                has_successors = (
+                    self._arrays.row(state) is not None
+                    if vectorized
+                    else bool(automaton.successors(state))
+                )
                 needs_eos = self.query.require_eos and state in automaton.accepts
-                if not successors and not needs_eos:
+                if not has_successors and not needs_eos:
                     continue
-                pending.append((state, tokens, total, suffix, successors, needs_eos))
+                pending.append((state, tokens, total, suffix, needs_eos))
             if not pending:
                 continue
             scored = self._scored_logprobs_batch([node[1] for node in pending])
-            for (state, tokens, total, suffix, successors, needs_eos), (lp, mask) in zip(
+            for (state, tokens, total, suffix, needs_eos), (lp, mask) in zip(
                 pending, scored
             ):
                 if needs_eos and mask[eos] and np.isfinite(lp[eos]) and (
@@ -211,9 +371,39 @@ class Executor:
                     cost = -float(lp[eos])
                     heapq.heappush(
                         heap,
-                        (total + cost, next(counter), None, tokens, total + cost, suffix + cost),
+                        (total + cost, counter, None, tokens, total + cost, suffix + cost),
                     )
-                for token_id, dst in successors.items():
+                    counter += 1
+                row = self._arrays.row(state) if vectorized else None
+                if row is not None and row.num_edges > _SCALAR_FANOUT_CUTOFF:
+                    expanded = self._expand_vectorized(state, tokens, lp, mask)
+                    if expanded is None:
+                        continue
+                    sel_tokens, sel_dsts, costs, sel_prefix = expanded
+                    if not sel_tokens.size:
+                        continue
+                    new_totals = total + costs
+                    new_suffixes = np.where(sel_prefix, suffix, suffix + costs)
+                    # Stable sort keeps equal-priority edges in dict order
+                    # (tie-breaking parity with the reference backend); the
+                    # sorted members share one lazy heap entry, with their
+                    # tiebreak counters block-reserved here so cross-group
+                    # ties resolve exactly as eager insertion would.
+                    order = np.argsort(new_totals, kind="stable")
+                    group = _LazyGroup(
+                        sel_tokens[order],
+                        sel_dsts[order],
+                        new_totals[order],
+                        new_suffixes[order],
+                        counter,
+                        tokens,
+                    )
+                    counter += int(sel_tokens.size)
+                    heapq.heappush(
+                        heap, (float(group.tot[0]), group.base, group, 0, 0.0, 0.0)
+                    )
+                    continue
+                for token_id, dst in automaton.successors(state).items():
                     is_prefix = automaton.is_prefix_edge(dst)
                     if not is_prefix and not mask[token_id]:
                         self._record_prune(dst, len(tokens))
@@ -229,8 +419,9 @@ class Executor:
                     new_suffix = suffix if is_prefix else suffix + cost
                     heapq.heappush(
                         heap,
-                        (total + cost, next(counter), dst, new_tokens, total + cost, new_suffix),
+                        (total + cost, counter, dst, new_tokens, total + cost, new_suffix),
                     )
+                    counter += 1
 
     def _record_prune(self, dst_state: int, tokens_consumed: int) -> None:
         """Count a pruned edge; with tracking on, also count the token
@@ -276,12 +467,19 @@ class Executor:
                 return automaton.start, (), 0.0
             state = nxt
         # Heuristic priority: the true model cost of the prefix tokens.
+        # Prefix edges bypass decoding rules (§3.3), so raw cached
+        # log-probabilities are used — not the policy-scaled ones — and all
+        # prefix contexts are scored in one batched model round.
         total = 0.0
-        context: list[int] = []
-        for tok in tokens:
-            lp, _ = self._scored_logprobs(context)
-            total += -float(lp[tok])
-            context.append(tok)
+        if tokens:
+            contexts = [tokens[:i] for i in range(len(tokens))]
+            self.stats.lm_calls += len(contexts)
+            self.stats.lm_batches += 1
+            rows = self._cache.logprobs_batch(contexts)
+            self._sync_cache_stats()
+            for tok, lp in zip(tokens, rows):
+                self.stats.tokens_scored += lp.size
+                total += -float(lp[tok])
         return state, tokens, total
 
     # -- beam search -----------------------------------------------------------
@@ -298,6 +496,7 @@ class Executor:
         automaton = self.automaton
         eos = self.model.eos_id
         width = self.query.beam_width
+        vectorized = self.backend == "arrays"
         #: beam entries: (total_cost, suffix_cost, state, tokens)
         start_state, start_tokens, start_total = self._fast_forward_prefix()
         beam: list[tuple[float, float, int, tuple[int, ...]]] = [
@@ -309,6 +508,10 @@ class Executor:
                 return
             emitted: list[tuple[float, float, tuple[int, ...]]] = []
             candidates: list[tuple[float, float, int, tuple[int, ...]]] = []
+            #: arrays backend: per-expansion candidate arrays
+            #: (totals, suffixes, dst_states, token_ids, parent_tokens) —
+            #: survivors are materialised into tuples only after selection.
+            groups: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, tuple[int, ...]]] = []
             scored = self._scored_logprobs_batch([entry[3] for entry in beam])
             for (total, suffix, state, tokens), (lp, mask) in zip(beam, scored):
                 self.stats.nodes_expanded += 1
@@ -322,6 +525,25 @@ class Executor:
                     else:
                         emitted.append((total, suffix, tokens))
                 if len(tokens) >= self.max_tokens:
+                    continue
+                if vectorized:
+                    expanded = self._expand_vectorized(
+                        state, tokens, lp, mask, record_eliminations=False
+                    )
+                    if expanded is None:
+                        continue
+                    sel_tokens, sel_dsts, costs, sel_prefix = expanded
+                    if not sel_tokens.size:
+                        continue
+                    groups.append(
+                        (
+                            total + costs,
+                            np.where(sel_prefix, suffix, suffix + costs),
+                            sel_dsts,
+                            sel_tokens,
+                            tokens,
+                        )
+                    )
                     continue
                 for token_id, dst in automaton.successors(state).items():
                     is_prefix = automaton.is_prefix_edge(dst)
@@ -341,6 +563,34 @@ class Executor:
                     )
             for total, suffix, tokens in sorted(emitted):
                 yield from self._emit(tokens, suffix, total, seen_texts)
+            if vectorized:
+                if not groups:
+                    beam = []
+                    continue
+                tot_all = np.concatenate([g[0] for g in groups])
+                suf_all = np.concatenate([g[1] for g in groups])
+                dst_all = np.concatenate([g[2] for g in groups])
+                tok_all = np.concatenate([g[3] for g in groups])
+                gid = np.repeat(
+                    np.arange(len(groups)), [g[0].size for g in groups]
+                )
+                # Stable sort over the concatenation = the reference's
+                # stable sort over insertion order: ties keep beam-entry
+                # then edge order.  Only the surviving width get tuples.
+                order = np.argsort(tot_all, kind="stable")
+                if order.size > width:
+                    self.stats.pruned_edges += int(order.size) - width
+                    order = order[:width]
+                beam = [
+                    (
+                        float(tot_all[i]),
+                        float(suf_all[i]),
+                        int(dst_all[i]),
+                        groups[gid[i]][4] + (int(tok_all[i]),),
+                    )
+                    for i in order.tolist()
+                ]
+                continue
             candidates.sort(key=lambda entry: entry[0])
             beam = candidates[:width]
             if len(candidates) > width:
@@ -378,6 +628,7 @@ class Executor:
     def _sample_once(self, prefix_counter: WalkCounter | None) -> MatchResult | None:
         automaton = self.automaton
         eos = self.model.eos_id
+        vectorized = self.backend == "arrays"
         tokens: list[int] = []
         suffix_logprob = 0.0
         total_logprob = 0.0
@@ -405,22 +656,66 @@ class Executor:
         while True:
             if len(tokens) >= self.max_tokens:
                 return None
-            successors = automaton.successors(state)
             at_accept = state in automaton.accepts
             if self._dynamic_prune and at_accept:
                 at_accept = self.tokenizer.is_canonical(tuple(tokens))
-            if not successors and not at_accept:
+            row = self._arrays.row(state) if vectorized else None
+            if vectorized:
+                has_successors = row is not None
+            else:
+                has_successors = bool(automaton.successors(state))
+            if not has_successors and not at_accept:
                 return None
-            if not successors and at_accept and not self.query.require_eos:
+            if not has_successors and at_accept and not self.query.require_eos:
                 # Nothing to disambiguate: the only continuation is to stop.
                 return self._make_result(
                     tuple(tokens), -suffix_logprob, -total_logprob, sampled_prefix
                 )
             lp, mask = self._scored_logprobs(tokens)
+            eos_allowed = bool(at_accept and mask[eos] and np.isfinite(lp[eos]))
+            if vectorized and (row is None or row.num_edges > _SCALAR_FANOUT_CUTOFF):
+                expanded = self._expand_vectorized(
+                    state,
+                    tuple(tokens),
+                    lp,
+                    mask,
+                    prefix_bypass=False,
+                    count_nonfinite_prunes=False,
+                    record_eliminations=False,
+                )
+                if expanded is None:  # accepting state with require_eos only
+                    sel_tokens = sel_dsts = np.empty(0, dtype=np.intp)
+                    sel_lps = np.empty(0, dtype=float)
+                else:
+                    sel_tokens, sel_dsts, costs, _ = expanded
+                    sel_lps = -costs
+                num_options = int(sel_lps.size) + (1 if eos_allowed else 0)
+                if num_options == 0:
+                    return None
+                if eos_allowed:
+                    weights = np.exp(np.concatenate(([float(lp[eos])], sel_lps)))
+                else:
+                    weights = np.exp(sel_lps)
+                weights /= weights.sum()
+                choice = self._rng.choices(range(num_options), weights=weights, k=1)[0]
+                if eos_allowed and choice == 0:
+                    logprob = float(lp[eos])
+                    total_logprob += logprob
+                    suffix_logprob += logprob
+                    return self._make_result(
+                        tuple(tokens), -suffix_logprob, -total_logprob, sampled_prefix
+                    )
+                i = choice - 1 if eos_allowed else choice
+                logprob = float(sel_lps[i])
+                total_logprob += logprob
+                suffix_logprob += logprob
+                tokens.append(int(sel_tokens[i]))
+                state = int(sel_dsts[i])
+                continue
             options: list[tuple[int | None, float]] = []
-            if at_accept and mask[eos] and np.isfinite(lp[eos]):
+            if eos_allowed:
                 options.append((None, float(lp[eos])))
-            for token_id in successors:
+            for token_id in automaton.successors(state):
                 if not mask[token_id]:
                     self.stats.pruned_edges += 1
                     continue
@@ -445,4 +740,4 @@ class Executor:
                     tuple(tokens), -suffix_logprob, -total_logprob, sampled_prefix
                 )
             tokens.append(token_id)
-            state = successors[token_id]
+            state = automaton.successors(state)[token_id]

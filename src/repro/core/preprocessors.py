@@ -41,6 +41,15 @@ class Preprocessor:
         """Return the rewritten automaton."""
         raise NotImplementedError
 
+    def cache_signature(self) -> tuple | None:
+        """A hashable value identifying this rewrite for the compilation
+        cache, or ``None`` when the rewrite is opaque (never shared).
+
+        Two preprocessors with equal signatures must rewrite every automaton
+        identically; the conservative default opts out of caching.
+        """
+        return None
+
 
 @dataclass(frozen=True)
 class LevenshteinPreprocessor(Preprocessor):
@@ -56,6 +65,9 @@ class LevenshteinPreprocessor(Preprocessor):
 
     def apply(self, dfa: DFA) -> DFA:
         return levenshtein_expand(dfa, self.distance)
+
+    def cache_signature(self) -> tuple:
+        return ("levenshtein", self.distance)
 
 
 @dataclass(frozen=True)
@@ -77,6 +89,9 @@ class FilterPreprocessor(Preprocessor):
         if not self.forbidden:
             return dfa
         return dfa.difference(DFA.from_strings(self.forbidden)).minimized()
+
+    def cache_signature(self) -> tuple:
+        return ("filter", self.forbidden)
 
 
 @dataclass(frozen=True)
@@ -116,6 +131,9 @@ class SuffixFilterPreprocessor(Preprocessor):
         }
         return dfa.difference(DFA.from_strings(variants)).minimized()
 
+    def cache_signature(self) -> tuple:
+        return ("suffix_filter", self.prefix, self.forbidden, self.trailing)
+
 
 @dataclass(frozen=True)
 class TransducerPreprocessor(Preprocessor):
@@ -147,6 +165,9 @@ class IntersectionPreprocessor(Preprocessor):
 
         return dfa.intersect(compile_dfa(self.pattern)).minimized()
 
+    def cache_signature(self) -> tuple:
+        return ("intersection", self.pattern)
+
 
 @dataclass(frozen=True)
 class CaseFoldPreprocessor(Preprocessor):
@@ -167,3 +188,6 @@ class CaseFoldPreprocessor(Preprocessor):
                 mapping[ch] = ch.swapcase()
         fst = replace_fst(mapping, ALPHABET)
         return fst.apply_dfa(dfa)
+
+    def cache_signature(self) -> tuple:
+        return ("casefold",)

@@ -49,6 +49,14 @@ class ExecutionStats:
     matches_yielded: int = 0
     failed_attempts: int = 0
     duplicates_suppressed: int = 0
+    #: Logits-cache traffic attributable to this run (deltas when the
+    #: cache is shared between executors).
+    logits_hits: int = 0
+    logits_misses: int = 0
+    #: Compilation-cache traffic for this query's compile (set by the
+    #: session layer; 0/0 when compiled without a cache).
+    compilation_cache_hits: int = 0
+    compilation_cache_misses: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -56,6 +64,12 @@ class ExecutionStats:
         if self.lm_batches == 0:
             return 1.0
         return self.lm_calls / self.lm_batches
+
+    @property
+    def logits_hit_rate(self) -> float:
+        """Fraction of logits lookups served from cache (0 when unused)."""
+        total = self.logits_hits + self.logits_misses
+        return self.logits_hits / total if total else 0.0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict view for logging/reporting."""
@@ -68,4 +82,8 @@ class ExecutionStats:
             "matches_yielded": self.matches_yielded,
             "failed_attempts": self.failed_attempts,
             "duplicates_suppressed": self.duplicates_suppressed,
+            "logits_hits": self.logits_hits,
+            "logits_misses": self.logits_misses,
+            "compilation_cache_hits": self.compilation_cache_hits,
+            "compilation_cache_misses": self.compilation_cache_misses,
         }

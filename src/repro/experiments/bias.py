@@ -148,6 +148,7 @@ def sample_bias(
             query = bias_query(config, gender, samples_per_gender, seed + i)
             session = prepare(
                 env.model(model_size), env.tokenizer, query,
+                compiler=env.compiler, logits_cache=env.logits_cache(model_size),
                 max_attempts=samples_per_gender * max_attempts_factor,
             )
             for match in session:
@@ -157,6 +158,7 @@ def sample_bias(
         query = bias_query(config, None, 2 * samples_per_gender, seed)
         session = prepare(
             model, env.tokenizer, query,
+            compiler=env.compiler, logits_cache=env.logits_cache(model_size),
             max_attempts=2 * samples_per_gender * max_attempts_factor,
         )
         for match in session:

@@ -13,13 +13,15 @@ seconds at ``scale="full"``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 
+from repro.core.compiler import CompilationCache, GraphCompiler
 from repro.datasets.corpus import SyntheticCorpus, build_corpus
 from repro.datasets.lambada import LambadaDataset, build_lambada
 from repro.datasets.pile import PileShard, build_pile_shard
 from repro.datasets.webworld import WebWorld
+from repro.lm.base import LogitsCache
 from repro.lm.ngram import NGramModel
 from repro.tokenizers.bpe import BPETokenizer, train_bpe
 
@@ -47,6 +49,13 @@ class Environment:
     lambada: LambadaDataset
     pile: PileShard
 
+    #: Lazily-built shared machinery: one compiler (with a cross-query
+    #: compilation cache) per environment, and one logits cache per model —
+    #: the experiment loops compile hundreds of near-identical templated
+    #: patterns and re-score overlapping contexts.
+    _compiler: GraphCompiler | None = field(default=None, repr=False, compare=False)
+    _logits_caches: dict = field(default_factory=dict, repr=False, compare=False)
+
     def model(self, size: str) -> NGramModel:
         """``"xl"`` or ``"small"``."""
         if size == "xl":
@@ -54,6 +63,23 @@ class Environment:
         if size == "small":
             return self.model_small
         raise ValueError(f"unknown model size {size!r}")
+
+    @property
+    def compiler(self) -> GraphCompiler:
+        """The environment's shared query compiler (cached compilations)."""
+        if self._compiler is None:
+            self._compiler = GraphCompiler(
+                self.tokenizer, cache=CompilationCache(max_entries=512)
+            )
+        return self._compiler
+
+    def logits_cache(self, size: str, capacity: int = 65536) -> LogitsCache:
+        """A logits cache shared by every executor over model *size*."""
+        cache = self._logits_caches.get(size)
+        if cache is None:
+            cache = LogitsCache(self.model(size), capacity=capacity)
+            self._logits_caches[size] = cache
+        return cache
 
 
 @lru_cache(maxsize=4)

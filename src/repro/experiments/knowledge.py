@@ -24,10 +24,11 @@ from __future__ import annotations
 
 import random
 import re as _re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.core.api import prepare
+from repro.core.compiler import GraphCompiler
 from repro.core.query import QueryString, QuerySearchStrategy, QueryTokenizationStrategy, SimpleSearchQuery
 from repro.lm.decoding import DecodingPolicy
 from repro.lm.ngram import NGramModel
@@ -74,10 +75,19 @@ class KnowledgeWorld:
     tokenizer: BPETokenizer
     model_xl: NGramModel
     model_small: NGramModel
+    _compiler: "GraphCompiler | None" = field(default=None, repr=False, compare=False)
 
     def model(self, size: str) -> NGramModel:
         """``"xl"`` or ``"small"``."""
         return self.model_xl if size == "xl" else self.model_small
+
+    @property
+    def compiler(self) -> GraphCompiler:
+        """Shared compiler: the per-subject queries are templated, so the
+        compilation cache pays off across the Figure 1 loop."""
+        if self._compiler is None:
+            self._compiler = GraphCompiler(self.tokenizer)
+        return self._compiler
 
 
 @lru_cache(maxsize=2)
@@ -181,7 +191,8 @@ def structured_query(
         tokenization_strategy=QueryTokenizationStrategy.ALL_TOKENS,
     )
     session = prepare(
-        world.model(model_size), world.tokenizer, query, max_expansions=max_expansions
+        world.model(model_size), world.tokenizer, query,
+        compiler=world.compiler, max_expansions=max_expansions,
     )
     out = []
     for match in session:

@@ -105,6 +105,8 @@ def predict(
     exhausts its budget without a match)."""
     query = build_query(item, strategy)
     session = prepare(env.model(model_size), env.tokenizer, query,
+                      compiler=env.compiler,
+                      logits_cache=env.logits_cache(model_size),
                       max_expansions=max_expansions)
     for match in session:
         completion = match.text[len(item.context) :]

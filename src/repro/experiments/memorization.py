@@ -66,7 +66,11 @@ def run_relm_extraction(
         top_k=40,
         sequence_length=24,
     )
-    session = prepare(env.model(model_size), env.tokenizer, query, max_expansions=max_expansions)
+    session = prepare(
+        env.model(model_size), env.tokenizer, query,
+        compiler=env.compiler, logits_cache=env.logits_cache(model_size),
+        max_expansions=max_expansions,
+    )
     log = ExtractionLog()
     start = time.perf_counter()
     for match in session:

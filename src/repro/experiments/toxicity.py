@@ -177,6 +177,7 @@ def _run_one(
     query = extraction_query(line, prompted=prompted, relm_features=relm_features)
     session = prepare(
         env.model(model_size), env.tokenizer, query,
+        compiler=env.compiler, logits_cache=env.logits_cache(model_size),
         max_expansions=max_expansions,
         dedupe=False,  # volume counts token sequences
     )

@@ -66,16 +66,24 @@ class LanguageModel(ABC):
         return total
 
     def sample_token(self, context: Sequence[int], rng, policy=None) -> int:
-        """Sample one next token, optionally under a decoding policy."""
+        """Sample one next token, optionally under a decoding policy.
+
+        ``rng`` is either a :class:`random.Random` (``choices`` interface)
+        or a NumPy-style generator exposing ``random()``.
+        """
         lp = self.logprobs(context)
         if policy is not None:
             lp = policy.filtered_logprobs(lp)
         probs = np.exp(lp - np.max(lp))
         probs[~np.isfinite(lp)] = 0.0
         probs /= probs.sum()
-        return int(rng.choices(range(self.vocab_size), weights=probs, k=1)[0]) if hasattr(rng, "choices") else int(
-            np.searchsorted(np.cumsum(probs), rng.random())
-        )
+        if hasattr(rng, "choices"):
+            return int(rng.choices(range(self.vocab_size), weights=probs, k=1)[0])
+        # Inverse-CDF fallback: float round-off can leave the final cumsum
+        # below 1.0, in which case searchsorted returns vocab_size — clamp
+        # to the last valid token id.
+        index = int(np.searchsorted(np.cumsum(probs), rng.random()))
+        return min(index, self.vocab_size - 1)
 
     def generate(
         self,

@@ -75,6 +75,33 @@ class DecodingPolicy:
             mask &= keep
         return mask
 
+    def allowed_mask_for(self, logprobs: np.ndarray, token_ids) -> np.ndarray:
+        """Admissibility of just the *token_ids* subset — vectorized, and
+        equal to ``allowed_mask(logprobs)[token_ids]`` by construction.
+
+        The executor's array backend and external guided-generation callers
+        usually only need the verdict for an automaton state's edge set.
+        With only top-k active, the full O(V log V) mask construction is
+        replaced by one O(V) threshold pass plus an O(|subset|) comparison;
+        threshold ties (and top-p, whose cutoff needs the sorted
+        distribution anyway) fall back to the exact full mask.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.intp)
+        lp = self.scaled_logprobs(np.asarray(logprobs, dtype=float))
+        sub = lp[token_ids]
+        mask = sub > -np.inf
+        if self.top_k is None and (self.top_p is None or self.top_p >= 1.0):
+            return mask
+        if self.top_p is None or self.top_p >= 1.0:
+            if self.top_k >= lp.size:
+                return mask
+            kth = np.partition(lp, -self.top_k)[-self.top_k]
+            if int(np.count_nonzero(lp >= kth)) == self.top_k:
+                return mask & (sub >= kth)
+        # Ties at the top-k threshold or an active top-p rule: defer to the
+        # reference mask so index-ordered tie-breaking stays exact.
+        return self.allowed_mask(logprobs)[token_ids]
+
     def filtered_logprobs(self, logprobs: np.ndarray) -> np.ndarray:
         """Log-probabilities with disallowed tokens at ``-inf``,
         renormalised over the surviving support."""

@@ -17,6 +17,7 @@ their leading space, and merges never cross chunk boundaries.
 
 from __future__ import annotations
 
+import heapq
 import json
 import re as _re
 from collections import Counter
@@ -59,22 +60,55 @@ class BPETokenizer:
 
     # -- core encode/decode ----------------------------------------------------
     def _bpe_chunk(self, chunk: str) -> tuple[int, ...]:
-        """Canonical BPE encoding of one pre-token chunk."""
+        """Canonical BPE encoding of one pre-token chunk.
+
+        Merges are applied lowest rank first, leftmost occurrence first,
+        via a heap over a linked list of parts — O(n log n) per chunk
+        instead of rescanning every adjacent pair after each merge.  Stale
+        heap entries (whose pair changed under them) are detected by
+        re-checking the current pair's rank: ranks are unique per pair, so
+        an entry is valid iff its recorded rank still matches.
+        """
         cached = self._cache.get(chunk)
         if cached is not None:
             return cached
         parts = list(chunk)
-        while len(parts) > 1:
-            best_rank = None
-            best_index = -1
-            for i in range(len(parts) - 1):
-                rank = self._ranks.get((parts[i], parts[i + 1]))
-                if rank is not None and (best_rank is None or rank < best_rank):
-                    best_rank = rank
-                    best_index = i
-            if best_rank is None:
-                break
-            parts[best_index : best_index + 2] = [parts[best_index] + parts[best_index + 1]]
+        n = len(parts)
+        if n > 1:
+            ranks = self._ranks
+            prev = list(range(-1, n - 1))
+            nxt = list(range(1, n + 1))  # index n acts as the end sentinel
+            alive = [True] * n
+            heap = []
+            for i in range(n - 1):
+                rank = ranks.get((parts[i], parts[i + 1]))
+                if rank is not None:
+                    heap.append((rank, i))
+            heapq.heapify(heap)
+            while heap:
+                rank, i = heapq.heappop(heap)
+                if not alive[i]:
+                    continue
+                j = nxt[i]
+                if j >= n:
+                    continue
+                if ranks.get((parts[i], parts[j])) != rank:
+                    continue  # stale: a neighbour was merged since the push
+                parts[i] = parts[i] + parts[j]
+                alive[j] = False
+                k = nxt[j]
+                nxt[i] = k
+                if k < n:
+                    prev[k] = i
+                    r = ranks.get((parts[i], parts[k]))
+                    if r is not None:
+                        heapq.heappush(heap, (r, i))
+                p = prev[i]
+                if p >= 0:
+                    r = ranks.get((parts[p], parts[i]))
+                    if r is not None:
+                        heapq.heappush(heap, (r, p))
+            parts = [parts[i] for i in range(n) if alive[i]]
         ids = tuple(self.vocab.id_of(p) for p in parts)
         self._cache[chunk] = ids
         return ids
@@ -154,6 +188,20 @@ class BPETokenizer:
 
     def __len__(self) -> int:
         return len(self.vocab)
+
+    def fingerprint(self) -> str:
+        """Stable digest of the tokenizer's vocabulary and merge list.
+
+        Two tokenizers with equal fingerprints produce identical encodings,
+        so compiled token automata are interchangeable between them — this
+        is the tokenizer component of the compilation-cache key.
+        """
+        if not hasattr(self, "_fingerprint"):
+            import hashlib
+
+            digest = hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+            self._fingerprint = digest[:16]
+        return self._fingerprint
 
     # -- persistence -------------------------------------------------------------
     def to_json(self) -> str:

@@ -1,0 +1,361 @@
+"""Differential tests: the vectorized ``arrays`` backend vs the ``dict``
+reference backend.
+
+The array backend must be an *exact* drop-in: the same match stream, in
+the same order, with the same per-token and total log-probabilities, and
+the same prune/expansion statistics.  We check this across shortest-path,
+beam, and random-sampling traversals, over a grid of seeded query/model
+combinations covering prefixes, top-k, require-eos, canonical
+tokenization, and Levenshtein edits.
+
+Also here: unit tests for the machinery the fast path is built from —
+:class:`AutomatonArrays`, :meth:`DecodingPolicy.allowed_mask_for`,
+:class:`CompilationCache`, tokenizer fingerprints, and the shared
+:class:`LogitsCache`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.api import prepare
+from repro.core.compiler import CompilationCache, GraphCompiler
+from repro.core.preprocessors import LevenshteinPreprocessor
+from repro.core.query import (
+    QuerySearchStrategy,
+    QueryTokenizationStrategy,
+    SearchQuery,
+)
+from repro.lm.base import LogitsCache
+from repro.lm.decoding import DecodingPolicy
+
+SHORTEST = QuerySearchStrategy.SHORTEST_PATH
+RANDOM = QuerySearchStrategy.RANDOM_SAMPLING
+BEAM = QuerySearchStrategy.BEAM
+CANONICAL = QueryTokenizationStrategy.CANONICAL
+
+#: The differential grid: (name, model source, query).  Each row is one
+#: seeded query/model combination; every row is run on both backends.
+COMBOS = [
+    ("shortest_plain", "tiny",
+     SearchQuery("The ((cat)|(dog)|(man)|(woman))", seed=0)),
+    ("shortest_topk", "tiny",
+     SearchQuery("The ((cat)|(dog)|(man)|(woman))", top_k=5, seed=1)),
+    ("shortest_prefix", "tiny",
+     SearchQuery("The ((cat)|(dog)) ((sat)|(ate))", prefix="The ((cat)|(dog))", seed=2)),
+    ("shortest_eos", "tiny",
+     SearchQuery("The ((cat)|(dog))", require_eos=True, seed=3)),
+    ("shortest_canonical", "tiny",
+     SearchQuery("The ((cat)|(dog)|(man)|(woman))",
+                 tokenization=CANONICAL, seed=4)),
+    ("shortest_edits", "tiny",
+     SearchQuery("The cat", preprocessors=(LevenshteinPreprocessor(1),),
+                 top_k=20, seed=5)),
+    ("beam_plain", "tiny",
+     SearchQuery("The ((cat)|(dog)|(man)|(woman))", strategy=BEAM,
+                 beam_width=3, seed=6)),
+    ("beam_topk_prefix", "tiny",
+     SearchQuery("The ((man)|(woman)) was trained in ((art)|(medicine))",
+                 prefix="The ((man)|(woman)) was trained in",
+                 strategy=BEAM, beam_width=4, top_k=25, seed=7)),
+    ("random_plain", "tiny",
+     SearchQuery("The ((cat)|(dog))", strategy=RANDOM, num_samples=40, seed=8)),
+    ("random_topk_eos", "tiny",
+     SearchQuery("The ((cat)|(dog)|(man)|(woman))", strategy=RANDOM,
+                 num_samples=40, top_k=30, require_eos=True, seed=9)),
+    ("random_prefix", "tiny",
+     SearchQuery("The ((man)|(woman)) was trained in ((art)|(medicine))",
+                 prefix="The ((man)|(woman)) was trained in",
+                 strategy=RANDOM, num_samples=30, seed=10)),
+    ("shortest_env_small", "env_small",
+     SearchQuery("The ((man)|(woman)) was trained in ((art)|(science))",
+                 top_k=40, seed=11)),
+    ("random_env_small", "env_small",
+     SearchQuery("The ((man)|(woman)) was", strategy=RANDOM,
+                 num_samples=25, seed=12)),
+]
+
+
+def _world(name, model, tokenizer, env):
+    if name == "tiny":
+        return model, tokenizer
+    return env.model("small"), env.tokenizer
+
+
+def _run(model, tokenizer, query, backend, limit=200):
+    matches = []
+    session = prepare(model, tokenizer, query, backend=backend)
+    for match in session:
+        matches.append(match)
+        if len(matches) >= limit:
+            break
+    return matches, session.stats
+
+
+class TestBackendsAreBitIdentical:
+    @pytest.mark.parametrize(
+        "name,source,query", COMBOS, ids=[c[0] for c in COMBOS]
+    )
+    def test_match_streams_identical(self, model, tokenizer, env, name, source, query):
+        m, tok = _world(source, model, tokenizer, env)
+        got_dict, stats_dict = _run(m, tok, query, "dict")
+        got_arr, stats_arr = _run(m, tok, query, "arrays")
+        assert len(got_dict) == len(got_arr)
+        assert len(got_dict) > 0, f"combo {name} produced no matches"
+        for a, b in zip(got_dict, got_arr):
+            assert a.text == b.text
+            assert a.tokens == b.tokens
+            assert a.total_logprob == pytest.approx(b.total_logprob, abs=1e-9)
+            assert a.logprob == pytest.approx(b.logprob, abs=1e-9)
+        # The traversal itself must be identical, not just the output.
+        assert stats_dict.pruned_edges == stats_arr.pruned_edges
+        assert stats_dict.lm_calls == stats_arr.lm_calls
+        assert stats_dict.failed_attempts == stats_arr.failed_attempts
+
+    def test_unknown_backend_rejected(self, model, tokenizer):
+        with pytest.raises(ValueError, match="backend"):
+            _run(model, tokenizer, SearchQuery("The cat"), "simd")
+
+
+class TestAutomatonArrays:
+    @pytest.fixture()
+    def compiled(self, tokenizer):
+        return GraphCompiler(tokenizer).compile(
+            SearchQuery("The ((cat)|(dog)) sat")
+        )
+
+    def test_rows_mirror_edge_dicts(self, compiled, model):
+        automaton = compiled.token_automaton
+        arrays = automaton.arrays(model.vocab_size)
+        assert arrays.num_edges == automaton.num_edges
+        for state, edges in automaton.edges.items():
+            row = arrays.row(state)
+            if not edges:
+                assert row is None or row.num_edges == 0
+                continue
+            # Array order mirrors dict insertion order exactly — the parity
+            # guarantee the vectorized traversals rely on.
+            assert list(row.token_ids) == list(edges.keys())
+            assert list(row.dst_states) == list(edges.values())
+            assert list(row.is_prefix) == [
+                d in automaton.prefix_live for d in edges.values()
+            ]
+
+    def test_dense_mask_matches_rows(self, compiled, model):
+        arrays = compiled.token_automaton.arrays(model.vocab_size)
+        assert arrays.has_dense_mask  # tiny automaton fits any budget
+        for state in compiled.token_automaton.edges:
+            mask = arrays.token_mask(state)
+            row = arrays.row(state)
+            expect = np.zeros(model.vocab_size, dtype=bool)
+            if row is not None:
+                expect[row.token_ids] = True
+            assert np.array_equal(mask, expect)
+
+    def test_dense_budget_respected(self, compiled):
+        from repro.core.arrays import AutomatonArrays
+
+        small = AutomatonArrays(
+            compiled.token_automaton.edges,
+            compiled.token_automaton.prefix_live,
+            vocab_size=320,
+            dense_budget=1,
+        )
+        assert not small.has_dense_mask
+        assert small.token_mask(0) is None
+
+    def test_arrays_memoized_on_automaton(self, compiled, model):
+        a1 = compiled.token_automaton.arrays(model.vocab_size)
+        a2 = compiled.token_automaton.arrays(model.vocab_size)
+        assert a1 is a2
+
+
+class TestAllowedMaskFor:
+    @pytest.mark.parametrize("top_k", [None, 1, 3, 7, 320])
+    def test_subset_equals_full_mask(self, model, top_k):
+        policy = DecodingPolicy(top_k=top_k)
+        lp = model.logprobs([])
+        ids = np.arange(0, model.vocab_size, 3)
+        full = policy.allowed_mask(lp)[ids]
+        sub = policy.allowed_mask_for(lp, ids)
+        assert np.array_equal(full, sub)
+
+    def test_subset_with_top_p_and_temperature(self, model):
+        policy = DecodingPolicy(top_p=0.8, temperature=0.7)
+        lp = model.logprobs([2])
+        ids = np.array([0, 1, 5, 17, 100])
+        assert np.array_equal(
+            policy.allowed_mask(lp)[ids], policy.allowed_mask_for(lp, ids)
+        )
+
+    def test_tied_threshold_falls_back_exactly(self):
+        lp = np.log(np.full(8, 1 / 8))  # fully tied distribution
+        policy = DecodingPolicy(top_k=3)
+        ids = np.arange(8)
+        assert np.array_equal(
+            policy.allowed_mask(lp)[ids], policy.allowed_mask_for(lp, ids)
+        )
+
+
+class TestCompilationCache:
+    def test_hit_miss_counters_and_lru(self, tokenizer):
+        cache = CompilationCache(max_entries=2)
+        compiler = GraphCompiler(tokenizer, cache=cache)
+        q1 = SearchQuery("The cat")
+        q2 = SearchQuery("The dog")
+        q3 = SearchQuery("The man")
+        compiler.compile(q1)
+        compiler.compile(q1)
+        assert (cache.hits, cache.misses) == (1, 1)
+        compiler.compile(q2)
+        compiler.compile(q3)  # evicts q1 (LRU)
+        assert cache.evictions == 1
+        compiler.compile(q1)  # miss again
+        assert cache.misses == 4
+        assert 0.0 < cache.hit_rate < 1.0
+        stats = cache.stats()
+        assert stats["entries"] == 2
+
+    def test_cached_compilation_reuses_automaton(self, tokenizer):
+        compiler = GraphCompiler(tokenizer, cache=True)
+        a = compiler.compile(SearchQuery("The ((cat)|(dog))", seed=1))
+        b = compiler.compile(SearchQuery("The ((cat)|(dog))", seed=2))
+        assert a.token_automaton is b.token_automaton
+        assert b.query.seed == 2  # runtime fields rebound, not cached
+
+    def test_distinct_queries_do_not_collide(self, tokenizer):
+        compiler = GraphCompiler(tokenizer, cache=True)
+        a = compiler.compile(SearchQuery("The cat"))
+        b = compiler.compile(SearchQuery("The cat", prefix="The"))
+        c = compiler.compile(
+            SearchQuery("The cat", tokenization=CANONICAL)
+        )
+        assert a.token_automaton is not b.token_automaton
+        assert compiler.cache.misses == 3
+        assert c.token_automaton is not a.token_automaton
+
+    def test_opaque_preprocessor_uncacheable(self, tokenizer):
+        from repro.core.preprocessors import TransducerPreprocessor
+        from repro.automata.transducer import identity_fst
+
+        compiler = GraphCompiler(tokenizer, cache=True)
+        query = SearchQuery(
+            "The cat",
+            preprocessors=(TransducerPreprocessor(identity_fst("The cat")),),
+        )
+        assert compiler.cache_key(query) is None
+        compiler.compile(query)
+        compiler.compile(query)
+        assert compiler.cache.hits == 0  # never cached, never falsely hit
+
+    def test_levenshtein_signature_cacheable(self, tokenizer):
+        compiler = GraphCompiler(tokenizer, cache=True)
+        query = SearchQuery(
+            "The cat", preprocessors=(LevenshteinPreprocessor(1),)
+        )
+        compiler.compile(query)
+        compiler.compile(query)
+        assert compiler.cache.hits == 1
+
+    def test_bias_loop_hit_rate_exceeds_090(self, env):
+        """The acceptance bar: re-running the bias experiment's templated
+        query loop against one shared compiler is >90% cache hits."""
+        from repro.experiments.bias import FIGURE7_CONFIGS, bias_query
+
+        cache = CompilationCache()
+        compiler = GraphCompiler(env.tokenizer, cache=cache)
+        config = FIGURE7_CONFIGS[1]  # canonical + prefix, as sampled per gender
+        for seed in range(25):
+            for gender in ("man", "woman"):
+                compiler.compile(bias_query(config, gender, 10, seed))
+        assert cache.misses == 2  # one per distinct gender pattern
+        assert cache.hits == 48
+        assert cache.hit_rate > 0.9
+
+    def test_session_records_cache_deltas(self, model, tokenizer):
+        compiler = GraphCompiler(tokenizer, cache=True)
+        first = prepare(model, tokenizer, SearchQuery("The cat"), compiler=compiler)
+        second = prepare(model, tokenizer, SearchQuery("The cat"), compiler=compiler)
+        assert first.stats.compilation_cache_misses == 1
+        assert first.stats.compilation_cache_hits == 0
+        assert second.stats.compilation_cache_hits == 1
+        assert second.stats.compilation_cache_misses == 0
+
+
+class TestSharedLogitsCache:
+    def test_shared_cache_across_executors(self, model, tokenizer):
+        shared = LogitsCache(model, capacity=4096)
+        q = SearchQuery("The ((cat)|(dog))")
+        m1, s1 = _run(model, tokenizer, q, "arrays")
+        first = prepare(model, tokenizer, q, logits_cache=shared)
+        list(first)
+        second = prepare(model, tokenizer, q, logits_cache=shared)
+        list(second)
+        # The second run is served (mostly) from the first run's entries,
+        # and per-session stats are deltas, not cumulative totals.
+        assert second.stats.logits_misses == 0
+        assert second.stats.logits_hits > 0
+        assert second.stats.logits_hit_rate == 1.0
+        assert first.stats.logits_hits + first.stats.logits_misses <= shared.hits + shared.misses
+
+    def test_wrong_model_rejected(self, model, tokenizer, env):
+        shared = LogitsCache(env.model("small"))
+        with pytest.raises(ValueError, match="model"):
+            prepare(model, tokenizer, SearchQuery("The cat"), logits_cache=shared)
+
+
+class TestFingerprintAndTrie:
+    def test_fingerprint_stable_and_distinct(self, tokenizer, env):
+        assert tokenizer.fingerprint() == tokenizer.fingerprint()
+        assert len(tokenizer.fingerprint()) == 16
+        assert tokenizer.fingerprint() != env.tokenizer.fingerprint()
+
+    def test_walk_dfa_into_matches_walk_dfa(self, tokenizer):
+        from repro.regex import compile_dfa
+
+        trie = GraphCompiler(tokenizer)._trie
+        dfa = compile_dfa("The ((cat)|(dog)) sat")
+        for state in dfa.transitions:
+            via_walk = dict(trie.walk_dfa(dfa.transitions, state))
+            row: dict = {}
+            trie.walk_dfa_into(dfa.transitions, state, row)
+            assert row == via_walk
+            assert list(row) == [tok for tok, _ in trie.walk_dfa(dfa.transitions, state)]
+
+
+class TestSampleTokenFallback:
+    def test_numpy_rng_index_clamped(self, model):
+        class OneRng:
+            def random(self):
+                return 1.0  # forces searchsorted past the final cumsum bin
+
+        tok = model.sample_token([], OneRng())
+        assert 0 <= tok < model.vocab_size
+
+    def test_numpy_rng_matches_support(self, model):
+        class MidRng:
+            def random(self):
+                return 0.5
+
+        tok = model.sample_token([], MidRng())
+        assert model.logprobs([])[tok] > -np.inf
+
+
+class TestCliCacheCounters:
+    def test_query_stats_include_cache_lines(self, capsys):
+        from repro.cli import main
+
+        code = main(["query", "The ((cat)|(dog))", "--max-matches", "2"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "logits" in err
+        assert "compilation" in err
+
+    def test_dict_backend_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(["query", "The ((cat)|(dog))", "--backend", "dict"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "The cat" in out or "The dog" in out

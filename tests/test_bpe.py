@@ -165,3 +165,37 @@ _SHARED = train_bpe(
     ["The cat sat on the mat.", "the dog ate 123 things!", "a b c d e"] * 20,
     vocab_size=200,
 )
+
+
+def _bpe_chunk_reference(tokenizer, chunk):
+    """The textbook rescan merge loop: global lowest-rank pair, leftmost
+    occurrence, recomputed from scratch after every merge.  The production
+    heap + linked-list implementation must match it exactly."""
+    parts = list(chunk)
+    while len(parts) > 1:
+        best_rank = None
+        best_index = -1
+        for i in range(len(parts) - 1):
+            rank = tokenizer._ranks.get((parts[i], parts[i + 1]))
+            if rank is not None and (best_rank is None or rank < best_rank):
+                best_rank = rank
+                best_index = i
+        if best_rank is None:
+            break
+        parts[best_index : best_index + 2] = [parts[best_index] + parts[best_index + 1]]
+    return tuple(tokenizer.vocab.id_of(p) for p in parts)
+
+
+class TestHeapMergeEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(text=_TEXT)
+    def test_heap_merge_matches_rescan_reference(self, text):
+        tok = _SHARED
+        for chunk in pretokenize(text):
+            tok._cache.pop(chunk, None)  # force the real merge path
+            assert tok._bpe_chunk(chunk) == _bpe_chunk_reference(tok, chunk)
+
+    def test_long_single_chunk(self):
+        chunk = "thecatsatonthematthedogatethings" * 3
+        _SHARED._cache.pop(chunk, None)
+        assert _SHARED._bpe_chunk(chunk) == _bpe_chunk_reference(_SHARED, chunk)
