@@ -3,9 +3,11 @@ benches, written to ``BENCH_executor.json``.
 
 A fast, CI-friendly subset of the pytest-benchmark suite: it times the
 batching ablation, the dict-vs-arrays backend comparison (the fast path's
->=2x acceptance bar at batch_size >= 4 on the n-gram model), and the
-compiler benches (all-encodings compile cost plus the cross-query
-compilation cache), and records medians as JSON::
+>=2x acceptance bar at batch_size >= 4 on the n-gram model), the compiler
+benches (all-encodings compile cost plus the cross-query compilation
+cache), and the multi-query scheduler's cross-query coalescing (8
+templated knowledge queries must issue <= 0.35x the serial LM rounds),
+and records medians as JSON::
 
     PYTHONPATH=src python benchmarks/bench_smoke.py --out BENCH_executor.json
 
@@ -114,6 +116,78 @@ def bench_compiler(env, repeats: int) -> dict:
     return out
 
 
+def bench_scheduler(repeats: int, top_n: int = 5) -> dict:
+    """Cross-query coalescing: 8 templated knowledge queries, serial vs
+    the multi-query scheduler at concurrency 8.
+
+    The figure that matters is ``coalesced_speedup`` — model
+    ``logprobs_batch`` rounds issued serially divided by rounds issued
+    coalesced (deterministic, unlike wall-time).  The acceptance bar is a
+    round ratio <= 0.35 (the scheduler must collapse 8 serial round
+    streams into barely more than one), with per-query results identical.
+    """
+    from repro.core.scheduler import QueryBudget, QueryScheduler
+    from repro.experiments.knowledge import (
+        FACTS,
+        birthdate_query,
+        knowledge_world,
+        month_query,
+    )
+    from repro.lm.base import CountingModel
+
+    world = knowledge_world()
+    queries = [birthdate_query(subject) for subject, _ in FACTS]
+    queries += [month_query(subject) for subject, _ in FACTS]
+    counting = CountingModel(world.model("xl"))
+
+    def run_serial():
+        out = []
+        for query in queries:
+            session = prepare(
+                counting, world.tokenizer, query, compiler=world.compiler
+            )
+            matches = []
+            for match in session:
+                matches.append(match.text)
+                if len(matches) >= top_n:
+                    break
+            out.append(matches)
+        return out
+
+    def run_scheduled():
+        scheduler = QueryScheduler(
+            counting, world.tokenizer, compiler=world.compiler,
+            concurrency=len(queries),
+        )
+        handles = [
+            scheduler.submit(q, budget=QueryBudget(max_results=top_n))
+            for q in queries
+        ]
+        scheduler.run()
+        return [[m.text for m in h.results] for h in handles]
+
+    counting.reset()
+    serial_texts = run_serial()
+    serial_rounds = counting.batch_rounds
+    counting.reset()
+    scheduled_texts = run_scheduled()
+    coalesced_rounds = counting.batch_rounds
+    assert scheduled_texts == serial_texts, "scheduler changed query results"
+
+    serial_ms, _ = _median_time(run_serial, repeats)
+    scheduled_ms, _ = _median_time(run_scheduled, repeats)
+    return {
+        "queries": len(queries),
+        "concurrency": len(queries),
+        "serial_rounds": serial_rounds,
+        "coalesced_rounds": coalesced_rounds,
+        "round_ratio": round(coalesced_rounds / serial_rounds, 4),
+        "coalesced_speedup": round(serial_rounds / coalesced_rounds, 2),
+        "serial_ms": round(1000 * serial_ms, 3),
+        "scheduled_ms": round(1000 * scheduled_ms, 3),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_executor.json")
@@ -128,6 +202,7 @@ def main(argv=None) -> int:
         "batching": bench_batching(env, args.repeats),
         "backend": bench_backends(env, args.repeats),
         "compiler": bench_compiler(env, args.repeats),
+        "scheduler": bench_scheduler(args.repeats),
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -142,6 +217,11 @@ def main(argv=None) -> int:
     if report["compiler"]["cache_hit_rate"] < 0.9:
         failures.append(
             f"cache hit rate {report['compiler']['cache_hit_rate']} is below 0.9"
+        )
+    if report["scheduler"]["round_ratio"] > 0.35:
+        failures.append(
+            f"scheduler round ratio {report['scheduler']['round_ratio']} "
+            "exceeds the 0.35x bar"
         )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -30,9 +30,13 @@ from repro.core import (
     LevenshteinPreprocessor,
     MatchResult,
     Preprocessor,
+    QueryBudget,
+    QueryScheduler,
     QuerySearchStrategy,
     QueryString,
     QueryTokenizationStrategy,
+    ScheduledQuery,
+    SchedulerStats,
     SearchQuery,
     SearchSession,
     SimpleSearchQuery,
@@ -41,11 +45,13 @@ from repro.core import (
     TransducerPreprocessor,
     prepare,
     search,
+    search_many,
 )
 from repro.lm import (
     GREEDY,
     LogitsCache,
     UNRESTRICTED,
+    CountingModel,
     DecodingPolicy,
     LanguageModel,
     NGramModel,
@@ -62,7 +68,12 @@ __all__ = [
     # core engine
     "search",
     "prepare",
+    "search_many",
     "SearchSession",
+    "QueryScheduler",
+    "QueryBudget",
+    "ScheduledQuery",
+    "SchedulerStats",
     "SearchQuery",
     "SimpleSearchQuery",
     "QueryString",
@@ -79,12 +90,12 @@ __all__ = [
     "FilterPreprocessor",
     "SuffixFilterPreprocessor",
     "IntersectionPreprocessor",
-    "IntersectionPreprocessor",
     "TransducerPreprocessor",
     "CaseFoldPreprocessor",
     # models
     "LanguageModel",
     "LogitsCache",
+    "CountingModel",
     "DecodingPolicy",
     "GREEDY",
     "UNRESTRICTED",

@@ -30,7 +30,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     query = sub.add_parser("query", help="run a regex query against the built-in model")
-    query.add_argument("pattern", help="regex pattern (ReLM dialect)")
+    query.add_argument(
+        "pattern", nargs="+",
+        help="regex pattern(s) (ReLM dialect); several patterns run "
+             "concurrently through the multi-query scheduler",
+    )
     query.add_argument("--prefix", default=None, help="prefix regex (conditioned, not decoded)")
     query.add_argument("--top-k", type=int, default=None, help="top-k decision rule")
     query.add_argument("--strategy", choices=["shortest", "random", "beam"], default="shortest")
@@ -47,6 +51,23 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--model", choices=["xl", "small"], default="xl")
     query.add_argument("--scale", choices=["test", "full"], default="test")
     query.add_argument("--log", default=None, help="append matches to this JSONL file")
+    query.add_argument(
+        "--concurrency", type=int, default=1,
+        help="queries serviced per coalesced LM round (>1 engages the scheduler)",
+    )
+    query.add_argument(
+        "--fairness", choices=["round_robin", "shortest_frontier"],
+        default="round_robin",
+        help="which waiting queries join a capped scheduler round",
+    )
+    query.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-query wall-clock budget in seconds (scheduler mode)",
+    )
+    query.add_argument(
+        "--max-lm-calls", type=int, default=None,
+        help="per-query LM-call budget (scheduler mode)",
+    )
 
     experiment = sub.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument(
@@ -62,12 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_query(args) -> int:
+def _build_queries(args):
     import repro as relm
-    from repro.core.logging import MatchWriter
-    from repro.experiments.common import get_environment
 
-    env = get_environment(scale=args.scale)
     strategy = {
         "shortest": relm.QuerySearchStrategy.SHORTEST_PATH,
         "random": relm.QuerySearchStrategy.RANDOM_SAMPLING,
@@ -79,17 +97,92 @@ def _cmd_query(args) -> int:
         else relm.QueryTokenizationStrategy.ALL_TOKENS
     )
     preprocessors = (relm.LevenshteinPreprocessor(args.edits),) if args.edits else ()
-    query = relm.SearchQuery(
-        args.pattern,
-        prefix=args.prefix,
-        top_k=args.top_k,
-        strategy=strategy,
-        tokenization=tokenization,
-        num_samples=args.samples if args.strategy == "random" else None,
-        require_eos=args.require_eos,
-        preprocessors=preprocessors,
-        seed=args.seed,
+    return [
+        relm.SearchQuery(
+            pattern,
+            prefix=args.prefix,
+            top_k=args.top_k,
+            strategy=strategy,
+            tokenization=tokenization,
+            num_samples=args.samples if args.strategy == "random" else None,
+            require_eos=args.require_eos,
+            preprocessors=preprocessors,
+            seed=args.seed,
+        )
+        for pattern in args.pattern
+    ]
+
+
+def _cmd_query_scheduled(args, env, queries) -> int:
+    """Many patterns (or budgets): run through the multi-query scheduler."""
+    from repro.core.logging import MatchWriter
+    from repro.core.scheduler import QueryBudget
+
+    scheduler = env.scheduler(
+        args.model,
+        concurrency=args.concurrency,
+        fairness=args.fairness,
+        backend=args.backend,
+        max_expansions=50_000,
+        max_attempts=50 * args.samples,
     )
+    budget = QueryBudget(
+        deadline=args.deadline,
+        max_lm_calls=args.max_lm_calls,
+        max_results=args.max_matches,
+    )
+    handles = [
+        scheduler.submit(query, budget=budget, name=pattern)
+        for pattern, query in zip(args.pattern, queries)
+    ]
+    scheduler.run()
+    writer = MatchWriter(args.log) if args.log else None
+    for handle in handles:
+        flag = f" [truncated: {handle.truncated_reason}]" if (
+            handle.truncated and handle.truncated_reason != "max_results"
+        ) else ""
+        print(f"== {handle.name}{flag}")
+        for match in handle.results:
+            print(f"{match.total_logprob:9.3f}  {match.text!r}")
+            if writer is not None:
+                writer.write(match)
+    if writer is not None:
+        writer.close()
+        print(f"# wrote {writer.count} matches to {args.log}", file=sys.stderr)
+    stats = scheduler.stats
+    print(
+        f"# scheduler: rounds={stats.rounds} "
+        f"contexts={stats.contexts_serviced} "
+        f"mean_coalesced={stats.mean_round_size:.2f} "
+        f"max_coalesced={stats.max_round_size}",
+        file=sys.stderr,
+    )
+    for handle in handles:
+        latency = handle.latency if handle.latency is not None else 0.0
+        print(
+            f"#   {handle.name}: {len(handle.results)} matches "
+            f"lm_calls={handle.stats.lm_calls} rounds={handle.stats.scheduler_rounds} "
+            f"latency={1000 * latency:.1f}ms",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import repro as relm
+    from repro.core.logging import MatchWriter
+    from repro.experiments.common import get_environment
+
+    env = get_environment(scale=args.scale)
+    queries = _build_queries(args)
+    if (
+        len(queries) > 1
+        or args.concurrency > 1
+        or args.deadline is not None
+        or args.max_lm_calls is not None
+    ):
+        return _cmd_query_scheduled(args, env, queries)
+    query = queries[0]
     session = relm.prepare(
         env.model(args.model), env.tokenizer, query,
         compiler=env.compiler, logits_cache=env.logits_cache(args.model),

@@ -10,7 +10,7 @@ Public surface (mirrors the paper's API, Figures 4 and 11):
 * Preprocessors — Levenshtein edits, filters, custom transducers (§3.4).
 """
 
-from repro.core.api import SearchSession, prepare, search
+from repro.core.api import SearchSession, prepare, search, search_many
 from repro.core.logging import MatchWriter, read_matches, tee_matches
 from repro.core.arrays import AutomatonArrays, StateRow
 from repro.core.compiler import (
@@ -21,7 +21,13 @@ from repro.core.compiler import (
     prefixes_of,
 )
 from repro.core.diagnostics import EliminationTracker
-from repro.core.executor import Executor
+from repro.core.executor import Executor, LmRequest
+from repro.core.scheduler import (
+    FAIRNESS_POLICIES,
+    QueryBudget,
+    QueryScheduler,
+    ScheduledQuery,
+)
 from repro.core.preprocessors import (
     CaseFoldPreprocessor,
     FilterPreprocessor,
@@ -38,12 +44,19 @@ from repro.core.query import (
     SearchQuery,
     SimpleSearchQuery,
 )
-from repro.core.results import ExecutionStats, MatchResult
+from repro.core.results import ExecutionStats, MatchResult, SchedulerStats
 
 __all__ = [
     "search",
     "prepare",
+    "search_many",
     "SearchSession",
+    "QueryScheduler",
+    "QueryBudget",
+    "ScheduledQuery",
+    "SchedulerStats",
+    "FAIRNESS_POLICIES",
+    "LmRequest",
     "MatchWriter",
     "read_matches",
     "tee_matches",

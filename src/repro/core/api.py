@@ -25,16 +25,17 @@ compilation cache skips recompiling repeated patterns) and may share one
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.core.compiler import CompiledQuery, GraphCompiler
 from repro.core.executor import Executor
 from repro.core.query import SimpleSearchQuery
 from repro.core.results import MatchResult
-from repro.lm.base import LanguageModel
+from repro.core.scheduler import QueryBudget, QueryScheduler, ScheduledQuery
+from repro.lm.base import LanguageModel, LogitsCache
 from repro.tokenizers.bpe import BPETokenizer
 
-__all__ = ["search", "prepare", "SearchSession"]
+__all__ = ["search", "prepare", "search_many", "SearchSession"]
 
 
 class SearchSession:
@@ -97,3 +98,38 @@ def search(
 ) -> Iterator[MatchResult]:
     """Launch *query* against *model*; returns the lazy match iterator."""
     return iter(prepare(model, tokenizer, query, compiler=compiler, **executor_kwargs))
+
+
+def search_many(
+    model: LanguageModel,
+    tokenizer: BPETokenizer,
+    queries: Sequence[SimpleSearchQuery],
+    *,
+    concurrency: int = 8,
+    fairness: str = "round_robin",
+    compiler: GraphCompiler | None = None,
+    logits_cache: LogitsCache | None = None,
+    budget: QueryBudget | None = None,
+    **executor_kwargs,
+) -> list[ScheduledQuery]:
+    """Run many queries through one :class:`QueryScheduler` to completion.
+
+    The queries' frontier expansions are coalesced into shared LM rounds —
+    a loop of N templated queries costs roughly one query's worth of model
+    dispatches instead of N.  Each returned handle carries that query's
+    ``results`` (bit-identical to a serial :func:`search`) and ``stats``.
+    ``budget`` (optional) applies to every query; use the scheduler
+    directly for per-query budgets.
+    """
+    scheduler = QueryScheduler(
+        model,
+        tokenizer,
+        compiler=compiler,
+        logits_cache=logits_cache,
+        concurrency=concurrency,
+        fairness=fairness,
+        **executor_kwargs,
+    )
+    for query in queries:
+        scheduler.submit(query, budget=budget)
+    return scheduler.run()

@@ -30,14 +30,24 @@ Two execution backends implement each traversal:
 Both backends produce bit-identical match streams (same order, same
 log-probabilities): edge costs are the same float64 values, and array
 order mirrors the edge dict's insertion order so tie-breaking agrees.
+
+Every traversal is implemented as a *stepwise generator* (:meth:`Executor.steps`)
+that yields two kinds of events: :class:`LmRequest` (the traversal needs model
+scores for a batch of contexts and suspends until they are sent back) and
+:class:`~repro.core.results.MatchResult`.  :meth:`Executor.run` drives the
+generator against the executor's own logits cache — the single-query serial
+path — while :class:`~repro.core.scheduler.QueryScheduler` drives many
+executors' generators at once, coalescing their ``LmRequest`` contexts into
+shared LM rounds.  Both drivers call :meth:`Executor.finish_request` to apply
+the decoding policy and update stats, so the match stream is identical no
+matter who drives.
 """
 
 from __future__ import annotations
 
 import heapq
-import math
 import random
-from typing import Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 
@@ -48,7 +58,31 @@ from repro.core.results import ExecutionStats, MatchResult
 from repro.lm.base import LanguageModel, LogitsCache
 from repro.lm.decoding import DecodingPolicy
 
-__all__ = ["Executor"]
+__all__ = ["Executor", "LmRequest"]
+
+
+class LmRequest:
+    """A suspended traversal's demand for next-token scores.
+
+    ``contexts`` is the batch of token contexts to score (one LM round).
+    ``raw`` requests unscaled cached log-probabilities (prefix fast-forward
+    bypasses decoding rules); otherwise the driver sends back a list of
+    ``(scaled_logprobs, allowed_mask)`` pairs.  ``count_batch`` mirrors the
+    historical stats split: single-context random-sampling lookups never
+    counted toward ``lm_batches``.
+    """
+
+    __slots__ = ("contexts", "raw", "count_batch")
+
+    def __init__(
+        self,
+        contexts: list[tuple[int, ...]],
+        raw: bool = False,
+        count_batch: bool = True,
+    ) -> None:
+        self.contexts = contexts
+        self.raw = raw
+        self.count_batch = count_batch
 
 #: Below this fan-out the vectorized backend falls back to the scalar edge
 #: loop: array setup (fancy indexing + argsort) costs more than a loop over
@@ -169,28 +203,24 @@ class Executor:
         self.stats.logits_hits = self._cache.hits - self._cache_hits_base
         self.stats.logits_misses = self._cache.misses - self._cache_misses_base
 
-    def _scored_logprobs(self, context: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
-        """(scaled log-probs, allowed mask) for the next token."""
-        self.stats.lm_calls += 1
-        lp = self._cache.logprobs(context)
-        self._sync_cache_stats()
-        self.stats.tokens_scored += lp.size
-        if self.policy is None:
-            return lp, lp > -np.inf
-        return self.policy.scaled_logprobs(lp), self.policy.allowed_mask(lp)
+    def finish_request(self, request: LmRequest, rows: list[np.ndarray]) -> list:
+        """Post-process one serviced :class:`LmRequest`.
 
-    def _scored_logprobs_batch(
-        self, contexts: list[tuple[int, ...]]
-    ) -> list[tuple[np.ndarray, np.ndarray]]:
-        """Batched variant of :meth:`_scored_logprobs` (one model round)."""
-        self.stats.lm_calls += len(contexts)
-        self.stats.lm_batches += 1
-        rows = self._cache.logprobs_batch(contexts)
-        self._sync_cache_stats()
+        *rows* are the cached log-probability vectors for
+        ``request.contexts`` (fetched by whichever driver serviced the
+        request).  Updates the per-query counters and applies the decoding
+        policy; the return value is what must be ``send()``-ed back into the
+        suspended traversal generator.
+        """
+        self.stats.lm_calls += len(request.contexts)
+        if request.count_batch:
+            self.stats.lm_batches += 1
         out = []
         for lp in rows:
             self.stats.tokens_scored += lp.size
-            if self.policy is None:
+            if request.raw:
+                out.append(lp)
+            elif self.policy is None:
                 out.append((lp, lp > -np.inf))
             else:
                 out.append((self.policy.scaled_logprobs(lp), self.policy.allowed_mask(lp)))
@@ -227,13 +257,41 @@ class Executor:
             prefix_text=prefix_text,
         )
 
-    def run(self) -> Iterator[MatchResult]:
-        """Execute the query; yields matches per the traversal strategy."""
+    def steps(self) -> Iterator:
+        """The stepwise traversal generator for this query's strategy.
+
+        Yields :class:`LmRequest` and :class:`MatchResult` events; after an
+        ``LmRequest`` the driver must ``send()`` back the result of
+        :meth:`finish_request`.  Used directly by the multi-query scheduler;
+        :meth:`run` is the single-query driver.
+        """
         if self.query.search_strategy is QuerySearchStrategy.SHORTEST_PATH:
             return self._shortest_path()
         if self.query.search_strategy is QuerySearchStrategy.BEAM:
             return self._beam_search()
         return self._random_sampling()
+
+    def run(self) -> Iterator[MatchResult]:
+        """Execute the query; yields matches per the traversal strategy.
+
+        Drives :meth:`steps` against the executor's own logits cache: each
+        ``LmRequest`` is serviced with one (cached) batched lookup, exactly
+        as the pre-scheduler engine did.
+        """
+        gen = self.steps()
+        payload = None
+        while True:
+            try:
+                event = gen.send(payload)
+            except StopIteration:
+                return
+            if isinstance(event, LmRequest):
+                rows = self._cache.logprobs_batch(event.contexts)
+                self._sync_cache_stats()
+                payload = self.finish_request(event, rows)
+            else:
+                yield event
+                payload = None
 
     # -- vectorized edge expansion -------------------------------------------------
     def _expand_vectorized(
@@ -313,7 +371,7 @@ class Executor:
         #: backend additionally pushes (priority, tiebreak, _LazyGroup,
         #: member_index, 0, 0) entries, materialised at pop time.
         heap: list[tuple] = []
-        start_state, start_tokens, start_total = self._fast_forward_prefix()
+        start_state, start_tokens, start_total = yield from self._fast_forward_prefix()
         heapq.heappush(heap, (start_total, counter, start_state, start_tokens, start_total, 0.0))
         counter += 1
         seen_texts: set[str] = set()
@@ -361,7 +419,7 @@ class Executor:
                 pending.append((state, tokens, total, suffix, needs_eos))
             if not pending:
                 continue
-            scored = self._scored_logprobs_batch([node[1] for node in pending])
+            scored = yield LmRequest([node[1] for node in pending])
             for (state, tokens, total, suffix, needs_eos), (lp, mask) in zip(
                 pending, scored
             ):
@@ -442,8 +500,9 @@ class Executor:
         self.stats.matches_yielded += 1
         yield result
 
-    def _fast_forward_prefix(self) -> tuple[int, tuple[int, ...], float]:
-        """Jump-start Dijkstra past a *literal* prefix.
+    def _fast_forward_prefix(self):
+        """Jump-start Dijkstra past a *literal* prefix (stepwise generator;
+        the ``(state, tokens, total)`` triple is its return value).
 
         When the prefix language is exactly one string, conditional
         generation encodes it canonically (§3.2) — there is no need to
@@ -473,12 +532,8 @@ class Executor:
         total = 0.0
         if tokens:
             contexts = [tokens[:i] for i in range(len(tokens))]
-            self.stats.lm_calls += len(contexts)
-            self.stats.lm_batches += 1
-            rows = self._cache.logprobs_batch(contexts)
-            self._sync_cache_stats()
+            rows = yield LmRequest(contexts, raw=True)
             for tok, lp in zip(tokens, rows):
-                self.stats.tokens_scored += lp.size
                 total += -float(lp[tok])
         return state, tokens, total
 
@@ -498,7 +553,7 @@ class Executor:
         width = self.query.beam_width
         vectorized = self.backend == "arrays"
         #: beam entries: (total_cost, suffix_cost, state, tokens)
-        start_state, start_tokens, start_total = self._fast_forward_prefix()
+        start_state, start_tokens, start_total = yield from self._fast_forward_prefix()
         beam: list[tuple[float, float, int, tuple[int, ...]]] = [
             (start_total, 0.0, start_state, start_tokens)
         ]
@@ -512,7 +567,7 @@ class Executor:
             #: (totals, suffixes, dst_states, token_ids, parent_tokens) —
             #: survivors are materialised into tuples only after selection.
             groups: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, tuple[int, ...]]] = []
-            scored = self._scored_logprobs_batch([entry[3] for entry in beam])
+            scored = yield LmRequest([entry[3] for entry in beam])
             for (total, suffix, state, tokens), (lp, mask) in zip(beam, scored):
                 self.stats.nodes_expanded += 1
                 if state in automaton.accepts and (
@@ -606,7 +661,7 @@ class Executor:
             if self.max_attempts is not None and attempts >= self.max_attempts:
                 return
             attempts += 1
-            result = self._sample_once(prefix_counter)
+            result = yield from self._sample_once(prefix_counter)
             if result is None:
                 self.stats.failed_attempts += 1
                 continue
@@ -625,7 +680,9 @@ class Executor:
         prefix_lang = self.compiled.prefix_dfa.intersect(closure).minimized()
         return WalkCounter(prefix_lang, max_length=self.max_prefix_chars)
 
-    def _sample_once(self, prefix_counter: WalkCounter | None) -> MatchResult | None:
+    def _sample_once(self, prefix_counter: WalkCounter | None):
+        """One sampling attempt (stepwise generator; returns the
+        :class:`MatchResult` or ``None`` as its generator return value)."""
         automaton = self.automaton
         eos = self.model.eos_id
         vectorized = self.backend == "arrays"
@@ -671,7 +728,7 @@ class Executor:
                 return self._make_result(
                     tuple(tokens), -suffix_logprob, -total_logprob, sampled_prefix
                 )
-            lp, mask = self._scored_logprobs(tokens)
+            (lp, mask), = yield LmRequest([tuple(tokens)], count_batch=False)
             eos_allowed = bool(at_accept and mask[eos] and np.isfinite(lp[eos]))
             if vectorized and (row is None or row.num_edges > _SCALAR_FANOUT_CUTOFF):
                 expanded = self._expand_vectorized(

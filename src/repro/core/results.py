@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["MatchResult", "ExecutionStats"]
+__all__ = ["MatchResult", "ExecutionStats", "SchedulerStats"]
 
 
 @dataclass(frozen=True)
@@ -57,6 +57,9 @@ class ExecutionStats:
     #: session layer; 0/0 when compiled without a cache).
     compilation_cache_hits: int = 0
     compilation_cache_misses: int = 0
+    #: Coalesced scheduler rounds this query participated in (0 when the
+    #: query ran serially through :meth:`Executor.run`).
+    scheduler_rounds: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -86,4 +89,53 @@ class ExecutionStats:
             "logits_misses": self.logits_misses,
             "compilation_cache_hits": self.compilation_cache_hits,
             "compilation_cache_misses": self.compilation_cache_misses,
+            "scheduler_rounds": self.scheduler_rounds,
+        }
+
+
+@dataclass
+class SchedulerStats:
+    """Counters a :class:`~repro.core.scheduler.QueryScheduler` maintains.
+
+    One *round* is one coalesced LM dispatch: the contexts requested by
+    every query serviced that round, deduped through the shared logits
+    cache, sent to the model as (at most) one ``logprobs_batch`` call.
+    ``round_sizes`` records the coalesced batch size per round — the
+    scheduler's throughput lever — and ``round_members`` which queries
+    shared it (what the fairness policies act on).
+    """
+
+    rounds: int = 0
+    contexts_serviced: int = 0
+    queries_submitted: int = 0
+    queries_completed: int = 0
+    queries_truncated: int = 0
+    queries_cancelled: int = 0
+    round_sizes: list = field(default_factory=list)
+    round_members: list = field(default_factory=list)
+    #: Wall-clock seconds from submit to completion, keyed by query name.
+    per_query_latency: dict = field(default_factory=dict)
+
+    @property
+    def mean_round_size(self) -> float:
+        """Average coalesced contexts per round (0 when no rounds ran)."""
+        return sum(self.round_sizes) / len(self.round_sizes) if self.round_sizes else 0.0
+
+    @property
+    def max_round_size(self) -> int:
+        """Largest coalesced round."""
+        return max(self.round_sizes) if self.round_sizes else 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for logging/reporting."""
+        return {
+            "rounds": self.rounds,
+            "contexts_serviced": self.contexts_serviced,
+            "queries_submitted": self.queries_submitted,
+            "queries_completed": self.queries_completed,
+            "queries_truncated": self.queries_truncated,
+            "queries_cancelled": self.queries_cancelled,
+            "mean_round_size": self.mean_round_size,
+            "max_round_size": self.max_round_size,
+            "per_query_latency": dict(self.per_query_latency),
         }

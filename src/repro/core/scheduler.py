@@ -1,0 +1,344 @@
+"""Cross-query batched scheduling: many ReLM queries, shared LM rounds.
+
+The paper's throughput argument (§3.3) is that automaton frontiers turn
+into large batches of test vectors the accelerator scores in one dispatch.
+A production validation workload goes one step further: it runs *many*
+queries at once — the bias and knowledge experiments loop over hundreds of
+templated patterns — and those queries' frontier expansions can share the
+same dispatches.  :class:`QueryScheduler` interleaves the stepwise
+traversal generators of several executors (see :meth:`Executor.steps`) and
+coalesces their :class:`~repro.core.executor.LmRequest` contexts through
+one shared :class:`~repro.lm.base.LogitsCache` round per scheduling step,
+so N templated queries cost roughly one query's worth of LM rounds.
+
+Guarantees:
+
+* **Serial equivalence** — interleaving only changes *when* contexts are
+  scored, never their values: each query's match stream (order, tokens,
+  log-probabilities) is bit-identical to a standalone
+  :meth:`Executor.run`.  The differential suite pins this for every seeded
+  backend combo at concurrency 1, and the property suite for random
+  multi-query mixes.
+* **Budgets** — per-query wall-clock deadline, LM-call cap, and result cap
+  (:class:`QueryBudget`), enforced at round boundaries: a query over
+  budget is stopped before it joins another LM round, keeps the matches it
+  already produced, and is flagged ``truncated``.
+* **Cancellation** — :meth:`ScheduledQuery.cancel` stops a query at the
+  next boundary; a cancelled query never issues another LM call.
+* **Fairness** — when a round cannot service every runnable query
+  (``concurrency`` caps queries per round), ``fairness="round_robin"``
+  rotates who goes first and ``fairness="shortest_frontier"`` services the
+  smallest pending frontiers first (latency-oriented: cheap templated
+  queries drain quickly between heavy ones).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.compiler import GraphCompiler
+from repro.core.executor import Executor, LmRequest
+from repro.core.query import SimpleSearchQuery
+from repro.core.results import ExecutionStats, MatchResult, SchedulerStats
+from repro.lm.base import LanguageModel, LogitsCache
+from repro.tokenizers.bpe import BPETokenizer
+
+__all__ = ["QueryBudget", "ScheduledQuery", "QueryScheduler", "FAIRNESS_POLICIES"]
+
+#: Recognised fairness policies (which waiting queries join a capped round).
+FAIRNESS_POLICIES = ("round_robin", "shortest_frontier")
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """Per-query resource limits, all optional.
+
+    ``deadline`` is wall-clock seconds from submission (measured on the
+    scheduler's clock); ``max_lm_calls`` caps per-query LM context scores
+    (:attr:`ExecutionStats.lm_calls`); ``max_results`` caps yielded
+    matches.  Budgets are checked at round boundaries, so a query can
+    overrun a deadline by at most one LM round and never exceeds
+    ``max_lm_calls`` at all (a round that would cross the cap is not
+    issued).
+    """
+
+    deadline: float | None = None
+    max_lm_calls: int | None = None
+    max_results: int | None = None
+
+
+class ScheduledQuery:
+    """One submitted query's handle: results, stats, budget state.
+
+    ``results`` accumulates the query's matches in yield order (identical
+    to the serial stream).  ``truncated`` is True when a budget or
+    :meth:`cancel` stopped the query early — the results held are a valid
+    prefix of the serial stream.  ``done`` covers both completion and
+    truncation.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        query: SimpleSearchQuery,
+        executor: Executor,
+        budget: QueryBudget,
+        submitted_at: float,
+    ) -> None:
+        self.index = index
+        self.name = name
+        self.query = query
+        self.executor = executor
+        self.budget = budget
+        self.submitted_at = submitted_at
+        self.results: list[MatchResult] = []
+        self.done = False
+        self.truncated = False
+        self.truncated_reason: str | None = None
+        self.latency: float | None = None
+        self._gen = executor.steps()
+        self._pending: LmRequest | None = None
+        self._cancelled = False
+
+    @property
+    def stats(self) -> ExecutionStats:
+        """The query's execution statistics (live)."""
+        return self.executor.stats
+
+    def cancel(self) -> None:
+        """Stop this query at the next scheduling boundary.
+
+        Takes effect immediately when called between rounds: the traversal
+        generator is closed and no further LM call is ever issued on this
+        query's behalf.  Already-collected results are kept.
+        """
+        self._cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else ("waiting" if self._pending else "ready")
+        return f"ScheduledQuery({self.name!r}, {state}, {len(self.results)} results)"
+
+
+class QueryScheduler:
+    """Drives many prepared queries through coalesced LM rounds.
+
+    Usage::
+
+        scheduler = QueryScheduler(model, tokenizer, concurrency=8)
+        handles = [scheduler.submit(q) for q in queries]
+        scheduler.run()
+        for handle in handles:
+            use(handle.results, handle.stats)
+
+    ``compiler`` and ``logits_cache`` default to a private
+    :class:`GraphCompiler` (with its compilation cache) and one shared
+    :class:`LogitsCache` — the two cross-query caches that make templated
+    query loops cheap.  ``concurrency`` caps how many queries join one LM
+    round; ``fairness`` picks who joins when the cap binds.  ``clock`` is
+    injectable for deterministic deadline tests.  Remaining keyword
+    arguments become per-executor defaults (``backend``, ``batch_size``,
+    ``max_expansions``, ...), overridable per :meth:`submit`.
+    """
+
+    def __init__(
+        self,
+        model: LanguageModel,
+        tokenizer: BPETokenizer,
+        *,
+        compiler: GraphCompiler | None = None,
+        logits_cache: LogitsCache | None = None,
+        concurrency: int = 8,
+        fairness: str = "round_robin",
+        clock=time.monotonic,
+        **executor_defaults,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if fairness not in FAIRNESS_POLICIES:
+            raise ValueError(
+                f"unknown fairness policy {fairness!r} (use one of {FAIRNESS_POLICIES})"
+            )
+        self.model = model
+        self.tokenizer = tokenizer
+        if compiler is None:
+            compiler = GraphCompiler(tokenizer, cache=True)
+        elif compiler.tokenizer is not tokenizer:
+            raise ValueError("compiler was built for a different tokenizer")
+        self.compiler = compiler
+        if logits_cache is None:
+            logits_cache = LogitsCache(model, capacity=65536)
+        elif logits_cache.model is not model:
+            raise ValueError("shared logits_cache was built for a different model")
+        self.logits_cache = logits_cache
+        self.concurrency = concurrency
+        self.fairness = fairness
+        self.clock = clock
+        self.executor_defaults = executor_defaults
+        self.stats = SchedulerStats()
+        self.queries: list[ScheduledQuery] = []
+        #: Every match in global yield order, as ``(query_name, match)`` —
+        #: the merged stream the property suite checks is a permutation of
+        #: the per-query serial streams.
+        self.merged: list[tuple[str, MatchResult]] = []
+        self._rr_next = 0
+
+    # -- submission ---------------------------------------------------------------
+    def submit(
+        self,
+        query: SimpleSearchQuery,
+        *,
+        budget: QueryBudget | None = None,
+        name: str | None = None,
+        **executor_overrides,
+    ) -> ScheduledQuery:
+        """Prepare *query* and enqueue it; returns its handle.
+
+        Compilation goes through the shared compiler (templated patterns
+        hit its cache) and the executor shares the scheduler's logits
+        cache.  The handle is live immediately; traversal only advances
+        inside :meth:`step` / :meth:`run`.
+        """
+        cache = self.compiler.cache
+        hits_before = cache.hits if cache is not None else 0
+        misses_before = cache.misses if cache is not None else 0
+        compiled = self.compiler.compile(query)
+        kwargs = dict(self.executor_defaults)
+        kwargs.update(executor_overrides)
+        executor = Executor(
+            self.model, compiled, logits_cache=self.logits_cache, **kwargs
+        )
+        if cache is not None:
+            executor.stats.compilation_cache_hits = cache.hits - hits_before
+            executor.stats.compilation_cache_misses = cache.misses - misses_before
+        index = len(self.queries)
+        handle = ScheduledQuery(
+            index=index,
+            name=name if name is not None else f"q{index}",
+            query=query,
+            executor=executor,
+            budget=budget if budget is not None else QueryBudget(),
+            submitted_at=self.clock(),
+        )
+        self.queries.append(handle)
+        self.stats.queries_submitted += 1
+        return handle
+
+    # -- driving ------------------------------------------------------------------
+    def run(self) -> list[ScheduledQuery]:
+        """Drive every submitted query to completion; returns the handles."""
+        while self.step():
+            pass
+        return list(self.queries)
+
+    def step(self) -> bool:
+        """Execute one scheduling round; returns False when all work is done.
+
+        One round: advance every active query to its next LM demand
+        (collecting any matches produced on the way), enforce budgets and
+        cancellations, pick up to ``concurrency`` waiting queries per the
+        fairness policy, service their contexts in one coalesced
+        cache round, and resume them with the scores.
+        """
+        for sq in self.queries:
+            if not sq.done and sq._pending is None:
+                self._advance(sq, None)
+        waiting = [sq for sq in self.queries if not sq.done and sq._pending is not None]
+        for sq in waiting:
+            self._enforce_budget(sq)
+        waiting = [sq for sq in waiting if not sq.done]
+        if not waiting:
+            return False
+        chosen = self._select(waiting)
+        groups = [sq._pending.contexts for sq in chosen]
+        rows, hits, misses = self.logits_cache.logprobs_round(groups)
+        size = sum(len(g) for g in groups)
+        self.stats.rounds += 1
+        self.stats.contexts_serviced += size
+        self.stats.round_sizes.append(size)
+        self.stats.round_members.append(tuple(sq.name for sq in chosen))
+        for sq, group_rows, h, m in zip(chosen, rows, hits, misses):
+            request = sq._pending
+            sq._pending = None
+            sq.stats.logits_hits += h
+            sq.stats.logits_misses += m
+            sq.stats.scheduler_rounds += 1
+            payload = sq.executor.finish_request(request, group_rows)
+            self._advance(sq, payload)
+        return True
+
+    def _advance(self, sq: ScheduledQuery, payload) -> None:
+        """Resume *sq*'s generator until it demands the LM or finishes."""
+        if sq._cancelled:
+            self._finish(sq, truncated=True, reason="cancelled")
+            return
+        while True:
+            try:
+                event = sq._gen.send(payload)
+            except StopIteration:
+                self._finish(sq, truncated=False)
+                return
+            payload = None
+            if isinstance(event, LmRequest):
+                sq._pending = event
+                return
+            sq.results.append(event)
+            self.merged.append((sq.name, event))
+            limit = sq.budget.max_results
+            if limit is not None and len(sq.results) >= limit:
+                self._finish(sq, truncated=True, reason="max_results")
+                return
+
+    def _enforce_budget(self, sq: ScheduledQuery) -> None:
+        """Stop *sq* before its next round if cancelled or over budget."""
+        if sq._cancelled:
+            self._finish(sq, truncated=True, reason="cancelled")
+            return
+        budget = sq.budget
+        if (
+            budget.deadline is not None
+            and self.clock() - sq.submitted_at >= budget.deadline
+        ):
+            self._finish(sq, truncated=True, reason="deadline")
+            return
+        if (
+            budget.max_lm_calls is not None
+            and sq.stats.lm_calls + len(sq._pending.contexts) > budget.max_lm_calls
+        ):
+            self._finish(sq, truncated=True, reason="max_lm_calls")
+
+    def _finish(self, sq: ScheduledQuery, truncated: bool, reason: str | None = None) -> None:
+        sq._gen.close()
+        sq._pending = None
+        sq.done = True
+        sq.truncated = truncated
+        sq.truncated_reason = reason
+        sq.latency = self.clock() - sq.submitted_at
+        self.stats.per_query_latency[sq.name] = sq.latency
+        if reason == "cancelled":
+            self.stats.queries_cancelled += 1
+        elif truncated:
+            self.stats.queries_truncated += 1
+        else:
+            self.stats.queries_completed += 1
+
+    # -- fairness -----------------------------------------------------------------
+    def _select(self, waiting: list[ScheduledQuery]) -> list[ScheduledQuery]:
+        """Pick which waiting queries join this round (≤ ``concurrency``)."""
+        if len(waiting) <= self.concurrency:
+            return waiting
+        if self.fairness == "shortest_frontier":
+            ranked = sorted(
+                waiting, key=lambda sq: (len(sq._pending.contexts), sq.index)
+            )
+            return ranked[:self.concurrency]
+        # round_robin: rotate the start position across rounds so every
+        # query gets serviced regardless of submission order.
+        total = len(self.queries)
+        ranked = sorted(
+            waiting, key=lambda sq: (sq.index - self._rr_next) % total
+        )
+        chosen = ranked[:self.concurrency]
+        self._rr_next = (chosen[-1].index + 1) % total
+        return chosen

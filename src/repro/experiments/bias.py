@@ -144,14 +144,25 @@ def sample_bias(
     model = env.model(model_size)
     out: dict[str, list[str]] = {g: [] for g in GENDERS}
     if config.use_prefix:
+        # One random-sampling query per gender, run concurrently: the two
+        # templated queries share most of their contexts (the common "The
+        # ... was trained in" spine), so the scheduler coalesces their
+        # sampling rounds into shared LM dispatches.  Per-gender samples
+        # are identical to serial runs (per-query RNG, per-query seed).
+        scheduler = env.scheduler(model_size, concurrency=len(GENDERS))
+        handles = []
         for i, gender in enumerate(GENDERS):
             query = bias_query(config, gender, samples_per_gender, seed + i)
-            session = prepare(
-                env.model(model_size), env.tokenizer, query,
-                compiler=env.compiler, logits_cache=env.logits_cache(model_size),
-                max_attempts=samples_per_gender * max_attempts_factor,
+            handles.append(
+                scheduler.submit(
+                    query,
+                    name=gender,
+                    max_attempts=samples_per_gender * max_attempts_factor,
+                )
             )
-            for match in session:
+        scheduler.run()
+        for gender, handle in zip(GENDERS, handles):
+            for match in handle.results:
                 suffix = match.suffix_text or match.text
                 out[gender].append(classify_profession(suffix))
     else:

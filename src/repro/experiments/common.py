@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.core.compiler import CompilationCache, GraphCompiler
+from repro.core.scheduler import QueryScheduler
 from repro.datasets.corpus import SyntheticCorpus, build_corpus
 from repro.datasets.lambada import LambadaDataset, build_lambada
 from repro.datasets.pile import PileShard, build_pile_shard
@@ -80,6 +81,22 @@ class Environment:
             cache = LogitsCache(self.model(size), capacity=capacity)
             self._logits_caches[size] = cache
         return cache
+
+    def scheduler(self, size: str, **scheduler_kwargs) -> QueryScheduler:
+        """A multi-query scheduler over model *size*, wired to the
+        environment's shared compiler and logits cache.
+
+        The experiment loops (bias per-gender sampling, knowledge
+        per-subject rankings) submit their templated queries here so
+        frontier expansions coalesce into shared LM rounds.
+        """
+        return QueryScheduler(
+            self.model(size),
+            self.tokenizer,
+            compiler=self.compiler,
+            logits_cache=self.logits_cache(size),
+            **scheduler_kwargs,
+        )
 
 
 @lru_cache(maxsize=4)

@@ -27,8 +27,8 @@ import re as _re
 from dataclasses import dataclass, field
 from functools import lru_cache
 
-from repro.core.api import prepare
 from repro.core.compiler import GraphCompiler
+from repro.core.scheduler import QueryBudget, QueryScheduler
 from repro.core.query import QueryString, QuerySearchStrategy, QueryTokenizationStrategy, SimpleSearchQuery
 from repro.lm.decoding import DecodingPolicy
 from repro.lm.ngram import NGramModel
@@ -42,7 +42,10 @@ __all__ = [
     "knowledge_world",
     "multiple_choice",
     "free_response",
+    "birthdate_query",
+    "month_query",
     "structured_query",
+    "structured_query_batch",
     "figure1_report",
 ]
 
@@ -172,6 +175,82 @@ def date_pattern() -> str:
     return f"({months}) [0-9]{{1,2}}, [0-9]{{4}}"
 
 
+def birthdate_query(subject: str) -> SimpleSearchQuery:
+    """The Figure 1c structured query for one subject."""
+    prefix = f"{subject} was born on"
+    return SimpleSearchQuery(
+        query_string=QueryString(
+            query_str=f"{escape(prefix)} {date_pattern()}",
+            prefix_str=escape(prefix),
+        ),
+        search_strategy=QuerySearchStrategy.SHORTEST_PATH,
+        tokenization_strategy=QueryTokenizationStrategy.ALL_TOKENS,
+    )
+
+
+def month_query(subject: str) -> SimpleSearchQuery:
+    """A coarser templated variant: just the birth month.
+
+    Paired with :func:`birthdate_query` this gives two query shapes per
+    subject — the workload the scheduler benchmarks and acceptance tests
+    coalesce (8 templated queries over 4 subjects).
+    """
+    prefix = f"{subject} was born on"
+    months = "|".join(f"({m})" for m in MONTHS)
+    return SimpleSearchQuery(
+        query_string=QueryString(
+            query_str=f"{escape(prefix)} ({months})",
+            prefix_str=escape(prefix),
+        ),
+        search_strategy=QuerySearchStrategy.SHORTEST_PATH,
+        tokenization_strategy=QueryTokenizationStrategy.ALL_TOKENS,
+    )
+
+
+def structured_query_batch(
+    world: KnowledgeWorld,
+    subjects: tuple[str, ...],
+    top_n: int = 10,
+    model_size: str = "xl",
+    max_expansions: int = 20000,
+    concurrency: int | None = None,
+    model=None,
+) -> dict[str, list[tuple[str, float]]]:
+    """Figure 1c over many subjects at once, via the multi-query scheduler.
+
+    The per-subject date queries are templated — the scheduler coalesces
+    their Dijkstra frontier expansions into shared LM rounds, so ranking N
+    subjects costs roughly one subject's worth of model dispatches.
+    ``model`` overrides the world's model (instrumented wrappers in
+    benchmarks); per-subject rankings are identical to serial runs.
+    """
+    lm = model if model is not None else world.model(model_size)
+    scheduler = QueryScheduler(
+        lm,
+        world.tokenizer,
+        compiler=world.compiler,
+        concurrency=concurrency if concurrency is not None else max(len(subjects), 1),
+    )
+    handles = {
+        subject: scheduler.submit(
+            birthdate_query(subject),
+            name=subject,
+            budget=QueryBudget(max_results=top_n),
+            max_expansions=max_expansions,
+        )
+        for subject in subjects
+    }
+    scheduler.run()
+    out: dict[str, list[tuple[str, float]]] = {}
+    for subject, handle in handles.items():
+        prefix = f"{subject} was born on"
+        out[subject] = [
+            (match.text[len(prefix) + 1 :], match.logprob)
+            for match in handle.results
+        ]
+    return out
+
+
 def structured_query(
     world: KnowledgeWorld,
     subject: str = "George Washington",
@@ -181,25 +260,10 @@ def structured_query(
 ) -> list[tuple[str, float]]:
     """Figure 1c: rank predictions over every date; return the top-n
     (date, log p)."""
-    prefix = f"{subject} was born on"
-    query = SimpleSearchQuery(
-        query_string=QueryString(
-            query_str=f"{escape(prefix)} {date_pattern()}",
-            prefix_str=escape(prefix),
-        ),
-        search_strategy=QuerySearchStrategy.SHORTEST_PATH,
-        tokenization_strategy=QueryTokenizationStrategy.ALL_TOKENS,
-    )
-    session = prepare(
-        world.model(model_size), world.tokenizer, query,
-        compiler=world.compiler, max_expansions=max_expansions,
-    )
-    out = []
-    for match in session:
-        out.append((match.text[len(prefix) + 1 :], match.logprob))
-        if len(out) >= top_n:
-            break
-    return out
+    return structured_query_batch(
+        world, (subject,), top_n=top_n, model_size=model_size,
+        max_expansions=max_expansions,
+    )[subject]
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,7 @@ memorising — the workhorse of the experiments) and
 independence).  Decoding decision rules live in :class:`DecodingPolicy`.
 """
 
-from repro.lm.base import LanguageModel, LogitsCache
+from repro.lm.base import CountingModel, LanguageModel, LogitsCache
 from repro.lm.decoding import GREEDY, UNRESTRICTED, DecodingPolicy
 from repro.lm.ngram import NGramModel
 from repro.lm.transformer import TransformerConfig, TransformerModel
@@ -14,6 +14,7 @@ from repro.lm.transformer import TransformerConfig, TransformerModel
 __all__ = [
     "LanguageModel",
     "LogitsCache",
+    "CountingModel",
     "DecodingPolicy",
     "GREEDY",
     "UNRESTRICTED",

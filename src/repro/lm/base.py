@@ -18,7 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["LanguageModel", "LogitsCache"]
+__all__ = ["LanguageModel", "LogitsCache", "CountingModel"]
 
 
 class LanguageModel(ABC):
@@ -143,29 +143,73 @@ class LogitsCache:
 
     def logprobs_batch(self, contexts: Sequence[Sequence[int]]) -> list[np.ndarray]:
         """Cached batched lookup: cache misses are forwarded to the model
-        in one ``logprobs_batch`` call."""
-        keys = [tuple(c) for c in contexts]
-        out: list[np.ndarray | None] = [None] * len(keys)
-        miss_indices: list[int] = []
-        for i, key in enumerate(keys):
-            cached = self._store.get(key)
-            if cached is not None:
-                self._store.move_to_end(key)
-                self.hits += 1
-                out[i] = cached
-            else:
-                miss_indices.append(i)
-        if miss_indices:
-            unique: dict[tuple[int, ...], list[int]] = {}
-            for i in miss_indices:
-                unique.setdefault(keys[i], []).append(i)
-            self.misses += len(unique)
-            fresh = self.model.logprobs_batch(list(unique))
-            for key, value in zip(unique, fresh):
-                self._insert(key, value)
-                for i in unique[key]:
-                    out[i] = value
-        return out  # type: ignore[return-value]
+        in one ``logprobs_batch`` call.
+
+        Duplicate contexts within the call are deduped down to a single
+        model score — this is a one-group :meth:`logprobs_round`.
+        """
+        rows, _, _ = self.logprobs_round([contexts])
+        return rows[0]
+
+    def logprobs_round(
+        self, groups: Sequence[Sequence[Sequence[int]]]
+    ) -> tuple[list[list[np.ndarray]], list[int], list[int]]:
+        """Serve one *coalesced* LM round for many queries at once.
+
+        ``groups`` holds one context batch per query.  Contexts that
+        collide anywhere in the round — within a group or across groups —
+        are scored once: the whole round issues **at most one**
+        ``model.logprobs_batch`` call, over the round-unique uncached
+        contexts only.  This is the cross-query dedupe the multi-query
+        scheduler relies on; per-call dedupe alone would re-score a context
+        requested by two different queries in the same round.
+
+        Returns ``(rows_per_group, hits_per_group, misses_per_group)``.
+        Hit/miss attribution is per occurrence: the first requester of an
+        uncached context is charged the miss; every other occurrence in the
+        round (cached earlier, or scored for another group this round)
+        counts as a hit.  The per-group tallies let a scheduler credit each
+        query's :class:`~repro.core.results.ExecutionStats` exactly even
+        though the cache is shared.
+        """
+        keys_per_group = [[tuple(c) for c in g] for g in groups]
+        # Round-unique missing contexts, in first-request order.  Values are
+        # resolved into a round-local overlay so a mid-round LRU eviction
+        # can never lose a row another group still needs.
+        missing: dict[tuple[int, ...], None] = {}
+        for keys in keys_per_group:
+            for key in keys:
+                if key not in self._store and key not in missing:
+                    missing[key] = None
+        overlay: dict[tuple[int, ...], np.ndarray] = {}
+        if missing:
+            fresh = self.model.logprobs_batch(list(missing))
+            overlay = dict(zip(missing, fresh))
+        rows_per_group: list[list[np.ndarray]] = []
+        hits = [0] * len(keys_per_group)
+        misses = [0] * len(keys_per_group)
+        charged: set[tuple[int, ...]] = set()
+        for gi, keys in enumerate(keys_per_group):
+            rows: list[np.ndarray] = []
+            for key in keys:
+                value = self._store.get(key)
+                if value is not None:
+                    self._store.move_to_end(key)
+                    self.hits += 1
+                    hits[gi] += 1
+                elif key in charged:  # scored earlier this round, then evicted
+                    value = overlay[key]
+                    self.hits += 1
+                    hits[gi] += 1
+                else:
+                    value = overlay[key]
+                    charged.add(key)
+                    self.misses += 1
+                    misses[gi] += 1
+                    self._insert(key, value)
+                rows.append(value)
+            rows_per_group.append(rows)
+        return rows_per_group, hits, misses
 
     def _insert(self, key: tuple[int, ...], value: np.ndarray) -> None:
         self._store[key] = value
@@ -177,3 +221,43 @@ class LogitsCache:
         """Fraction of lookups served from cache (0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+class CountingModel(LanguageModel):
+    """A transparent wrapper counting the LM traffic an inner model sees.
+
+    ``batch_rounds`` counts ``logprobs_batch`` invocations (the unit the
+    paper's accelerator-batching argument is about: one round = one GPU
+    dispatch), ``single_calls`` counts direct ``logprobs`` calls, and
+    ``contexts_scored`` counts the contexts actually forwarded.  Used by the
+    scheduler acceptance tests and the benchmark smoke run to pin how many
+    model rounds a workload really issued, independent of cache counters.
+    """
+
+    def __init__(self, inner: LanguageModel) -> None:
+        self.inner = inner
+        self.vocab_size = inner.vocab_size
+        self.eos_id = inner.eos_id
+        self.max_sequence_length = inner.max_sequence_length
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.batch_rounds = 0
+        self.single_calls = 0
+        self.contexts_scored = 0
+
+    def logprobs(self, context: Sequence[int]) -> np.ndarray:
+        self.single_calls += 1
+        self.contexts_scored += 1
+        return self.inner.logprobs(context)
+
+    def logprobs_batch(self, contexts: Sequence[Sequence[int]]) -> list[np.ndarray]:
+        self.batch_rounds += 1
+        self.contexts_scored += len(contexts)
+        return self.inner.logprobs_batch(contexts)
+
+    @property
+    def total_rounds(self) -> int:
+        """Model dispatches of either shape (batched rounds + singles)."""
+        return self.batch_rounds + self.single_calls

@@ -283,6 +283,50 @@ class TestCompilationCache:
         assert second.stats.compilation_cache_misses == 0
 
 
+def _run_scheduled(model, tokenizer, query, backend, limit=200):
+    from repro.core.scheduler import QueryBudget, QueryScheduler
+
+    scheduler = QueryScheduler(model, tokenizer, concurrency=1, backend=backend)
+    handle = scheduler.submit(query, budget=QueryBudget(max_results=limit))
+    scheduler.run()
+    return handle.results, handle.stats
+
+
+class TestSchedulerSerialEquivalence:
+    """A single query through the scheduler at concurrency 1 is
+    byte-identical to :meth:`Executor.run` — same matches, same order, same
+    log-probabilities, same traversal statistics — for every seeded combo
+    in the differential grid."""
+
+    @pytest.mark.parametrize(
+        "name,source,query", COMBOS, ids=[c[0] for c in COMBOS]
+    )
+    @pytest.mark.parametrize("backend", ["arrays", "dict"])
+    def test_scheduler_matches_serial_run(
+        self, model, tokenizer, env, name, source, query, backend
+    ):
+        m, tok = _world(source, model, tokenizer, env)
+        serial, serial_stats = _run(m, tok, query, backend)
+        sched, sched_stats = _run_scheduled(m, tok, query, backend)
+        assert len(serial) == len(sched)
+        assert len(serial) > 0, f"combo {name} produced no matches"
+        for a, b in zip(serial, sched):
+            assert a.text == b.text
+            assert a.tokens == b.tokens
+            # Bit-identical, not approximately equal: the scheduler drives
+            # the very same generator, so every float must match exactly.
+            assert a.total_logprob == b.total_logprob
+            assert a.logprob == b.logprob
+            assert a.canonical == b.canonical
+        assert serial_stats.lm_calls == sched_stats.lm_calls
+        assert serial_stats.lm_batches == sched_stats.lm_batches
+        assert serial_stats.tokens_scored == sched_stats.tokens_scored
+        assert serial_stats.pruned_edges == sched_stats.pruned_edges
+        assert serial_stats.failed_attempts == sched_stats.failed_attempts
+        assert serial_stats.logits_hits == sched_stats.logits_hits
+        assert serial_stats.logits_misses == sched_stats.logits_misses
+
+
 class TestSharedLogitsCache:
     def test_shared_cache_across_executors(self, model, tokenizer):
         shared = LogitsCache(model, capacity=4096)
@@ -359,3 +403,17 @@ class TestCliCacheCounters:
         assert code == 0
         out = capsys.readouterr().out
         assert "The cat" in out or "The dog" in out
+
+    def test_multi_pattern_engages_scheduler(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "query", "The ((cat)|(dog))", "The ((man)|(woman))",
+            "--max-matches", "2", "--concurrency", "2",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "== The ((cat)|(dog))" in captured.out
+        assert "== The ((man)|(woman))" in captured.out
+        assert "scheduler: rounds=" in captured.err
+        assert "lm_calls=" in captured.err

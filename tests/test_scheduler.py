@@ -1,0 +1,396 @@
+"""The multi-query scheduler: coalescing, budgets, cancellation, fairness.
+
+The heavyweight guarantee — serial equivalence at concurrency 1 for every
+seeded backend combo — lives in ``test_backend_differential.py``; random
+multi-query mixes live in ``test_scheduler_properties.py``.  This module
+pins the rest of the contract:
+
+* budgets (deadline, LM-call cap, result cap) are honoured at round
+  boundaries, yield partial results, and set ``truncated``;
+* a cancelled query never issues another LM call;
+* :meth:`LogitsCache.logprobs_round` dedupes contexts colliding across a
+  coalesced round down to one model dispatch, with exact per-query
+  hit/miss attribution;
+* the acceptance bar: 8 templated knowledge queries at ``--concurrency 8``
+  issue at most 0.35x the model ``logprobs_batch`` rounds of 8 serial
+  runs, with bit-identical per-query results;
+* fairness policies decide who joins a capped round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.api import prepare, search_many
+from repro.core.executor import LmRequest
+from repro.core.query import SearchQuery
+from repro.core.scheduler import FAIRNESS_POLICIES, QueryBudget, QueryScheduler
+from repro.lm.base import CountingModel, LanguageModel, LogitsCache
+
+WIDE = "The ((cat)|(dog)|(man)|(woman))"
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for deterministic deadlines."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class SlowModel(LanguageModel):
+    """Wraps a model so every LM dispatch costs *cost* fake seconds."""
+
+    def __init__(self, inner: LanguageModel, clock: FakeClock, cost: float = 1.0) -> None:
+        self.inner = inner
+        self.clock = clock
+        self.cost = cost
+        self.vocab_size = inner.vocab_size
+        self.eos_id = inner.eos_id
+        self.max_sequence_length = inner.max_sequence_length
+        self.batch_calls = 0
+
+    def logprobs(self, context):
+        self.clock.advance(self.cost)
+        return self.inner.logprobs(context)
+
+    def logprobs_batch(self, contexts):
+        self.batch_calls += 1
+        self.clock.advance(self.cost)
+        return self.inner.logprobs_batch(contexts)
+
+
+def _serial_matches(model, tokenizer, query, limit=200, **kwargs):
+    matches = []
+    for match in prepare(model, tokenizer, query, **kwargs):
+        matches.append(match)
+        if len(matches) >= limit:
+            break
+    return matches
+
+
+class TestBudgets:
+    def test_deadline_truncates_within_one_round(self, model, tokenizer):
+        clock = FakeClock()
+        slow = SlowModel(model, clock, cost=1.0)
+        deep = "The ((man)|(woman)) was trained in ((art)|(medicine)|(engineering)|(computer science))"
+        scheduler = QueryScheduler(slow, tokenizer, clock=clock)
+        handle = scheduler.submit(
+            SearchQuery(deep), budget=QueryBudget(deadline=2.5)
+        )
+        scheduler.run()
+        assert handle.done and handle.truncated
+        assert handle.truncated_reason == "deadline"
+        # Budgets are checked at round boundaries: the overrun is bounded
+        # by the cost of the single round in flight when the deadline hit.
+        assert clock.now <= 2.5 + slow.cost
+        assert handle.latency == clock.now
+        # Partial results are a prefix of the serial stream.
+        serial = _serial_matches(model, tokenizer, SearchQuery(deep))
+        assert len(handle.results) < len(serial)
+        for got, want in zip(handle.results, serial):
+            assert got.text == want.text
+            assert got.total_logprob == want.total_logprob
+
+    def test_deadline_does_not_starve_peers(self, model, tokenizer):
+        clock = FakeClock()
+        slow = SlowModel(model, clock, cost=1.0)
+        scheduler = QueryScheduler(slow, tokenizer, clock=clock)
+        capped = scheduler.submit(
+            SearchQuery(WIDE, seed=1), budget=QueryBudget(deadline=1.5)
+        )
+        free = scheduler.submit(SearchQuery(WIDE, seed=2))
+        scheduler.run()
+        assert capped.truncated and capped.truncated_reason == "deadline"
+        assert free.done and not free.truncated
+        serial = _serial_matches(model, tokenizer, SearchQuery(WIDE, seed=2))
+        assert [m.text for m in free.results] == [m.text for m in serial]
+
+    def test_max_lm_calls_is_never_exceeded(self, model, tokenizer):
+        scheduler = QueryScheduler(model, tokenizer)
+        handle = scheduler.submit(
+            SearchQuery(WIDE), budget=QueryBudget(max_lm_calls=5)
+        )
+        scheduler.run()
+        assert handle.truncated and handle.truncated_reason == "max_lm_calls"
+        # The cap is a hard ceiling: a round that would cross it is not
+        # issued at all (not issued-then-regretted).
+        assert handle.stats.lm_calls <= 5
+
+    def test_max_results_truncates_mid_advance(self, model, tokenizer):
+        scheduler = QueryScheduler(model, tokenizer)
+        handle = scheduler.submit(
+            SearchQuery(WIDE), budget=QueryBudget(max_results=2)
+        )
+        scheduler.run()
+        assert len(handle.results) == 2
+        assert handle.truncated and handle.truncated_reason == "max_results"
+        serial = _serial_matches(model, tokenizer, SearchQuery(WIDE), limit=2)
+        assert [m.text for m in handle.results] == [m.text for m in serial]
+
+    def test_unbudgeted_query_runs_to_completion(self, model, tokenizer):
+        scheduler = QueryScheduler(model, tokenizer)
+        handle = scheduler.submit(SearchQuery(WIDE))
+        scheduler.run()
+        assert handle.done and not handle.truncated
+        assert handle.truncated_reason is None
+        assert scheduler.stats.queries_completed == 1
+
+
+class TestCancellation:
+    def test_cancelled_query_issues_no_further_lm_calls(self, model, tokenizer):
+        counting = CountingModel(model)
+        scheduler = QueryScheduler(counting, tokenizer)
+        victim = scheduler.submit(SearchQuery(WIDE, seed=1), name="victim")
+        peer = scheduler.submit(SearchQuery(WIDE, seed=2), name="peer")
+        assert scheduler.step()  # both queries join at least one round
+        victim.cancel()
+        calls_at_cancel = victim.stats.lm_calls
+        results_at_cancel = len(victim.results)
+        scheduler.run()
+        assert victim.done and victim.truncated
+        assert victim.truncated_reason == "cancelled"
+        # Frozen exactly where it was cancelled: no later round included it.
+        assert victim.stats.lm_calls == calls_at_cancel
+        assert len(victim.results) == results_at_cancel
+        assert all(names == ("peer",) for names in scheduler.stats.round_members[1:])
+        assert peer.done and not peer.truncated
+        assert scheduler.stats.queries_cancelled == 1
+
+    def test_cancel_before_first_round(self, model, tokenizer):
+        counting = CountingModel(model)
+        scheduler = QueryScheduler(counting, tokenizer)
+        handle = scheduler.submit(SearchQuery(WIDE))
+        handle.cancel()
+        scheduler.run()
+        assert handle.done and handle.truncated_reason == "cancelled"
+        assert handle.stats.lm_calls == 0
+        assert counting.total_rounds == 0
+
+
+class TestCoalescedRoundDedupe:
+    """Regression: contexts colliding *across queries* within one coalesced
+    round must be scored once, not once per requester."""
+
+    def test_cross_group_collision_is_one_model_dispatch(self, model):
+        counting = CountingModel(model)
+        cache = LogitsCache(counting)
+        groups = [[(1, 2), (3,)], [(1, 2), (4,)], [(3,), (1, 2)]]
+        rows, hits, misses = cache.logprobs_round(groups)
+        # (1,2) is requested by all three groups and (3,) by two, but the
+        # round scores only the three unique contexts, in one dispatch.
+        assert counting.batch_rounds == 1
+        assert counting.contexts_scored == 3
+        # First requester is charged the miss; later occurrences are hits.
+        assert misses == [2, 1, 0]
+        assert hits == [0, 1, 2]
+        assert np.array_equal(rows[0][0], rows[1][0])
+        assert np.array_equal(rows[0][0], rows[2][1])
+        assert np.array_equal(rows[0][0], model.logprobs((1, 2)))
+
+    def test_warm_round_issues_no_dispatch(self, model):
+        counting = CountingModel(model)
+        cache = LogitsCache(counting)
+        cache.logprobs_round([[(1, 2)], [(3,)]])
+        counting.reset()
+        rows, hits, misses = cache.logprobs_round([[(1, 2)], [(3,)]])
+        assert counting.total_rounds == 0
+        assert hits == [1, 1] and misses == [0, 0]
+
+    def test_within_batch_duplicates_deduped(self, model):
+        counting = CountingModel(model)
+        cache = LogitsCache(counting)
+        rows = cache.logprobs_batch([(1, 2), (1, 2), (3,)])
+        assert counting.batch_rounds == 1
+        assert counting.contexts_scored == 2  # (1,2) scored once
+        assert len(rows) == 3
+        assert np.array_equal(rows[0], rows[1])
+
+    def test_eviction_mid_round_keeps_rows_available(self, model):
+        counting = CountingModel(model)
+        cache = LogitsCache(counting, capacity=1)
+        groups = [[(1,), (2,), (3,)], [(1,), (2,)]]
+        rows, hits, misses = cache.logprobs_round(groups)
+        # Capacity 1 evicts (1,) and (2,) before group 1 reads them, but
+        # the round overlay still serves the scores it already paid for.
+        assert counting.batch_rounds == 1
+        assert counting.contexts_scored == 3
+        assert misses == [3, 0]
+        assert hits == [0, 2]
+        assert np.array_equal(rows[0][0], rows[1][0])
+
+
+class TestKnowledgeAcceptance:
+    """The PR's acceptance bar: 8 templated knowledge queries at
+    concurrency 8 issue <= 0.35x the model rounds of 8 serial runs, with
+    per-query results bit-identical to serial execution."""
+
+    TOP_N = 5
+
+    def _queries(self):
+        from repro.experiments.knowledge import (
+            FACTS,
+            birthdate_query,
+            knowledge_world,
+            month_query,
+        )
+
+        world = knowledge_world()
+        # Two templated shapes per subject: the full Figure 1c date query
+        # and a month-only variant — 4 subjects x 2 shapes = 8 queries.
+        queries = [birthdate_query(subject) for subject, _ in FACTS]
+        queries += [month_query(subject) for subject, _ in FACTS]
+        return world, queries
+
+    def test_coalesced_rounds_below_035x_serial(self):
+        world, queries = self._queries()
+        assert len(queries) == 8
+        counting = CountingModel(world.model("xl"))
+
+        serial_results = []
+        for query in queries:
+            # Fresh caches per serial run: each query pays its own rounds.
+            serial_results.append(
+                _serial_matches(
+                    counting, world.tokenizer, query,
+                    limit=self.TOP_N, compiler=world.compiler,
+                )
+            )
+        serial_rounds = counting.batch_rounds
+        assert serial_rounds > 0
+
+        counting.reset()
+        scheduler = QueryScheduler(counting, world.tokenizer,
+                                   compiler=world.compiler, concurrency=8)
+        handles = [
+            scheduler.submit(q, budget=QueryBudget(max_results=self.TOP_N))
+            for q in queries
+        ]
+        scheduler.run()
+        coalesced_rounds = counting.batch_rounds
+
+        ratio = coalesced_rounds / serial_rounds
+        assert ratio <= 0.35, (coalesced_rounds, serial_rounds)
+        # Bit-identical per-query results, not just "same matches".
+        for handle, serial in zip(handles, serial_results):
+            assert len(handle.results) == len(serial)
+            for got, want in zip(handle.results, serial):
+                assert got.text == want.text
+                assert got.tokens == want.tokens
+                assert got.logprob == want.logprob
+                assert got.total_logprob == want.total_logprob
+
+    def test_structured_query_batch_matches_single(self):
+        from repro.experiments.knowledge import (
+            FACTS,
+            knowledge_world,
+            structured_query,
+            structured_query_batch,
+        )
+
+        world = knowledge_world()
+        subjects = tuple(subject for subject, _ in FACTS[:2])
+        batched = structured_query_batch(world, subjects, top_n=3)
+        for subject in subjects:
+            assert batched[subject] == structured_query(world, subject, top_n=3)
+
+
+class TestFairness:
+    def test_round_robin_rotates_at_concurrency_one(self, model, tokenizer):
+        scheduler = QueryScheduler(model, tokenizer, concurrency=1)
+        for name in ("a", "b", "c"):
+            scheduler.submit(SearchQuery(WIDE, seed=ord(name)), name=name)
+        scheduler.run()
+        members = [names[0] for names in scheduler.stats.round_members]
+        # While all three are runnable, service strictly rotates.
+        assert members[:6] == ["a", "b", "c", "a", "b", "c"]
+        assert all(len(names) == 1 for names in scheduler.stats.round_members)
+
+    def test_shortest_frontier_picks_smallest_pending(self, model, tokenizer):
+        scheduler = QueryScheduler(
+            model, tokenizer, concurrency=1, fairness="shortest_frontier"
+        )
+        big = scheduler.submit(SearchQuery("The cat", seed=0), name="big")
+        small = scheduler.submit(SearchQuery("The dog", seed=1), name="small")
+        big._pending = LmRequest([(1,), (2,), (3,)])
+        small._pending = LmRequest([(4,)])
+        chosen = scheduler._select([big, small])
+        assert [sq.name for sq in chosen] == ["small"]
+
+    def test_fairness_never_changes_per_query_streams(self, model, tokenizer):
+        streams = {}
+        for fairness in FAIRNESS_POLICIES:
+            scheduler = QueryScheduler(
+                model, tokenizer, concurrency=2, fairness=fairness
+            )
+            handles = [
+                scheduler.submit(SearchQuery(WIDE, seed=i), name=f"q{i}")
+                for i in range(3)
+            ]
+            scheduler.run()
+            streams[fairness] = [
+                [(m.text, m.total_logprob) for m in h.results] for h in handles
+            ]
+        assert streams["round_robin"] == streams["shortest_frontier"]
+
+
+class TestSchedulerSurface:
+    def test_constructor_validation(self, model, tokenizer, env):
+        with pytest.raises(ValueError, match="concurrency"):
+            QueryScheduler(model, tokenizer, concurrency=0)
+        with pytest.raises(ValueError, match="fairness"):
+            QueryScheduler(model, tokenizer, fairness="lifo")
+        with pytest.raises(ValueError, match="model"):
+            QueryScheduler(
+                model, tokenizer, logits_cache=LogitsCache(env.model("small"))
+            )
+
+    def test_scheduler_stats_as_dict(self, model, tokenizer):
+        scheduler = QueryScheduler(model, tokenizer)
+        scheduler.submit(SearchQuery("The ((cat)|(dog))"))
+        scheduler.run()
+        stats = scheduler.stats.as_dict()
+        assert stats["rounds"] == len(scheduler.stats.round_sizes)
+        assert stats["queries_submitted"] == 1
+        assert stats["queries_completed"] == 1
+        assert stats["mean_round_size"] > 0
+        assert set(stats["per_query_latency"]) == {"q0"}
+
+    def test_submit_records_compilation_cache_deltas(self, model, tokenizer):
+        scheduler = QueryScheduler(model, tokenizer)
+        first = scheduler.submit(SearchQuery("The cat"))
+        second = scheduler.submit(SearchQuery("The cat"))
+        assert first.stats.compilation_cache_misses == 1
+        assert second.stats.compilation_cache_hits == 1
+
+    def test_search_many_api(self, model, tokenizer):
+        queries = [SearchQuery(WIDE, seed=i) for i in range(2)]
+        handles = search_many(
+            model, tokenizer, queries,
+            budget=QueryBudget(max_results=3), concurrency=2,
+        )
+        assert [h.name for h in handles] == ["q0", "q1"]
+        for handle, query in zip(handles, queries):
+            serial = _serial_matches(model, tokenizer, query, limit=3)
+            assert [m.text for m in handle.results] == [m.text for m in serial]
+
+    def test_merged_stream_is_permutation_of_per_query(self, model, tokenizer):
+        scheduler = QueryScheduler(model, tokenizer, concurrency=2)
+        handles = [
+            scheduler.submit(SearchQuery(WIDE, seed=i), name=f"q{i}")
+            for i in range(3)
+        ]
+        scheduler.run()
+        per_query = {
+            h.name: [m for n, m in scheduler.merged if n == h.name]
+            for h in handles
+        }
+        for h in handles:
+            assert per_query[h.name] == h.results
+        assert len(scheduler.merged) == sum(len(h.results) for h in handles)
