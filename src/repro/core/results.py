@@ -100,9 +100,12 @@ class SchedulerStats:
     One *round* is one coalesced LM dispatch: the contexts requested by
     every query serviced that round, deduped through the shared logits
     cache, sent to the model as (at most) one ``logprobs_batch`` call.
-    ``round_sizes`` records the coalesced batch size per round — the
-    scheduler's throughput lever — and ``round_members`` which queries
-    shared it (what the fairness policies act on).
+    ``max_round_size`` and :attr:`mean_round_size` are running aggregates,
+    always maintained; the full per-round logs — ``round_sizes`` (the
+    coalesced batch size of every round, the scheduler's throughput lever)
+    and ``round_members`` (which queries shared each round, what the
+    fairness policies act on) — grow with every round, so the scheduler
+    only fills them when constructed with ``record_history=True``.
     """
 
     rounds: int = 0
@@ -111,20 +114,17 @@ class SchedulerStats:
     queries_completed: int = 0
     queries_truncated: int = 0
     queries_cancelled: int = 0
+    max_round_size: int = 0
     round_sizes: list = field(default_factory=list)
     round_members: list = field(default_factory=list)
-    #: Wall-clock seconds from submit to completion, keyed by query name.
+    #: Wall-clock seconds from submit to completion, keyed by query name
+    #: (the scheduler de-duplicates names at submit, so keys never collide).
     per_query_latency: dict = field(default_factory=dict)
 
     @property
     def mean_round_size(self) -> float:
         """Average coalesced contexts per round (0 when no rounds ran)."""
-        return sum(self.round_sizes) / len(self.round_sizes) if self.round_sizes else 0.0
-
-    @property
-    def max_round_size(self) -> int:
-        """Largest coalesced round."""
-        return max(self.round_sizes) if self.round_sizes else 0
+        return self.contexts_serviced / self.rounds if self.rounds else 0.0
 
     def as_dict(self) -> dict:
         """Plain-dict view for logging/reporting."""

@@ -137,9 +137,15 @@ class QueryScheduler:
     :class:`LogitsCache` — the two cross-query caches that make templated
     query loops cheap.  ``concurrency`` caps how many queries join one LM
     round; ``fairness`` picks who joins when the cap binds.  ``clock`` is
-    injectable for deterministic deadline tests.  Remaining keyword
-    arguments become per-executor defaults (``backend``, ``batch_size``,
-    ``max_expansions``, ...), overridable per :meth:`submit`.
+    injectable for deterministic deadline tests.  ``record_history=True``
+    additionally retains the full merged match stream (:attr:`merged`) and
+    per-round logs (``stats.round_sizes`` / ``stats.round_members``) — the
+    property and fairness suites rely on these, but a long-lived scheduler
+    would retain every match twice, so recording is off by default
+    (aggregate metrics like ``mean_round_size`` are always kept).
+    Remaining keyword arguments become per-executor defaults (``backend``,
+    ``batch_size``, ``max_expansions``, ...), overridable per
+    :meth:`submit`.
     """
 
     def __init__(
@@ -152,6 +158,7 @@ class QueryScheduler:
         concurrency: int = 8,
         fairness: str = "round_robin",
         clock=time.monotonic,
+        record_history: bool = False,
         **executor_defaults,
     ) -> None:
         if concurrency < 1:
@@ -175,13 +182,16 @@ class QueryScheduler:
         self.concurrency = concurrency
         self.fairness = fairness
         self.clock = clock
+        self.record_history = record_history
         self.executor_defaults = executor_defaults
         self.stats = SchedulerStats()
         self.queries: list[ScheduledQuery] = []
         #: Every match in global yield order, as ``(query_name, match)`` —
         #: the merged stream the property suite checks is a permutation of
-        #: the per-query serial streams.
+        #: the per-query serial streams.  Populated only when
+        #: ``record_history=True`` (it duplicates every match otherwise).
         self.merged: list[tuple[str, MatchResult]] = []
+        self._names: set[str] = set()
         self._rr_next = 0
 
     # -- submission ---------------------------------------------------------------
@@ -213,9 +223,19 @@ class QueryScheduler:
             executor.stats.compilation_cache_hits = cache.hits - hits_before
             executor.stats.compilation_cache_misses = cache.misses - misses_before
         index = len(self.queries)
+        # Names key per-query latency (and the merged stream), so they must
+        # be unique — a repeated name (e.g. the same CLI pattern twice) is
+        # suffixed with the handle's index rather than silently colliding.
+        base = name if name is not None else f"q{index}"
+        unique = base
+        suffix = index
+        while unique in self._names:
+            unique = f"{base}#{suffix}"
+            suffix += 1
+        self._names.add(unique)
         handle = ScheduledQuery(
             index=index,
-            name=name if name is not None else f"q{index}",
+            name=unique,
             query=query,
             executor=executor,
             budget=budget if budget is not None else QueryBudget(),
@@ -256,8 +276,10 @@ class QueryScheduler:
         size = sum(len(g) for g in groups)
         self.stats.rounds += 1
         self.stats.contexts_serviced += size
-        self.stats.round_sizes.append(size)
-        self.stats.round_members.append(tuple(sq.name for sq in chosen))
+        self.stats.max_round_size = max(self.stats.max_round_size, size)
+        if self.record_history:
+            self.stats.round_sizes.append(size)
+            self.stats.round_members.append(tuple(sq.name for sq in chosen))
         for sq, group_rows, h, m in zip(chosen, rows, hits, misses):
             request = sq._pending
             sq._pending = None
@@ -284,7 +306,8 @@ class QueryScheduler:
                 sq._pending = event
                 return
             sq.results.append(event)
-            self.merged.append((sq.name, event))
+            if self.record_history:
+                self.merged.append((sq.name, event))
             limit = sq.budget.max_results
             if limit is not None and len(sq.results) >= limit:
                 self._finish(sq, truncated=True, reason="max_results")

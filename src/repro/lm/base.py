@@ -173,18 +173,27 @@ class LogitsCache:
         though the cache is shared.
         """
         keys_per_group = [[tuple(c) for c in g] for g in groups]
-        # Round-unique missing contexts, in first-request order.  Values are
-        # resolved into a round-local overlay so a mid-round LRU eviction
-        # can never lose a row another group still needs.
+        # The round-local overlay snapshots every row the round needs: rows
+        # already cached at round start are copied in during this detection
+        # pass, and rows for round-unique missing contexts (``missing``, in
+        # first-request order) are resolved into it after the model call.
+        # Either way a mid-round LRU eviction — misses are inserted while
+        # groups are still being read — can never lose a row a later group
+        # needs.
         missing: dict[tuple[int, ...], None] = {}
+        overlay: dict[tuple[int, ...], np.ndarray] = {}
         for keys in keys_per_group:
             for key in keys:
-                if key not in self._store and key not in missing:
+                if key in overlay or key in missing:
+                    continue
+                cached = self._store.get(key)
+                if cached is not None:
+                    overlay[key] = cached
+                else:
                     missing[key] = None
-        overlay: dict[tuple[int, ...], np.ndarray] = {}
         if missing:
             fresh = self.model.logprobs_batch(list(missing))
-            overlay = dict(zip(missing, fresh))
+            overlay.update(zip(missing, fresh))
         rows_per_group: list[list[np.ndarray]] = []
         hits = [0] * len(keys_per_group)
         misses = [0] * len(keys_per_group)
@@ -197,16 +206,19 @@ class LogitsCache:
                     self._store.move_to_end(key)
                     self.hits += 1
                     hits[gi] += 1
-                elif key in charged:  # scored earlier this round, then evicted
-                    value = overlay[key]
-                    self.hits += 1
-                    hits[gi] += 1
-                else:
+                elif key in missing and key not in charged:
                     value = overlay[key]
                     charged.add(key)
                     self.misses += 1
                     misses[gi] += 1
                     self._insert(key, value)
+                else:
+                    # Evicted mid-round after being scored this round, or a
+                    # pre-cached row evicted by this round's inserts — the
+                    # snapshot still serves it, and it counts as a hit.
+                    value = overlay[key]
+                    self.hits += 1
+                    hits[gi] += 1
                 rows.append(value)
             rows_per_group.append(rows)
         return rows_per_group, hits, misses

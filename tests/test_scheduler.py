@@ -146,7 +146,7 @@ class TestBudgets:
 class TestCancellation:
     def test_cancelled_query_issues_no_further_lm_calls(self, model, tokenizer):
         counting = CountingModel(model)
-        scheduler = QueryScheduler(counting, tokenizer)
+        scheduler = QueryScheduler(counting, tokenizer, record_history=True)
         victim = scheduler.submit(SearchQuery(WIDE, seed=1), name="victim")
         peer = scheduler.submit(SearchQuery(WIDE, seed=2), name="peer")
         assert scheduler.step()  # both queries join at least one round
@@ -224,6 +224,25 @@ class TestCoalescedRoundDedupe:
         assert misses == [3, 0]
         assert hits == [0, 2]
         assert np.array_equal(rows[0][0], rows[1][0])
+
+    def test_precached_key_evicted_mid_round_served_from_snapshot(self, model):
+        # Regression: a key cached *before* the round is not in the missing
+        # set, so if this round's inserts LRU-evict it before it is read,
+        # only the detection-pass snapshot can serve it (this used to raise
+        # KeyError in the overlay, also breaking logprobs_batch).
+        counting = CountingModel(model)
+        cache = LogitsCache(counting, capacity=4)
+        cache.logprobs((99,))
+        counting.reset()
+        rows, hits, misses = cache.logprobs_round(
+            [[(0,), (1,), (2,), (3,), (4,), (5,), (99,)]]
+        )
+        # Only the six uncached contexts are scored; the pre-cached (99,) is
+        # served from the snapshot and counts as a hit.
+        assert counting.batch_rounds == 1
+        assert counting.contexts_scored == 6
+        assert misses == [6] and hits == [1]
+        assert np.array_equal(rows[0][-1], model.logprobs((99,)))
 
 
 class TestKnowledgeAcceptance:
@@ -303,7 +322,7 @@ class TestKnowledgeAcceptance:
 
 class TestFairness:
     def test_round_robin_rotates_at_concurrency_one(self, model, tokenizer):
-        scheduler = QueryScheduler(model, tokenizer, concurrency=1)
+        scheduler = QueryScheduler(model, tokenizer, concurrency=1, record_history=True)
         for name in ("a", "b", "c"):
             scheduler.submit(SearchQuery(WIDE, seed=ord(name)), name=name)
         scheduler.run()
@@ -352,7 +371,7 @@ class TestSchedulerSurface:
             )
 
     def test_scheduler_stats_as_dict(self, model, tokenizer):
-        scheduler = QueryScheduler(model, tokenizer)
+        scheduler = QueryScheduler(model, tokenizer, record_history=True)
         scheduler.submit(SearchQuery("The ((cat)|(dog))"))
         scheduler.run()
         stats = scheduler.stats.as_dict()
@@ -361,6 +380,28 @@ class TestSchedulerSurface:
         assert stats["queries_completed"] == 1
         assert stats["mean_round_size"] > 0
         assert set(stats["per_query_latency"]) == {"q0"}
+
+    def test_history_recording_is_off_by_default(self, model, tokenizer):
+        # A long-lived scheduler must not retain every match (merged) or a
+        # per-round log forever; aggregates still report round shape.
+        scheduler = QueryScheduler(model, tokenizer)
+        scheduler.submit(SearchQuery(WIDE))
+        scheduler.run()
+        assert scheduler.merged == []
+        assert scheduler.stats.round_sizes == []
+        assert scheduler.stats.round_members == []
+        assert scheduler.stats.rounds > 0
+        assert scheduler.stats.mean_round_size > 0
+        assert scheduler.stats.max_round_size > 0
+
+    def test_duplicate_names_get_distinct_latency_entries(self, model, tokenizer):
+        scheduler = QueryScheduler(model, tokenizer)
+        first = scheduler.submit(SearchQuery(WIDE, seed=1), name="dup")
+        second = scheduler.submit(SearchQuery(WIDE, seed=2), name="dup")
+        scheduler.run()
+        assert first.name == "dup" and second.name != "dup"
+        assert len(scheduler.stats.per_query_latency) == 2
+        assert scheduler.stats.per_query_latency[second.name] == second.latency
 
     def test_submit_records_compilation_cache_deltas(self, model, tokenizer):
         scheduler = QueryScheduler(model, tokenizer)
@@ -381,7 +422,7 @@ class TestSchedulerSurface:
             assert [m.text for m in handle.results] == [m.text for m in serial]
 
     def test_merged_stream_is_permutation_of_per_query(self, model, tokenizer):
-        scheduler = QueryScheduler(model, tokenizer, concurrency=2)
+        scheduler = QueryScheduler(model, tokenizer, concurrency=2, record_history=True)
         handles = [
             scheduler.submit(SearchQuery(WIDE, seed=i), name=f"q{i}")
             for i in range(3)

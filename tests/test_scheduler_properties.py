@@ -108,7 +108,7 @@ def test_merged_stream_is_order_preserving_permutation(queries, concurrency):
     restricting it to one query recovers that query's serial order."""
     serial = [_serial(q) for q in queries]
     scheduler = QueryScheduler(
-        _MODEL, _TOK, concurrency=concurrency,
+        _MODEL, _TOK, concurrency=concurrency, record_history=True,
         max_expansions=2000, max_attempts=200,
     )
     names = [f"q{i}" for i in range(len(queries))]
