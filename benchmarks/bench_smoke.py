@@ -188,6 +188,138 @@ def bench_scheduler(repeats: int, top_n: int = 5) -> dict:
     }
 
 
+def bench_incremental(env, repeats: int) -> dict:
+    """Incremental K/V decoding vs full re-forward, plus the n-gram CSR
+    arrays vs the dict walk.
+
+    Three figures, matching how the prefix cache is actually used:
+
+    * ``depth_N`` — a steady-state traversal round (batch of 8 frontier
+      contexts, each its parent plus one token) at context depth N,
+      scored by a full forward vs one cached single-token step.
+    * ``scheduler_hit_rate`` — prefix-cache hit rate over a multi-query
+      scheduler run of templated patterns on the transformer (the
+      acceptance bar is >= 0.8: frontiers are parent+token chains, so
+      reuse must be near total).
+    * ``ngram_csr`` — the frozen-CSR ``logprobs_batch`` vs the dict walk
+      replaying the LM rounds a bias-style templated query loop issues.
+    """
+    import numpy as np
+
+    from repro.core.scheduler import QueryScheduler
+    from repro.lm.transformer import TransformerConfig, TransformerModel
+
+    tok = env.tokenizer
+    config = TransformerConfig(
+        vocab_size=len(tok), block_size=32, n_layer=4, n_head=4, n_embd=64
+    )
+    full = TransformerModel(config, eos_id=tok.eos_id, seed=0, kv_cache_mb=None)
+    incr = TransformerModel(config, eos_id=tok.eos_id, seed=0, kv_cache_mb=64.0)
+    B = 8
+    chains = [
+        [(7 * b + 3 * t) % (len(tok) - 1) + 1 for t in range(16)] for b in range(B)
+    ]
+    out: dict = {"batch_size": B}
+    for depth in (4, 8, 16):
+        ctxs = [chain[:depth] for chain in chains]
+        full_ms, ref = _median_time(lambda: full.logprobs_batch(ctxs), repeats)
+        incr.prefix_cache.clear()
+        for d in range(1, depth):  # ancestry a traversal would have cached
+            incr.logprobs_batch([c[:d] for c in ctxs])
+        incr_ms, got = _median_time(lambda: incr.logprobs_batch(ctxs), repeats)
+        for a, b in zip(ref, got):
+            assert np.allclose(a, b, atol=1e-9), "incremental decoding diverged"
+        out[f"depth_{depth}"] = {
+            "full_ms": round(1000 * full_ms, 3),
+            "incremental_ms": round(1000 * incr_ms, 3),
+            "speedup": round(full_ms / incr_ms, 2),
+        }
+
+    # -- scheduler scenario: shared cache across templated queries ----------
+    sched_model = TransformerModel(
+        TransformerConfig(
+            vocab_size=len(tok), block_size=32, n_layer=2, n_head=2, n_embd=32
+        ),
+        eos_id=tok.eos_id, seed=0, kv_cache_mb=32.0,
+    )
+    patterns = [
+        "The ((cat)|(dog)|(man)|(woman)) ((sat)|(ate)|(ran))",
+        "The ((man)|(woman)) was trained in ((art)|(science))",
+        "The ((man)|(woman)) was trained in ((medicine)|(engineering))",
+        "The ((cat)|(dog)) ((sat)|(ate)) on the ((mat)|(rug))",
+    ]
+    from repro.core.query import QueryTokenizationStrategy
+    from repro.core.scheduler import QueryBudget
+
+    scheduler = QueryScheduler(sched_model, tok, concurrency=len(patterns))
+    for pattern in patterns:
+        # Canonical tokenization keeps the language small enough to
+        # enumerate fully under a near-uniform model (the all-encodings
+        # automaton admits every token split of every string); the LM-call
+        # budget is a hard bound either way.  The hit rate converges within
+        # the first few dozen frontier rounds.
+        scheduler.submit(
+            SearchQuery(
+                pattern, tokenization=QueryTokenizationStrategy.CANONICAL
+            ),
+            budget=QueryBudget(max_lm_calls=4000),
+        )
+    scheduler.run()
+    out["scheduler_hit_rate"] = round(scheduler.stats.prefix_hit_rate, 4)
+    out["scheduler_prefix_hits"] = scheduler.stats.prefix_hits
+    out["scheduler_prefix_misses"] = scheduler.stats.prefix_misses
+
+    # -- n-gram CSR vs dict on the bias-loop rounds -------------------------
+    # The bias loop's batched shape: shortest-path enumeration of the
+    # Figure 7 template (both genders, the full professions disjunction)
+    # with frontier batching.  Record the LM rounds once, then replay them
+    # against the frozen CSR arrays vs the dict walk.
+    from repro.experiments.bias import profession_pattern
+
+    model = env.model("xl")
+    recorded: list[list[tuple[int, ...]]] = []
+    inner_batch = model.logprobs_batch
+
+    def recording_batch(contexts):
+        recorded.append([tuple(c) for c in contexts])
+        return inner_batch(contexts)
+
+    model.logprobs_batch = recording_batch
+    try:
+        for gender in ("man", "woman"):
+            session = prepare(
+                model, env.tokenizer,
+                SearchQuery(
+                    f"The (({gender})) was trained in {profession_pattern()}"
+                ),
+                compiler=env.compiler, batch_size=16, max_expansions=2000,
+            )
+            for i, _ in enumerate(session):
+                if i >= 60:
+                    break
+    finally:
+        model.logprobs_batch = inner_batch
+
+    def replay():
+        model._cache.clear()
+        for round_contexts in recorded:
+            model.logprobs_batch(round_contexts)
+
+    model._use_csr = False
+    dict_ms, _ = _median_time(replay, repeats)
+    model._use_csr = True
+    csr_ms, _ = _median_time(replay, repeats)
+    model._cache.clear()
+    out["ngram_csr"] = {
+        "rounds": len(recorded),
+        "contexts": sum(len(r) for r in recorded),
+        "dict_ms": round(1000 * dict_ms, 3),
+        "csr_ms": round(1000 * csr_ms, 3),
+        "speedup": round(dict_ms / csr_ms, 2),
+    }
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_executor.json")
@@ -203,6 +335,7 @@ def main(argv=None) -> int:
         "backend": bench_backends(env, args.repeats),
         "compiler": bench_compiler(env, args.repeats),
         "scheduler": bench_scheduler(args.repeats),
+        "incremental": bench_incremental(env, args.repeats),
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -222,6 +355,22 @@ def main(argv=None) -> int:
         failures.append(
             f"scheduler round ratio {report['scheduler']['round_ratio']} "
             "exceeds the 0.35x bar"
+        )
+    incremental = report["incremental"]
+    if incremental["depth_16"]["speedup"] < 2.0:
+        failures.append(
+            f"incremental speedup {incremental['depth_16']['speedup']}x at "
+            "depth 16 is below the 2x bar"
+        )
+    if incremental["scheduler_hit_rate"] < 0.8:
+        failures.append(
+            f"prefix-cache hit rate {incremental['scheduler_hit_rate']} in "
+            "the scheduler scenario is below 0.8"
+        )
+    if incremental["ngram_csr"]["speedup"] < 2.0:
+        failures.append(
+            f"n-gram CSR speedup {incremental['ngram_csr']['speedup']}x is "
+            "below the 2x bar"
         )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -48,6 +48,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=["arrays", "dict"], default="arrays",
         help="executor backend: vectorized arrays (default) or the reference dict paths",
     )
+    query.add_argument(
+        "--kv-cache-mb", type=float, default=None,
+        help="prefix-state (KV) cache budget in MiB for models with "
+             "incremental decoding (default: the model's built-in 64 MiB)",
+    )
+    query.add_argument(
+        "--no-kv-cache", action="store_true",
+        help="disable the prefix-state cache (score every context with a "
+             "full forward pass)",
+    )
     query.add_argument("--model", choices=["xl", "small"], default="xl")
     query.add_argument("--scale", choices=["test", "full"], default="test")
     query.add_argument("--log", default=None, help="append matches to this JSONL file")
@@ -123,6 +133,8 @@ def _cmd_query_scheduled(args, env, queries) -> int:
         concurrency=args.concurrency,
         fairness=args.fairness,
         backend=args.backend,
+        kv_cache=not args.no_kv_cache,
+        kv_cache_mb=args.kv_cache_mb,
         max_expansions=50_000,
         max_attempts=50 * args.samples,
     )
@@ -157,6 +169,14 @@ def _cmd_query_scheduled(args, env, queries) -> int:
         f"max_coalesced={stats.max_round_size}",
         file=sys.stderr,
     )
+    if stats.prefix_hits or stats.prefix_misses:
+        print(
+            f"# prefix-state cache: hits={stats.prefix_hits} "
+            f"misses={stats.prefix_misses} ({stats.prefix_hit_rate:.0%}) "
+            f"evictions={stats.prefix_evictions} "
+            f"bytes={stats.prefix_bytes}",
+            file=sys.stderr,
+        )
     for handle in handles:
         latency = handle.latency if handle.latency is not None else 0.0
         print(
@@ -187,6 +207,7 @@ def _cmd_query(args) -> int:
         env.model(args.model), env.tokenizer, query,
         compiler=env.compiler, logits_cache=env.logits_cache(args.model),
         backend=args.backend,
+        kv_cache=not args.no_kv_cache, kv_cache_mb=args.kv_cache_mb,
         max_expansions=50_000, max_attempts=50 * args.samples,
     )
     writer = MatchWriter(args.log) if args.log else None
@@ -214,6 +235,15 @@ def _cmd_query(args) -> int:
         f"misses={stats['compilation_cache_misses']}",
         file=sys.stderr,
     )
+    if stats["prefix_hits"] or stats["prefix_misses"]:
+        print(
+            f"# prefix-state cache: hits={stats['prefix_hits']} "
+            f"misses={stats['prefix_misses']} "
+            f"({session.stats.prefix_hit_rate:.0%}) "
+            f"evictions={stats['prefix_evictions']} "
+            f"bytes={stats['prefix_bytes']}",
+            file=sys.stderr,
+        )
     return 0
 
 

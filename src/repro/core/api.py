@@ -53,6 +53,8 @@ class SearchSession:
         tokenizer: BPETokenizer,
         query: SimpleSearchQuery,
         compiler: GraphCompiler | None = None,
+        kv_cache: bool = True,
+        kv_cache_mb: float | None = None,
         **executor_kwargs,
     ) -> None:
         if compiler is None:
@@ -60,6 +62,13 @@ class SearchSession:
         elif compiler.tokenizer is not tokenizer:
             raise ValueError("compiler was built for a different tokenizer")
         self.compiler = compiler
+        # Apply the prefix-state (KV) cache knobs to the model before the
+        # executor snapshots the cache's counters.  No-ops on models
+        # without incremental decoding (the n-gram).
+        if not kv_cache:
+            model.disable_prefix_cache()
+        elif kv_cache_mb is not None:
+            model.enable_prefix_cache(int(kv_cache_mb * (1 << 20)))
         cache = compiler.cache
         hits_before = cache.hits if cache is not None else 0
         misses_before = cache.misses if cache is not None else 0

@@ -170,6 +170,10 @@ class Executor:
         # the delta attributable to this run.
         self._cache_hits_base = self._cache.hits
         self._cache_misses_base = self._cache.misses
+        prefix = self._cache.prefix_cache
+        self._prefix_base = (
+            (prefix.hits, prefix.misses, prefix.evictions) if prefix else (0, 0, 0)
+        )
         self._arrays = (
             self.automaton.arrays(model.vocab_size) if backend == "arrays" else None
         )
@@ -202,6 +206,13 @@ class Executor:
         """Mirror the logits-cache counters into :attr:`stats`."""
         self.stats.logits_hits = self._cache.hits - self._cache_hits_base
         self.stats.logits_misses = self._cache.misses - self._cache_misses_base
+        prefix = self._cache.prefix_cache
+        if prefix is not None:
+            h0, m0, e0 = self._prefix_base
+            self.stats.prefix_hits = prefix.hits - h0
+            self.stats.prefix_misses = prefix.misses - m0
+            self.stats.prefix_evictions = prefix.evictions - e0
+            self.stats.prefix_bytes = prefix.bytes
 
     def finish_request(self, request: LmRequest, rows: list[np.ndarray]) -> list:
         """Post-process one serviced :class:`LmRequest`.

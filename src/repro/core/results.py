@@ -60,6 +60,16 @@ class ExecutionStats:
     #: Coalesced scheduler rounds this query participated in (0 when the
     #: query ran serially through :meth:`Executor.run`).
     scheduler_rounds: int = 0
+    #: Prefix-state (KV) cache traffic observed while this query ran
+    #: (deltas against the cache's counters at executor construction —
+    #: the cache lives on the model and is shared by every query using
+    #: it).  All zero when the model has no prefix cache.
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    prefix_evictions: int = 0
+    #: Resident payload bytes in the prefix cache when the run last
+    #: synced (a gauge, not a delta — eviction makes deltas meaningless).
+    prefix_bytes: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -73,6 +83,13 @@ class ExecutionStats:
         """Fraction of logits lookups served from cache (0 when unused)."""
         total = self.logits_hits + self.logits_misses
         return self.logits_hits / total if total else 0.0
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prefix-state lookups that found a cached ancestor
+        (0 when the model has no prefix cache)."""
+        total = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / total if total else 0.0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict view for logging/reporting."""
@@ -90,6 +107,10 @@ class ExecutionStats:
             "compilation_cache_hits": self.compilation_cache_hits,
             "compilation_cache_misses": self.compilation_cache_misses,
             "scheduler_rounds": self.scheduler_rounds,
+            "prefix_hits": self.prefix_hits,
+            "prefix_misses": self.prefix_misses,
+            "prefix_evictions": self.prefix_evictions,
+            "prefix_bytes": self.prefix_bytes,
         }
 
 
@@ -120,11 +141,26 @@ class SchedulerStats:
     #: Wall-clock seconds from submit to completion, keyed by query name
     #: (the scheduler de-duplicates names at submit, so keys never collide).
     per_query_latency: dict = field(default_factory=dict)
+    #: Prefix-state (KV) cache traffic across every round the scheduler
+    #: drove (global aggregates — one cache on the model serves all
+    #: queries, so these are not attributable per query the way logits
+    #: hits are).  All zero when the model has no prefix cache.
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    prefix_evictions: int = 0
+    prefix_bytes: int = 0
 
     @property
     def mean_round_size(self) -> float:
         """Average coalesced contexts per round (0 when no rounds ran)."""
         return self.contexts_serviced / self.rounds if self.rounds else 0.0
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prefix-state lookups that found a cached ancestor
+        (0 when the model has no prefix cache)."""
+        total = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / total if total else 0.0
 
     def as_dict(self) -> dict:
         """Plain-dict view for logging/reporting."""
@@ -138,4 +174,8 @@ class SchedulerStats:
             "mean_round_size": self.mean_round_size,
             "max_round_size": self.max_round_size,
             "per_query_latency": dict(self.per_query_latency),
+            "prefix_hits": self.prefix_hits,
+            "prefix_misses": self.prefix_misses,
+            "prefix_evictions": self.prefix_evictions,
+            "prefix_bytes": self.prefix_bytes,
         }

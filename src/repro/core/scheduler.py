@@ -143,9 +143,13 @@ class QueryScheduler:
     property and fairness suites rely on these, but a long-lived scheduler
     would retain every match twice, so recording is off by default
     (aggregate metrics like ``mean_round_size`` are always kept).
-    Remaining keyword arguments become per-executor defaults (``backend``,
-    ``batch_size``, ``max_expansions``, ...), overridable per
-    :meth:`submit`.
+    ``kv_cache`` / ``kv_cache_mb`` control the model's prefix-state (KV)
+    cache (see :mod:`repro.lm.state_cache`): coalesced rounds feed it one
+    batched frontier per round, so all concurrent queries share its
+    incremental-decoding savings; its counters land in
+    ``stats.prefix_hits`` etc.  Remaining keyword arguments become
+    per-executor defaults (``backend``, ``batch_size``,
+    ``max_expansions``, ...), overridable per :meth:`submit`.
     """
 
     def __init__(
@@ -159,6 +163,8 @@ class QueryScheduler:
         fairness: str = "round_robin",
         clock=time.monotonic,
         record_history: bool = False,
+        kv_cache: bool = True,
+        kv_cache_mb: float | None = None,
         **executor_defaults,
     ) -> None:
         if concurrency < 1:
@@ -169,6 +175,18 @@ class QueryScheduler:
             )
         self.model = model
         self.tokenizer = tokenizer
+        # Prefix-state (KV) cache knobs apply to the *model* — one cache
+        # serves every query and round this scheduler drives.  ``kv_cache``
+        # False detaches it; ``kv_cache_mb`` resizes (models without
+        # incremental decoding, like the n-gram, ignore both).
+        if not kv_cache:
+            model.disable_prefix_cache()
+        elif kv_cache_mb is not None:
+            model.enable_prefix_cache(int(kv_cache_mb * (1 << 20)))
+        prefix = getattr(model, "prefix_cache", None)
+        self._prefix_base = (
+            (prefix.hits, prefix.misses, prefix.evictions) if prefix else (0, 0, 0)
+        )
         if compiler is None:
             compiler = GraphCompiler(tokenizer, cache=True)
         elif compiler.tokenizer is not tokenizer:
@@ -280,6 +298,13 @@ class QueryScheduler:
         if self.record_history:
             self.stats.round_sizes.append(size)
             self.stats.round_members.append(tuple(sq.name for sq in chosen))
+        prefix = getattr(self.model, "prefix_cache", None)
+        if prefix is not None:
+            h0, m0, e0 = self._prefix_base
+            self.stats.prefix_hits = prefix.hits - h0
+            self.stats.prefix_misses = prefix.misses - m0
+            self.stats.prefix_evictions = prefix.evictions - e0
+            self.stats.prefix_bytes = prefix.bytes
         for sq, group_rows, h, m in zip(chosen, rows, hits, misses):
             request = sq._pending
             sq._pending = None

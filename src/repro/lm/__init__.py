@@ -9,12 +9,14 @@ independence).  Decoding decision rules live in :class:`DecodingPolicy`.
 from repro.lm.base import CountingModel, LanguageModel, LogitsCache
 from repro.lm.decoding import GREEDY, UNRESTRICTED, DecodingPolicy
 from repro.lm.ngram import NGramModel
+from repro.lm.state_cache import PrefixStateCache
 from repro.lm.transformer import TransformerConfig, TransformerModel
 
 __all__ = [
     "LanguageModel",
     "LogitsCache",
     "CountingModel",
+    "PrefixStateCache",
     "DecodingPolicy",
     "GREEDY",
     "UNRESTRICTED",

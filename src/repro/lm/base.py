@@ -31,6 +31,28 @@ class LanguageModel(ABC):
     #: Maximum context length the model supports; used to unroll cycles
     #: when counting walks (§3.3) and to cap generations.
     max_sequence_length: int = 256
+    #: Optional :class:`~repro.lm.state_cache.PrefixStateCache` holding
+    #: per-prefix recurrent state (the transformer's K/V arrays).  Models
+    #: whose per-step cost does not grow with context length (the n-gram)
+    #: leave it ``None``; the executor and scheduler surface its counters
+    #: when present.
+    prefix_cache = None
+
+    def enable_prefix_cache(self, max_bytes: int | None = None):
+        """Attach a prefix-state (KV) cache of *max_bytes*, if the model
+        supports incremental decoding.
+
+        The base implementation is a no-op returning ``None`` — a model
+        without reusable per-prefix state has nothing to cache.  Models
+        that override it (the NumPy transformer) return the attached
+        :class:`~repro.lm.state_cache.PrefixStateCache`.
+        """
+        return None
+
+    def disable_prefix_cache(self) -> None:
+        """Detach the prefix-state cache (scoring reverts to full
+        forwards); a no-op on models that never had one."""
+        self.prefix_cache = None
 
     @abstractmethod
     def logprobs(self, context: Sequence[int]) -> np.ndarray:
@@ -164,6 +186,15 @@ class LogitsCache:
         scheduler relies on; per-call dedupe alone would re-score a context
         requested by two different queries in the same round.
 
+        The single batched model call is also what feeds the model's
+        prefix-state (KV) cache, when it has one: the round-unique missing
+        contexts arrive as one ``logprobs_batch``, whose incremental path
+        gathers each context's cached parent state and runs one stacked
+        single-token step for the whole coalesced frontier (see
+        :mod:`repro.lm.state_cache`).  Because the cache lives on the
+        model, every query sharing this :class:`LogitsCache` — and every
+        scheduler round — shares one prefix-state cache too.
+
         Returns ``(rows_per_group, hits_per_group, misses_per_group)``.
         Hit/miss attribution is per occurrence: the first requester of an
         uncached context is charged the miss; every other occurrence in the
@@ -233,6 +264,16 @@ class LogitsCache:
         """Fraction of lookups served from cache (0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def prefix_cache(self):
+        """The underlying model's prefix-state (KV) cache, if any.
+
+        Exposed so drivers holding only the logits cache (the executor,
+        the scheduler) can read the incremental-decoding counters without
+        reaching around it to the model.
+        """
+        return getattr(self.model, "prefix_cache", None)
 
 
 class CountingModel(LanguageModel):

@@ -59,6 +59,12 @@ class NGramModel(LanguageModel):
         self._cache: OrderedDict[tuple[int, ...], np.ndarray] = OrderedDict()
         self._cache_size = cache_size
         self._trained = False
+        #: CSR-style frozen counts (one block per order level), built at
+        #: :meth:`fit` time.  When present and ``_use_csr`` is True,
+        #: inference runs as pure array ops; the dict walk is kept as the
+        #: reference path for differential tests and benchmark baselines.
+        self._csr: list[dict] | None = None
+        self._use_csr = True
 
     # -- training ------------------------------------------------------------
     def fit(self, sequences: Iterable[Sequence[int]], append_eos: bool = True) -> "NGramModel":
@@ -89,6 +95,7 @@ class NGramModel(LanguageModel):
                     self._totals[k][context] = self._totals[k].get(context, 0) + 1
         self._cache.clear()
         self._trained = True
+        self._freeze()
         return self
 
     @classmethod
@@ -130,9 +137,63 @@ class NGramModel(LanguageModel):
         model.fit(encoded())
         return model
 
+    # -- frozen (CSR) counts ---------------------------------------------------
+    def _freeze(self) -> None:
+        """Freeze the count dicts into CSR-style arrays, one block per
+        order level: ``index`` maps a context tuple to its row, ``indptr``
+        delimits that row's run in the parallel ``token_ids``/``counts``
+        arrays, and ``totals`` holds the per-context count sums.  The
+        arrays let :meth:`_distribution` and :meth:`logprobs_batch` run as
+        scatter-adds instead of per-token dict loops, with the *same*
+        element-wise operations in the same order — results stay
+        bit-identical to the dict walk.
+        """
+        levels: list[dict] = []
+        for k in range(self.order):
+            contexts = self._counts[k]
+            index: dict[tuple[int, ...], int] = {}
+            indptr = np.zeros(len(contexts) + 1, dtype=np.int64)
+            nnz = sum(len(counter) for counter in contexts.values())
+            token_ids = np.empty(nnz, dtype=np.int64)
+            counts = np.empty(nnz, dtype=np.float64)
+            totals = np.empty(len(contexts), dtype=np.float64)
+            pos = 0
+            for ci, (ctx, counter) in enumerate(contexts.items()):
+                index[ctx] = ci
+                totals[ci] = self._totals[k][ctx]
+                for tok, cnt in counter.items():
+                    token_ids[pos] = tok
+                    counts[pos] = cnt
+                    pos += 1
+                indptr[ci + 1] = pos
+            levels.append(
+                {
+                    "index": index,
+                    "indptr": indptr,
+                    "token_ids": token_ids,
+                    "counts": counts,
+                    "totals": totals,
+                }
+            )
+        self._csr = levels
+
     # -- inference ------------------------------------------------------------
+    def _context_key(self, context: Sequence[int]) -> tuple[int, ...]:
+        """Order-``n-1`` suffix of *context*, left-padded with EOS to match
+        training — the key inference and the LRU cache share."""
+        if self.order > 1:
+            padded = [self.eos_id] * (self.order - 1) + list(context)
+            return tuple(padded[-(self.order - 1) :])
+        return ()
+
     def _distribution(self, context: tuple[int, ...]) -> np.ndarray:
         """Probability vector for the longest usable context suffix."""
+        if self._use_csr and self._csr is not None:
+            return self._distribution_csr(context)
+        return self._distribution_dict(context)
+
+    def _distribution_dict(self, context: tuple[int, ...]) -> np.ndarray:
+        """Reference dict-walk interpolation (pre-freeze path)."""
         probs = np.full(self.vocab_size, 1.0 / self.vocab_size)
         # Build up from unigrams to the longest matching context so each
         # level interpolates with the one below it.
@@ -150,6 +211,24 @@ class NGramModel(LanguageModel):
             probs = level / (total + self.alpha)
         return probs
 
+    def _distribution_csr(self, context: tuple[int, ...]) -> np.ndarray:
+        """CSR interpolation: one scatter-add per matched level."""
+        probs = np.full(self.vocab_size, 1.0 / self.vocab_size)
+        for k in range(self.order):
+            ctx = context[len(context) - k :] if k else ()
+            if k > len(context):
+                break
+            level = self._csr[k]  # type: ignore[index]
+            ci = level["index"].get(ctx)
+            if ci is None:
+                continue
+            lo = level["indptr"][ci]
+            hi = level["indptr"][ci + 1]
+            out = probs * self.alpha
+            out[level["token_ids"][lo:hi]] += level["counts"][lo:hi]
+            probs = out / (level["totals"][ci] + self.alpha)
+        return probs
+
     def logprobs(self, context: Sequence[int]) -> np.ndarray:
         """Dense ``log p(next | context)`` with LRU caching.
 
@@ -159,30 +238,103 @@ class NGramModel(LanguageModel):
         """
         if not self._trained:
             raise RuntimeError("model has not been fitted; call fit() first")
-        if self.order > 1:
-            padded = [self.eos_id] * (self.order - 1) + list(context)
-            key = tuple(padded[-(self.order - 1) :])
-        else:
-            key = ()
+        key = self._context_key(context)
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
             return cached
         value = np.log(self._distribution(key))
-        self._cache[key] = value
-        if len(self._cache) > self._cache_size:
+        # Evict *before* inserting: insert-then-pop briefly holds
+        # ``_cache_size + 1`` rows, and any observer iterating the cache
+        # between those two statements (or a re-entrant lookup from a
+        # tracing hook) can grab a row the pop is about to drop.
+        if len(self._cache) >= self._cache_size:
             self._cache.popitem(last=False)
+        self._cache[key] = value
         return value
+
+    def logprobs_batch(self, contexts: Sequence[Sequence[int]]) -> list[np.ndarray]:
+        """Vectorized batched scoring over the frozen CSR arrays.
+
+        Batch-unique uncached keys are scored together: one ``(U, vocab)``
+        matrix walks the order levels, interpolating all matched rows per
+        level with a single scatter-add.  Row results are bit-identical to
+        per-context :meth:`logprobs` (same element-wise ops, same order).
+        Rows computed this call are kept in a local overlay so LRU
+        eviction mid-batch can never lose a row a later occurrence needs.
+        """
+        if not self._trained:
+            raise RuntimeError("model has not been fitted; call fit() first")
+        keys = [self._context_key(c) for c in contexts]
+        rows: dict[tuple[int, ...], np.ndarray] = {}
+        missing: list[tuple[int, ...]] = []
+        for key in keys:
+            if key in rows:
+                continue
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                rows[key] = cached
+            else:
+                rows[key] = None  # type: ignore[assignment]
+                missing.append(key)
+        if missing:
+            if self._use_csr and self._csr is not None and len(missing) > 1:
+                block = self._logprobs_block(missing)
+            else:
+                # Single-key batches (random-sampling traversals) skip the
+                # block machinery's fixed array overhead.
+                block = [np.log(self._distribution(key)) for key in missing]
+            for key, value in zip(missing, block):
+                rows[key] = value
+                if len(self._cache) >= self._cache_size:
+                    self._cache.popitem(last=False)
+                self._cache[key] = value
+        return [rows[key] for key in keys]
+
+    def _logprobs_block(self, keys: Sequence[tuple[int, ...]]) -> list[np.ndarray]:
+        """Log-probability rows for a block of unique context keys."""
+        csr = self._csr
+        assert csr is not None
+        P = np.full((len(keys), self.vocab_size), 1.0 / self.vocab_size)
+        for k in range(self.order):
+            level = csr[k]
+            index = level["index"]
+            matched_rows: list[int] = []
+            matched_cis: list[int] = []
+            for r, key in enumerate(keys):
+                if k > len(key):
+                    continue
+                ctx = key[len(key) - k :] if k else ()
+                ci = index.get(ctx)
+                if ci is not None:
+                    matched_rows.append(r)
+                    matched_cis.append(ci)
+            if not matched_rows:
+                continue
+            rows_a = np.asarray(matched_rows, dtype=np.int64)
+            cis_a = np.asarray(matched_cis, dtype=np.int64)
+            lo = level["indptr"][cis_a]
+            lens = level["indptr"][cis_a + 1] - lo
+            # Gather every matched row's (token, count) run in one fancy
+            # index: positions lo[j] .. lo[j]+lens[j] for each j, flattened.
+            starts = np.cumsum(lens) - lens
+            flat = np.repeat(lo - starts, lens) + np.arange(int(lens.sum()))
+            sub = P[rows_a] * self.alpha
+            # Token ids are unique within a context's run, so plain fancy
+            # assignment-add never collides.
+            sub[
+                np.repeat(np.arange(len(rows_a)), lens),
+                level["token_ids"][flat],
+            ] += level["counts"][flat]
+            P[rows_a] = sub / (level["totals"][cis_a][:, None] + self.alpha)
+        return list(np.log(P))
 
     # -- introspection ----------------------------------------------------------
     def context_count(self, context: Sequence[int]) -> int:
         """How many times the exact (order-1 suffix of) *context* was seen
         (with the same EOS left-padding as :meth:`logprobs`)."""
-        if self.order > 1:
-            padded = [self.eos_id] * (self.order - 1) + list(context)
-            key = tuple(padded[-(self.order - 1) :])
-        else:
-            key = ()
+        key = self._context_key(context)
         return self._totals[len(key)].get(key, 0)
 
     def num_parameters(self) -> int:

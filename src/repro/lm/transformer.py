@@ -22,6 +22,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.lm.base import LanguageModel
+from repro.lm.state_cache import DEFAULT_KV_CACHE_BYTES, PrefixStateCache
 
 __all__ = ["TransformerConfig", "TransformerModel"]
 
@@ -92,11 +93,25 @@ class TransformerModel(LanguageModel):
     """Pure-NumPy causal transformer implementing
     :class:`repro.lm.base.LanguageModel`."""
 
-    def __init__(self, config: TransformerConfig, eos_id: int, seed: int = 0) -> None:
+    def __init__(
+        self,
+        config: TransformerConfig,
+        eos_id: int,
+        seed: int = 0,
+        kv_cache_mb: float | None = 64.0,
+    ) -> None:
         self.config = config
         self.vocab_size = config.vocab_size
         self.eos_id = eos_id
         self.max_sequence_length = config.block_size
+        #: Prefix-state (KV) cache: per-context per-layer K/V arrays so a
+        #: child context (parent + one token) is scored with a single-token
+        #: incremental attention step instead of a full re-forward.  On by
+        #: default (``kv_cache_mb`` MiB budget); pass ``None``/``0`` to
+        #: score every context with the full ``_forward``.
+        self.prefix_cache: PrefixStateCache | None = None
+        if kv_cache_mb:
+            self.prefix_cache = PrefixStateCache(int(kv_cache_mb * (1 << 20)))
         rng = np.random.default_rng(seed)
         c = config
         std = 0.02
@@ -176,6 +191,61 @@ class TransformerModel(LanguageModel):
         caches["final"] = final
         logits = final @ P["wte"].T
         return logits, caches
+
+    def _forward_infer(self, idx: np.ndarray, past: list | None = None):
+        """Inference-only forward over a (B, S) *chunk* continuing cached
+        per-layer K/V state for ``m`` earlier positions.
+
+        ``past`` is a per-layer list of ``(K, V)`` arrays of shape
+        ``(B, H, m, head_dim)`` — the attention state of the shared prefix
+        already processed — or ``None`` for a from-scratch forward
+        (``m = 0``, in which case this computes exactly what
+        :meth:`_forward` computes, minus the backprop caches).  Each new
+        position attends to all ``m`` cached positions plus the causal
+        part of the chunk, so the arithmetic per output row is identical
+        to the full forward; only BLAS summation shapes differ (last-ulp).
+
+        Returns ``(last_logits, new_kv)``: the unnormalised logits of the
+        final chunk position — the next-token distribution for the whole
+        sequence — and the per-layer ``(K, V)`` covering all ``m + S``
+        positions, ready to be cached for this sequence's children.
+        """
+        c = self.config
+        B, S = idx.shape
+        m = 0 if past is None else past[0][0].shape[2]
+        if m + S > c.block_size:
+            raise ValueError(
+                f"sequence length {m + S} exceeds block size {c.block_size}"
+            )
+        P = self.params
+        H, hd = c.n_head, c.n_embd // c.n_head
+        x = P["wte"][idx] + P["wpe"][m : m + S]
+        # Chunk row i (absolute position m+i) may attend to absolute
+        # positions 0..m+i: all cached ones plus the chunk's causal part.
+        mask = np.triu(np.full((S, m + S), -np.inf), k=1 + m)
+        new_kv: list[tuple[np.ndarray, np.ndarray]] = []
+        for layer in range(c.n_layer):
+            p = f"h{layer}_"
+            ln1, _ = _layer_norm_forward(x, P[p + "ln1_g"], P[p + "ln1_b"])
+            qkv = ln1 @ P[p + "qkv_w"] + P[p + "qkv_b"]
+            q, k, v = np.split(qkv, 3, axis=-1)
+            qh = q.reshape(B, S, H, hd).transpose(0, 2, 1, 3)
+            kh = k.reshape(B, S, H, hd).transpose(0, 2, 1, 3)
+            vh = v.reshape(B, S, H, hd).transpose(0, 2, 1, 3)
+            if past is not None:
+                pk, pv = past[layer]
+                kh = np.concatenate([pk, kh], axis=2)
+                vh = np.concatenate([pv, vh], axis=2)
+            att = qh @ kh.transpose(0, 1, 3, 2) / math.sqrt(hd) + mask
+            attp = _softmax(att)
+            ctx_merged = (attp @ vh).transpose(0, 2, 1, 3).reshape(B, S, c.n_embd)
+            x = x + ctx_merged @ P[p + "proj_w"] + P[p + "proj_b"]
+            ln2, _ = _layer_norm_forward(x, P[p + "ln2_g"], P[p + "ln2_b"])
+            act, _ = _gelu_forward(ln2 @ P[p + "fc_w"] + P[p + "fc_b"])
+            x = x + act @ P[p + "out_w"] + P[p + "out_b"]
+            new_kv.append((kh, vh))
+        final, _ = _layer_norm_forward(x[:, -1], P["lnf_g"], P["lnf_b"])
+        return final @ P["wte"].T, new_kv
 
     def _backward(self, dlogits: np.ndarray, caches: dict) -> dict[str, np.ndarray]:
         """Backprop from d(loss)/d(logits); returns gradients per
@@ -268,6 +338,9 @@ class TransformerModel(LanguageModel):
             mhat = m / (1 - b1**t)
             vhat = v / (1 - b2**t)
             self.params[name] -= lr * mhat / (np.sqrt(vhat) + eps)
+        # Cached K/V states were computed under the old weights.
+        if self.prefix_cache is not None:
+            self.prefix_cache.clear()
 
     def fit(
         self,
@@ -307,6 +380,25 @@ class TransformerModel(LanguageModel):
                 print(f"step {step}: loss {loss:.4f}")
         return losses
 
+    # -- prefix-state (KV) cache -------------------------------------------------
+    def enable_prefix_cache(self, max_bytes: int | None = None) -> PrefixStateCache:
+        """Attach (or resize) the prefix-state cache; returns it."""
+        if max_bytes is None:
+            max_bytes = DEFAULT_KV_CACHE_BYTES
+        if self.prefix_cache is None or self.prefix_cache.max_bytes != max_bytes:
+            self.prefix_cache = PrefixStateCache(max_bytes)
+        return self.prefix_cache
+
+    def _cache_state(self, key: tuple[int, ...], new_kv: list, row: int) -> None:
+        """Store sequence *row*'s per-layer K/V slices under *key*.
+
+        Rows are copied out of the batch arrays so one cached sequence
+        never pins the whole round's stacked K/V in memory.
+        """
+        state = [(kh[row].copy(), vh[row].copy()) for kh, vh in new_kv]
+        nbytes = sum(k.nbytes + v.nbytes for k, v in state)
+        self.prefix_cache.put(key, state, nbytes)  # type: ignore[union-attr]
+
     # -- LanguageModel interface ------------------------------------------------
     def _clip_context(self, context: Sequence[int]) -> list[int]:
         ctx = list(context)[-(self.config.block_size - 1) :]
@@ -314,28 +406,91 @@ class TransformerModel(LanguageModel):
 
     def logprobs(self, context: Sequence[int]) -> np.ndarray:
         """``log p(next | context)`` using the last ``block_size - 1``
-        context tokens."""
-        idx = np.asarray([self._clip_context(context)], dtype=np.int64)
-        logits, _ = self._forward(idx)
-        last = logits[0, -1]
+        context tokens.
+
+        With the prefix cache attached, the deepest cached ancestor's K/V
+        state is reused and only the remaining suffix (one token, in
+        steady-state traversal) runs through attention.
+        """
+        cache = self.prefix_cache
+        if cache is None:
+            idx = np.asarray([self._clip_context(context)], dtype=np.int64)
+            logits, _ = self._forward(idx)
+            last = logits[0, -1]
+            last = last - last.max()
+            return last - math.log(np.exp(last).sum())
+        ctx = self._clip_context(context)
+        key = tuple(ctx)
+        # Scoring always processes at least the final token, so only
+        # proper prefixes are usable ancestors.
+        m, state = cache.longest_prefix(key, max_len=len(key) - 1)
+        idx = np.asarray([ctx[m:]], dtype=np.int64)
+        past = [(k[None], v[None]) for k, v in state] if m else None
+        logits, new_kv = self._forward_infer(idx, past)
+        self._cache_state(key, new_kv, 0)
+        last = logits[0]
         last = last - last.max()
         return last - math.log(np.exp(last).sum())
 
     def logprobs_batch(self, contexts: Sequence[Sequence[int]]) -> list[np.ndarray]:
         """True batched forward: contexts are grouped by length and each
         group runs as one (B, T) forward pass — the GPU-style batching the
-        ReLM executor exploits (§3.3)."""
+        ReLM executor exploits (§3.3).
+
+        With the prefix cache attached, each length group gathers its
+        members' cached ancestor states, stacks them, and runs one
+        incremental chunk step per (length, ancestor-depth) subgroup —
+        for a traversal frontier (every context = a parent scored last
+        round + one token) the whole round is a single-token step.
+        Length groups run shortest-first so a chain of prefixes within
+        one call (the prefix fast-forward) feeds its own ancestors.
+        """
         clipped = [self._clip_context(c) for c in contexts]
+        out: list[np.ndarray | None] = [None] * len(clipped)
         by_length: dict[int, list[int]] = {}
         for i, ctx in enumerate(clipped):
             by_length.setdefault(len(ctx), []).append(i)
-        out: list[np.ndarray | None] = [None] * len(clipped)
-        for length, indices in by_length.items():
-            idx = np.asarray([clipped[i] for i in indices], dtype=np.int64)
-            logits, _ = self._forward(idx)
-            last = logits[:, -1, :]
-            last = last - last.max(axis=-1, keepdims=True)
-            last = last - np.log(np.exp(last).sum(axis=-1, keepdims=True))
-            for row, i in enumerate(indices):
-                out[i] = last[row]
+        cache = self.prefix_cache
+        if cache is None:
+            for length, indices in by_length.items():
+                idx = np.asarray([clipped[i] for i in indices], dtype=np.int64)
+                logits, _ = self._forward(idx)
+                last = logits[:, -1, :]
+                last = last - last.max(axis=-1, keepdims=True)
+                last = last - np.log(np.exp(last).sum(axis=-1, keepdims=True))
+                for row, i in enumerate(indices):
+                    out[i] = last[row]
+            return out  # type: ignore[return-value]
+        n_layer = self.config.n_layer
+        for length in sorted(by_length):
+            indices = by_length[length]
+            # Ancestor lookup happens per group (not up front) so states
+            # stored by shorter groups in this same call are visible.
+            lookups = [
+                cache.longest_prefix(tuple(clipped[i]), max_len=length - 1)
+                for i in indices
+            ]
+            by_depth: dict[int, list[int]] = {}
+            for pos, (m, _) in enumerate(lookups):
+                by_depth.setdefault(m, []).append(pos)
+            for m, members in by_depth.items():
+                idx = np.asarray(
+                    [clipped[indices[pos]][m:] for pos in members], dtype=np.int64
+                )
+                past = None
+                if m:
+                    past = [
+                        (
+                            np.stack([lookups[pos][1][layer][0] for pos in members]),
+                            np.stack([lookups[pos][1][layer][1] for pos in members]),
+                        )
+                        for layer in range(n_layer)
+                    ]
+                logits, new_kv = self._forward_infer(idx, past)
+                last = logits - logits.max(axis=-1, keepdims=True)
+                last = last - np.log(np.exp(last).sum(axis=-1, keepdims=True))
+                for row, pos in enumerate(members):
+                    i = indices[pos]
+                    self._cache_state(tuple(clipped[i]), new_kv, row)
+                    out[i] = last[row]
         return out  # type: ignore[return-value]

@@ -386,6 +386,116 @@ class TestSampleTokenFallback:
         assert model.logprobs([])[tok] > -np.inf
 
 
+class TestPrefixCacheDifferential:
+    """The 13-combo grid, cache-on vs cache-off, over the transformer.
+
+    Incremental K/V decoding may differ from the full re-forward in the
+    last ulp (BLAS reassociation over different matmul shapes), but every
+    traversal decision is a comparison (argmax / top-k threshold / heap
+    order), so the *match sets* must be bit-identical — same texts, same
+    token paths, same traversal statistics — with log-probabilities equal
+    to 1e-9.
+    """
+
+    @pytest.fixture(scope="class")
+    def tmodels(self, tokenizer):
+        """Two same-weight transformers: full-forward vs incremental.
+
+        Briefly trained on the tiny corpus so corpus continuations land
+        inside small top-k sets — combos like ``shortest_topk`` would
+        otherwise have empty languages under a near-uniform model.
+        Training runs once and the weights are copied, so both models
+        score with literally the same parameters.
+        """
+        from tests.conftest import TINY_CORPUS
+
+        from repro.lm.transformer import TransformerConfig, TransformerModel
+
+        config = TransformerConfig(
+            vocab_size=len(tokenizer), block_size=32,
+            n_layer=2, n_head=2, n_embd=32,
+        )
+        off = TransformerModel(config, eos_id=tokenizer.eos_id, seed=42,
+                               kv_cache_mb=None)
+        off.fit([tokenizer.encode(line) for line in TINY_CORPUS[:50]],
+                steps=60, batch_size=8, seed=42)
+        on = TransformerModel(config, eos_id=tokenizer.eos_id, seed=42,
+                              kv_cache_mb=16.0)
+        on.params = {k: v.copy() for k, v in off.params.items()}
+        return off, on
+
+    @pytest.mark.parametrize(
+        "name,source,query", COMBOS, ids=[c[0] for c in COMBOS]
+    )
+    def test_match_sets_identical(self, tokenizer, tmodels, name, source, query):
+        off, on = tmodels
+        got_off, stats_off = _run(off, tokenizer, query, "arrays", limit=60)
+        got_on, stats_on = _run(on, tokenizer, query, "arrays", limit=60)
+        assert len(got_off) == len(got_on)
+        assert len(got_off) > 0, f"combo {name} produced no matches"
+        for a, b in zip(got_off, got_on):
+            assert a.text == b.text
+            assert a.tokens == b.tokens
+            assert a.canonical == b.canonical
+            assert a.total_logprob == pytest.approx(b.total_logprob, abs=1e-9)
+            assert a.logprob == pytest.approx(b.logprob, abs=1e-9)
+        assert stats_off.pruned_edges == stats_on.pruned_edges
+        assert stats_off.lm_calls == stats_on.lm_calls
+        assert stats_off.failed_attempts == stats_on.failed_attempts
+        # The cache-off run must not touch a prefix cache; the cache-on
+        # run's counters must be surfaced in its stats.
+        assert stats_off.prefix_hits == 0 and stats_off.prefix_misses == 0
+        assert stats_on.prefix_hits + stats_on.prefix_misses > 0
+
+    def test_scheduler_matches_with_cache_on(self, tokenizer, tmodels):
+        """Coalesced rounds over a shared prefix cache produce the same
+        per-query streams as cache-off scheduling."""
+        from repro.core.scheduler import QueryScheduler
+
+        off, on = tmodels
+        queries = [
+            SearchQuery("The ((cat)|(dog)|(man)|(woman))", seed=0),
+            SearchQuery("The ((cat)|(dog)) ((sat)|(ate))", seed=1),
+            SearchQuery("The ((man)|(woman)) was trained in ((art)|(medicine))",
+                        top_k=25, seed=2),
+        ]
+        results = {}
+        for label, model in (("off", off), ("on", on)):
+            scheduler = QueryScheduler(model, tokenizer, concurrency=3)
+            handles = [scheduler.submit(q) for q in queries]
+            scheduler.run()
+            results[label] = (handles, scheduler.stats)
+        for a, b in zip(results["off"][0], results["on"][0]):
+            assert [m.text for m in a.results] == [m.text for m in b.results]
+            assert [m.tokens for m in a.results] == [m.tokens for m in b.results]
+            for x, y in zip(a.results, b.results):
+                assert x.total_logprob == pytest.approx(y.total_logprob, abs=1e-9)
+        off_stats, on_stats = results["off"][1], results["on"][1]
+        assert off_stats.prefix_hits == 0 and off_stats.prefix_misses == 0
+        assert on_stats.prefix_hits > 0
+        # Frontier children are parents + one token: reuse dominates.
+        assert on_stats.prefix_hit_rate > 0.5
+        assert on_stats.prefix_bytes > 0
+
+    def test_kv_knobs_through_prepare(self, tokenizer, tmodels):
+        _, on = tmodels
+        session = prepare(on, tokenizer,
+                          SearchQuery("The ((cat)|(dog))", seed=3),
+                          kv_cache_mb=4.0)
+        assert on.prefix_cache.max_bytes == 4 << 20
+        list(session)
+        assert session.stats.prefix_hits + session.stats.prefix_misses > 0
+        assert session.stats.as_dict()["prefix_bytes"] > 0
+        # kv_cache=False detaches the cache entirely.
+        session = prepare(on, tokenizer,
+                          SearchQuery("The ((cat)|(dog))", seed=3),
+                          kv_cache=False)
+        assert on.prefix_cache is None
+        list(session)
+        assert session.stats.prefix_hits == 0
+        on.enable_prefix_cache(16 << 20)  # restore for other tests
+
+
 class TestCliCacheCounters:
     def test_query_stats_include_cache_lines(self, capsys):
         from repro.cli import main
@@ -400,6 +510,22 @@ class TestCliCacheCounters:
         from repro.cli import main
 
         code = main(["query", "The ((cat)|(dog))", "--backend", "dict"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "The cat" in out or "The dog" in out
+
+    def test_kv_cache_flags_accepted(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "query", "The ((cat)|(dog))", "--max-matches", "2",
+            "--no-kv-cache",
+        ])
+        assert code == 0
+        code = main([
+            "query", "The ((cat)|(dog))", "--max-matches", "2",
+            "--kv-cache-mb", "8",
+        ])
         assert code == 0
         out = capsys.readouterr().out
         assert "The cat" in out or "The dog" in out

@@ -127,3 +127,68 @@ class TestSequenceScoring:
         out = lm.generate(tok.encode("the cat sat on the mat"), rng, max_new_tokens=50)
         assert lm.eos_id not in out
         assert len(out) <= 50
+
+
+class TestLogprobsLruCache:
+    """Regression suite for the row cache's eviction order.
+
+    The old path inserted the new row *then* popped the LRU entry, so the
+    cache transiently held ``cache_size + 1`` rows; eviction must instead
+    happen before the insert, and a cache at capacity must never serve a
+    stale or evicted row (the same bug class as the PR 2 ``logprobs_round``
+    mid-round eviction).
+    """
+
+    def _sized(self, tok, cache_size):
+        m = NGramModel(
+            vocab_size=len(tok), eos_id=tok.eos_id, order=3, alpha=0.1,
+            cache_size=cache_size,
+        )
+        m.fit([tok.encode(line) for line in _CORPUS])
+        return m
+
+    def test_capacity_never_exceeded(self, tok):
+        m = self._sized(tok, cache_size=4)
+        for start in range(12):
+            m.logprobs([start, start + 1])
+            assert len(m._cache) <= 4
+
+    def test_rows_correct_at_capacity(self, tok):
+        """Every row returned while the cache churns equals a fresh
+        computation — no stale/evicted row is ever served."""
+        m = self._sized(tok, cache_size=3)
+        contexts = [[i, i + 1] for i in range(8)]
+        served = [m.logprobs(c).copy() for c in contexts]
+        for ctx, row in zip(contexts, served):
+            fresh = np.log(m._distribution(m._context_key(ctx)))
+            assert np.array_equal(row, fresh), ctx
+
+    def test_evicted_key_recomputed_identically(self, tok):
+        m = self._sized(tok, cache_size=2)
+        first = m.logprobs([1, 2]).copy()
+        m.logprobs([3, 4])
+        m.logprobs([5, 6])  # evicts [1, 2]
+        assert m._context_key([1, 2]) not in m._cache
+        again = m.logprobs([1, 2])
+        assert np.array_equal(first, again)
+
+    def test_batch_survives_mid_batch_eviction(self, tok):
+        """A batch larger than the whole cache still returns correct rows
+        for every occurrence, including repeats of evicted keys."""
+        m = self._sized(tok, cache_size=2)
+        contexts = [[i, i + 1] for i in range(6)]
+        contexts.append([0, 1])  # repeat of a row evicted mid-batch
+        rows = m.logprobs_batch(contexts)
+        assert np.array_equal(rows[0], rows[-1])
+        for ctx, row in zip(contexts, rows):
+            fresh = np.log(m._distribution(m._context_key(ctx)))
+            assert np.array_equal(row, fresh)
+
+    def test_hit_moves_to_end(self, tok):
+        m = self._sized(tok, cache_size=2)
+        m.logprobs([1, 2])
+        m.logprobs([3, 4])
+        m.logprobs([1, 2])  # refresh recency
+        m.logprobs([5, 6])  # should evict [3, 4], not [1, 2]
+        assert m._context_key([1, 2]) in m._cache
+        assert m._context_key([3, 4]) not in m._cache
