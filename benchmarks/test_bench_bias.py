@@ -11,7 +11,6 @@ and weaken significance (Observation 3).
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import print_table
 from repro.datasets.lexicon import GENDERS, PROFESSIONS

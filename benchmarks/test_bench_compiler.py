@@ -71,7 +71,11 @@ def test_bench_a2_trie_vs_scan(env, compiler, benchmark):
         ["algorithm", "time", "edges"],
         [
             ["trie product DFS", f"{1000 * trie_time:.1f} ms", trie_result.num_edges],
-            ["per-token scan (paper Algorithm 2)", f"{1000 * scan_time:.1f} ms", scan_result.num_edges],
+            [
+                "per-token scan (paper Algorithm 2)",
+                f"{1000 * scan_time:.1f} ms",
+                scan_result.num_edges,
+            ],
         ],
     )
     # Equivalence: identical edge sets (the ablation's correctness anchor).

@@ -7,7 +7,6 @@ DESIGN.md)."""
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import print_table
 from repro.experiments.encodings import non_canonical_rate

@@ -9,10 +9,9 @@ structured query still localises the truth within the top 10.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import print_table
-from repro.experiments.knowledge import figure1_report, knowledge_world
+from repro.experiments.knowledge import figure1_report
 
 
 def test_bench_figure1(benchmark):

@@ -9,7 +9,6 @@ beats the XL model.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import print_table
 from repro.experiments.lambada_eval import STRATEGIES, lambada_table

@@ -13,7 +13,6 @@ construction.  Run with ``-s`` to see the regenerated tables.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import print_table
 from repro.experiments.memorization import (

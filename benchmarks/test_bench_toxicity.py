@@ -11,7 +11,6 @@ volume multiplies under ambiguous encodings + edits.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import print_table
 from repro.experiments.toxicity import scan_shard, toxicity_report
@@ -52,10 +51,17 @@ def test_bench_fig8_extraction(env, benchmark):
         ],
     )
     rows = [
-        [label, int(rates["count"]), f"{100 * rates['baseline']:.0f}%", f"{100 * rates['relm']:.0f}%"]
+        [
+            label,
+            int(rates["count"]),
+            f"{100 * rates['baseline']:.0f}%",
+            f"{100 * rates['relm']:.0f}%",
+        ]
         for label, rates in report.by_provenance.items()
     ]
-    print_table("prompted success by shard provenance", ["provenance", "n", "baseline", "relm"], rows)
+    print_table(
+        "prompted success by shard provenance", ["provenance", "n", "baseline", "relm"], rows
+    )
 
     assert report.prompted_relm_rate >= report.prompted_baseline_rate
     assert report.unprompted_relm_volume > report.unprompted_baseline_volume

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import statistics
 
-import pytest
 
 from conftest import print_table
 from repro.experiments.bias import edit_positions

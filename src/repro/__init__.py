@@ -22,15 +22,19 @@ Typical usage (the paper's Figure 4)::
 from repro.core import (
     CaseFoldPreprocessor,
     CompilationCache,
+    CostEstimate,
     ExecutionStats,
     Executor,
     FilterPreprocessor,
+    Finding,
     GraphCompiler,
     IntersectionPreprocessor,
     LevenshteinPreprocessor,
     MatchResult,
     Preprocessor,
+    QueryAnalyzer,
     QueryBudget,
+    QueryReport,
     QueryScheduler,
     QuerySearchStrategy,
     QueryString,
@@ -39,10 +43,12 @@ from repro.core import (
     SchedulerStats,
     SearchQuery,
     SearchSession,
+    Severity,
     SimpleSearchQuery,
     SuffixFilterPreprocessor,
     TokenAutomaton,
     TransducerPreprocessor,
+    analyze_query,
     prepare,
     search,
     search_many,
@@ -85,6 +91,12 @@ __all__ = [
     "Executor",
     "ExecutionStats",
     "MatchResult",
+    "QueryAnalyzer",
+    "QueryReport",
+    "Finding",
+    "CostEstimate",
+    "Severity",
+    "analyze_query",
     "Preprocessor",
     "LevenshteinPreprocessor",
     "FilterPreprocessor",

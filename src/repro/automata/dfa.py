@@ -14,13 +14,11 @@ acceptance tests.  Construction from a regex string lives in
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-from repro.automata.alphabet import ALPHABET
 from repro.automata.nfa import NFA
 
 __all__ = ["DFA"]
@@ -89,7 +87,9 @@ class DFA:
                 stack.pop()
         return False
 
-    def enumerate_strings(self, limit: int | None = None, max_length: int | None = None) -> Iterator[str]:
+    def enumerate_strings(
+        self, limit: int | None = None, max_length: int | None = None
+    ) -> Iterator[str]:
         """Yield strings of the language in shortlex (length, then codepoint)
         order.
 
@@ -401,7 +401,9 @@ class DFA:
         for q in dfa.accepts:
             if suffix[0] in dfa.transitions.get(q, {}):
                 return _concat_via_nfa(dfa, suffix)
-        return DFA(start=dfa.start, accepts=frozenset({chain[-1]}), transitions=transitions).trimmed()
+        return DFA(
+            start=dfa.start, accepts=frozenset({chain[-1]}), transitions=transitions
+        ).trimmed()
 
     # -- convenience ---------------------------------------------------------
     def shortest_string(self) -> str | None:

@@ -36,7 +36,8 @@ def levenshtein_expand(dfa: DFA, distance: int, alphabet: tuple[str, ...] = ALPH
         return dfa.minimized()
 
     states = dfa.states
-    index = {(q, e): i for i, (q, e) in enumerate((q, e) for e in range(distance + 1) for q in states)}
+    pairs = ((q, e) for e in range(distance + 1) for q in states)
+    index = {(q, e): i for i, (q, e) in enumerate(pairs)}
     nfa = NFA(start=index[(dfa.start, 0)], accepts=set())
     nfa.num_states = len(index)
 

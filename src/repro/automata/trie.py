@@ -56,7 +56,9 @@ class Trie:
                 return []
         return list(node.token_ids)
 
-    def walk_dfa(self, transitions: dict[int, dict[str, int]], state: int) -> Iterator[tuple[int, int]]:
+    def walk_dfa(
+        self, transitions: dict[int, dict[str, int]], state: int
+    ) -> Iterator[tuple[int, int]]:
         """Yield ``(token_id, landing_state)`` for every token whose
         character walk exists in *transitions* starting at *state*.
 

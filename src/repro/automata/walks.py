@@ -13,7 +13,6 @@ maximum sequence length, i.e. counting walks of bounded length.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from repro.automata.dfa import DFA
 

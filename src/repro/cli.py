@@ -7,6 +7,9 @@ Usage (see ``python -m repro --help``)::
         --prefix "The ((man)|(woman)) was trained in" --strategy random --samples 20
     python -m repro experiment memorization
     python -m repro dot "ab|ac" --tokens
+    python -m repro lint "a(b|c)*" --json
+    python -m repro lint --set all
+    python -m repro explain "ab|ac" --sequence-length 8
 
 Queries run against the built-in experiment environment (synthetic corpus
 + n-gram models); this is a demonstration surface, not a production
@@ -66,7 +69,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="queries serviced per coalesced LM round (>1 engages the scheduler)",
     )
     query.add_argument(
-        "--fairness", choices=["round_robin", "shortest_frontier"],
+        "--fairness",
+        choices=["round_robin", "shortest_frontier", "cheapest_cost"],
         default="round_robin",
         help="which waiting queries join a capped scheduler round",
     )
@@ -90,6 +94,44 @@ def build_parser() -> argparse.ArgumentParser:
     dot.add_argument("pattern")
     dot.add_argument("--tokens", action="store_true", help="token-space (LLM) automaton")
     dot.add_argument("--scale", choices=["test", "full"], default="test")
+
+    def add_analysis_args(p, patterns_optional: bool) -> None:
+        p.add_argument(
+            "pattern", nargs="*" if patterns_optional else 1,
+            help="regex pattern(s) to analyze (ReLM dialect)",
+        )
+        p.add_argument("--prefix", default=None, help="prefix regex")
+        p.add_argument(
+            "--tokenization", choices=["all", "canonical"], default="all"
+        )
+        p.add_argument(
+            "--edits", type=int, default=0, help="Levenshtein preprocessor distance"
+        )
+        p.add_argument(
+            "--sequence-length", type=int, default=None,
+            help="token horizon the query would run with (bounds the cost model)",
+        )
+        p.add_argument("--json", action="store_true", help="machine-readable report")
+        p.add_argument("--scale", choices=["test", "full"], default="test")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze queries; exit 1 on error-level findings",
+    )
+    add_analysis_args(lint, patterns_optional=True)
+    lint.add_argument(
+        "--set",
+        dest="query_set",
+        choices=["bias", "knowledge", "memorization", "all"],
+        default=None,
+        help="lint a built-in experiment query set instead of patterns",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="EXPLAIN one query: findings plus the static cost model",
+    )
+    add_analysis_args(explain, patterns_optional=False)
     return parser
 
 
@@ -229,7 +271,8 @@ def _cmd_query(args) -> int:
         file=sys.stderr,
     )
     print(
-        f"# caches: logits {stats['logits_hits']}/{stats['logits_hits'] + stats['logits_misses']} hits "
+        f"# caches: logits {stats['logits_hits']}"
+        f"/{stats['logits_hits'] + stats['logits_misses']} hits "
         f"({session.stats.logits_hit_rate:.0%}); "
         f"compilation hits={stats['compilation_cache_hits']} "
         f"misses={stats['compilation_cache_misses']}",
@@ -316,6 +359,131 @@ def _cmd_dot(args) -> int:
     return 0
 
 
+def _analysis_targets(args) -> list[tuple[str, object, object]]:
+    """Resolve what ``lint``/``explain`` analyze: (name, query, compiler).
+
+    Pattern arguments analyze against the shared experiment environment's
+    tokenizer; ``--set`` pulls a built-in experiment query set, paired with
+    the tokenizer that experiment actually runs against (coverage findings
+    are tokenizer-relative).
+    """
+    import repro as relm
+    from repro.experiments.common import experiment_query_sets, get_environment
+
+    targets: list[tuple[str, object, object]] = []
+    query_set = getattr(args, "query_set", None)
+    if query_set is not None:
+        sets = experiment_query_sets()
+        names = list(sets) if query_set == "all" else [query_set]
+        for set_name in names:
+            if set_name == "knowledge":
+                from repro.experiments.knowledge import knowledge_world
+
+                compiler = knowledge_world().compiler
+            else:
+                compiler = get_environment(scale=args.scale).compiler
+            for name, query in sets[set_name]:
+                targets.append((f"{set_name}/{name}", query, compiler))
+        return targets
+    tokenization = (
+        relm.QueryTokenizationStrategy.CANONICAL
+        if args.tokenization == "canonical"
+        else relm.QueryTokenizationStrategy.ALL_TOKENS
+    )
+    preprocessors = (relm.LevenshteinPreprocessor(args.edits),) if args.edits else ()
+    compiler = get_environment(scale=args.scale).compiler
+    for pattern in args.pattern:
+        query = relm.SearchQuery(
+            pattern,
+            prefix=args.prefix,
+            tokenization=tokenization,
+            sequence_length=args.sequence_length,
+            preprocessors=preprocessors,
+        )
+        targets.append((pattern, query, compiler))
+    return targets
+
+
+def _safe_report(query, compiler):
+    """Compile and analyze *query*; syntax errors become RLM000 reports."""
+    from repro.core.analyze import syntax_error_report
+    from repro.regex.parser import RegexSyntaxError
+
+    try:
+        return compiler.compile(query).report
+    except RegexSyntaxError as exc:
+        return syntax_error_report(
+            query.query_string.query_str, query.query_string.prefix_str, str(exc)
+        )
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    if not args.pattern and getattr(args, "query_set", None) is None:
+        print("lint: provide pattern(s) or --set", file=sys.stderr)
+        return 2
+    targets = _analysis_targets(args)
+    reports = []
+    worst_ok = True
+    for name, query, compiler in targets:
+        report = _safe_report(query, compiler)
+        reports.append((name, report))
+        if report.has_errors:
+            worst_ok = False
+    if args.json:
+        payload = [dict(name=name, **report.as_dict()) for name, report in reports]
+        print(json.dumps(payload, indent=2))
+    else:
+        for name, report in reports:
+            marker = {"ok": " ", "warning": "!", "error": "E"}[report.verdict]
+            print(f"{marker} {name}: {report.verdict}")
+            for finding in report.findings:
+                print(f"    {finding.render()}")
+        errors = sum(1 for _, r in reports if r.verdict == "error")
+        warnings = sum(1 for _, r in reports if r.verdict == "warning")
+        print(
+            f"# {len(reports)} queries: {errors} error(s), {warnings} warning(s)",
+            file=sys.stderr,
+        )
+    return 0 if worst_ok else 1
+
+
+def _cmd_explain(args) -> int:
+    import json
+
+    [(name, query, compiler)] = _analysis_targets(args)
+    report = _safe_report(query, compiler)
+    if args.json:
+        print(json.dumps(dict(name=name, **report.as_dict()), indent=2))
+        return 0 if not report.has_errors else 1
+    print(f"query: {name}")
+    if report.prefix_str:
+        print(f"prefix: {report.prefix_str}")
+    cost = report.cost
+    if cost is not None:
+        infinite = "infinite" if cost.language_infinite else "finite"
+        print(f"language: {infinite}")
+        if cost.language_size is not None:
+            scope = " (within horizon)" if cost.language_infinite else ""
+            print(f"  token paths: {cost.language_size}{scope}")
+        if cost.char_language_size is not None:
+            print(f"  strings: {cost.char_language_size}")
+        print(f"automaton: {cost.num_states} states, {cost.num_edges} edges "
+              f"(char DFA: {cost.char_states} states)")
+        print(f"horizon: {cost.horizon} tokens")
+        if cost.max_frontier_width is not None:
+            print(f"frontier width: <= {cost.max_frontier_width}")
+        if cost.lm_calls_bound is not None:
+            print(f"LM calls (exhaustive bound): <= {cost.lm_calls_bound}")
+    if report.findings:
+        print("findings:")
+        for finding in report.findings:
+            print(f"  {finding.render()}")
+    print(f"verdict: {report.verdict}")
+    return 0 if not report.has_errors else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -325,4 +493,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "dot":
         return _cmd_dot(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -10,7 +10,9 @@ Public surface (mirrors the paper's API, Figures 4 and 11):
 * Preprocessors — Levenshtein edits, filters, custom transducers (§3.4).
 """
 
+from repro.core.analyze import QueryAnalyzer, TokenGraphView, analyze_query
 from repro.core.api import SearchSession, prepare, search, search_many
+from repro.core.findings import CostEstimate, Finding, QueryReport, Severity
 from repro.core.logging import MatchWriter, read_matches, tee_matches
 from repro.core.arrays import AutomatonArrays, StateRow
 from repro.core.compiler import (
@@ -76,6 +78,13 @@ __all__ = [
     "EliminationTracker",
     "ExecutionStats",
     "MatchResult",
+    "QueryAnalyzer",
+    "TokenGraphView",
+    "analyze_query",
+    "QueryReport",
+    "Finding",
+    "CostEstimate",
+    "Severity",
     "Preprocessor",
     "LevenshteinPreprocessor",
     "FilterPreprocessor",

@@ -25,12 +25,13 @@ compilation cache skips recompiling repeated patterns) and may share one
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.core.compiler import CompiledQuery, GraphCompiler
 from repro.core.executor import Executor
 from repro.core.query import SimpleSearchQuery
-from repro.core.results import MatchResult
+from repro.core.findings import QueryReport
+from repro.core.results import ExecutionStats, MatchResult
 from repro.core.scheduler import QueryBudget, QueryScheduler, ScheduledQuery
 from repro.lm.base import LanguageModel, LogitsCache
 from repro.tokenizers.bpe import BPETokenizer
@@ -55,7 +56,7 @@ class SearchSession:
         compiler: GraphCompiler | None = None,
         kv_cache: bool = True,
         kv_cache_mb: float | None = None,
-        **executor_kwargs,
+        **executor_kwargs: Any,
     ) -> None:
         if compiler is None:
             compiler = GraphCompiler(tokenizer)
@@ -82,9 +83,15 @@ class SearchSession:
         return self.executor.run()
 
     @property
-    def stats(self):
+    def stats(self) -> ExecutionStats:
         """Execution statistics (live; updated as the iterator advances)."""
         return self.executor.stats
+
+    @property
+    def report(self) -> QueryReport | None:
+        """The static analyzer's verdict on this query (``None`` when the
+        compiler was built with ``analyzer=False``)."""
+        return self.compiled.report
 
 
 def prepare(
@@ -92,7 +99,7 @@ def prepare(
     tokenizer: BPETokenizer,
     query: SimpleSearchQuery,
     compiler: GraphCompiler | None = None,
-    **executor_kwargs,
+    **executor_kwargs: Any,
 ) -> SearchSession:
     """Compile *query* and return a re-iterable session with stats."""
     return SearchSession(model, tokenizer, query, compiler=compiler, **executor_kwargs)
@@ -103,7 +110,7 @@ def search(
     tokenizer: BPETokenizer,
     query: SimpleSearchQuery,
     compiler: GraphCompiler | None = None,
-    **executor_kwargs,
+    **executor_kwargs: Any,
 ) -> Iterator[MatchResult]:
     """Launch *query* against *model*; returns the lazy match iterator."""
     return iter(prepare(model, tokenizer, query, compiler=compiler, **executor_kwargs))
@@ -119,7 +126,7 @@ def search_many(
     compiler: GraphCompiler | None = None,
     logits_cache: LogitsCache | None = None,
     budget: QueryBudget | None = None,
-    **executor_kwargs,
+    **executor_kwargs: Any,
 ) -> list[ScheduledQuery]:
     """Run many queries through one :class:`QueryScheduler` to completion.
 

@@ -29,7 +29,9 @@ from typing import Hashable, Iterable
 
 from repro.automata.dfa import DFA
 from repro.automata.trie import Trie
+from repro.core.analyze import QueryAnalyzer
 from repro.core.arrays import AutomatonArrays
+from repro.core.findings import QueryReport
 from repro.core.query import (
     QueryTokenizationStrategy,
     SimpleSearchQuery,
@@ -132,6 +134,27 @@ class CompiledQuery:
     prefix_dfa: DFA | None
     prefix_closure: DFA | None
     token_automaton: TokenAutomaton
+    #: Static-analysis verdict (``None`` when the compiler's analyzer is
+    #: disabled).  Cache hits recompute query-dependent findings only.
+    report: QueryReport | None = None
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff no token path reaches acceptance (RLM001 territory)."""
+        if self.report is not None:
+            return "RLM001" in self.report.codes
+        automaton = self.token_automaton
+        seen = {automaton.start}
+        stack = [automaton.start]
+        while stack:
+            state = stack.pop()
+            if state in automaton.accepts:
+                return False
+            for dst in automaton.edges.get(state, {}).values():
+                if dst not in seen:
+                    seen.add(dst)
+                    stack.append(dst)
+        return True
 
 
 def prefixes_of(dfa: DFA) -> DFA:
@@ -227,6 +250,7 @@ class GraphCompiler:
         tokenizer: BPETokenizer,
         enumeration_limit: int = 20000,
         cache: CompilationCache | bool | None = None,
+        analyzer: QueryAnalyzer | bool | None = None,
     ) -> None:
         self.tokenizer = tokenizer
         self.enumeration_limit = enumeration_limit
@@ -236,6 +260,11 @@ class GraphCompiler:
         elif cache is False:
             cache = None
         self.cache = cache
+        if analyzer is None or analyzer is True:
+            analyzer = QueryAnalyzer(tokenizer)
+        elif analyzer is False:
+            analyzer = None
+        self.analyzer = analyzer
         self._fingerprint = tokenizer.fingerprint()
 
     # -- public entry point ------------------------------------------------------
@@ -268,8 +297,15 @@ class GraphCompiler:
         if key is not None:
             cached = self.cache.get(key)
             if cached is not None:
-                return replace(cached, query=query)
+                report = (
+                    self.analyzer.rebind(cached, query)
+                    if self.analyzer is not None
+                    else None
+                )
+                return replace(cached, query=query, report=report)
         compiled = self._compile_uncached(query)
+        if self.analyzer is not None:
+            compiled.report = self.analyzer.analyze_compiled(compiled)
         if key is not None:
             self.cache.put(key, compiled)
         return compiled
@@ -284,8 +320,17 @@ class GraphCompiler:
             if prefix_dfa is not None and preprocessor.applies_to_prefix:
                 prefix_dfa = preprocessor.apply(prefix_dfa)
         if char_dfa.is_empty():
-            raise ValueError(
-                f"query language is empty: {query.query_string.query_str!r}"
+            # Statically empty language: return a degenerate compilation
+            # (no accepting states) instead of raising — the analyzer tags
+            # it RLM001 and the executor/scheduler short-circuit with a
+            # clean empty result.
+            return CompiledQuery(
+                query=query,
+                tokenizer=self.tokenizer,
+                char_dfa=char_dfa,
+                prefix_dfa=prefix_dfa,
+                prefix_closure=None,
+                token_automaton=TokenAutomaton(start=0, accepts=frozenset()),
             )
         prefix_closure = None
         if prefix_dfa is not None:
@@ -381,7 +426,9 @@ class GraphCompiler:
         automaton.dynamic_canonical = True
         return automaton
 
-    def _canonical_by_enumeration(self, char_dfa: DFA, prefix_closure: DFA | None) -> TokenAutomaton:
+    def _canonical_by_enumeration(
+        self, char_dfa: DFA, prefix_closure: DFA | None
+    ) -> TokenAutomaton:
         tokenizer = self.tokenizer
         next_id = 1
         edges: dict[int, dict[int, int]] = {}

@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Iterator
+from typing import Any, Generator, Iterator
 
 import numpy as np
 
@@ -107,7 +107,15 @@ class _LazyGroup:
 
     __slots__ = ("tok", "dst", "tot", "suf", "base", "tokens")
 
-    def __init__(self, tok, dst, tot, suf, base, tokens):
+    def __init__(
+        self,
+        tok: np.ndarray,
+        dst: np.ndarray,
+        tot: np.ndarray,
+        suf: np.ndarray,
+        base: int,
+        tokens: tuple[int, ...],
+    ) -> None:
         self.tok = tok
         self.dst = dst
         self.tot = tot
@@ -160,6 +168,23 @@ class Executor:
         if backend not in ("arrays", "dict"):
             raise ValueError(f"unknown backend {backend!r} (use 'arrays' or 'dict')")
         self.backend = backend
+        #: Statically-empty language (RLM001): the traversal short-circuits
+        #: to an immediate clean finish, so skip cache and array setup.
+        self.language_empty = compiled.is_empty
+        if self.language_empty:
+            if logits_cache is not None and logits_cache.model is not model:
+                raise ValueError("shared logits_cache was built for a different model")
+            self._cache = logits_cache
+            self._cache_hits_base = self._cache_misses_base = 0
+            self._prefix_base = (0, 0, 0)
+            self._arrays = None
+            self.policy = None
+            self.max_tokens = 0
+            self._rng = random.Random(compiled.query.seed)
+            self.elimination_tracker = None
+            self._canonical_required = False
+            self._dynamic_prune = False
+            return
         if logits_cache is not None:
             if logits_cache.model is not model:
                 raise ValueError("shared logits_cache was built for a different model")
@@ -204,6 +229,8 @@ class Executor:
     # -- shared helpers -----------------------------------------------------------
     def _sync_cache_stats(self) -> None:
         """Mirror the logits-cache counters into :attr:`stats`."""
+        if self._cache is None:
+            return
         self.stats.logits_hits = self._cache.hits - self._cache_hits_base
         self.stats.logits_misses = self._cache.misses - self._cache_misses_base
         prefix = self._cache.prefix_cache
@@ -276,11 +303,19 @@ class Executor:
         :meth:`finish_request`.  Used directly by the multi-query scheduler;
         :meth:`run` is the single-query driver.
         """
+        if self.language_empty:
+            return self._empty_traversal()
         if self.query.search_strategy is QuerySearchStrategy.SHORTEST_PATH:
             return self._shortest_path()
         if self.query.search_strategy is QuerySearchStrategy.BEAM:
             return self._beam_search()
         return self._random_sampling()
+
+    def _empty_traversal(self) -> Iterator:
+        """Short-circuit for statically-empty languages: no LM traffic, no
+        cache warm-up — finish immediately with zero matches."""
+        return
+        yield  # pragma: no cover - makes this a generator
 
     def run(self) -> Iterator[MatchResult]:
         """Execute the query; yields matches per the traversal strategy.
@@ -314,7 +349,7 @@ class Executor:
         prefix_bypass: bool = True,
         count_nonfinite_prunes: bool = True,
         record_eliminations: bool = True,
-    ):
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
         """Vectorized expansion of *state*'s edges against (lp, mask).
 
         Returns ``(token_ids, dst_states, costs, is_prefix)`` arrays for
@@ -511,7 +546,9 @@ class Executor:
         self.stats.matches_yielded += 1
         yield result
 
-    def _fast_forward_prefix(self):
+    def _fast_forward_prefix(
+        self,
+    ) -> Generator[Any, Any, tuple[int, tuple[int, ...], float]]:
         """Jump-start Dijkstra past a *literal* prefix (stepwise generator;
         the ``(state, tokens, total)`` triple is its return value).
 
@@ -577,7 +614,9 @@ class Executor:
             #: arrays backend: per-expansion candidate arrays
             #: (totals, suffixes, dst_states, token_ids, parent_tokens) —
             #: survivors are materialised into tuples only after selection.
-            groups: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, tuple[int, ...]]] = []
+            groups: list[
+                tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, tuple[int, ...]]
+            ] = []
             scored = yield LmRequest([entry[3] for entry in beam])
             for (total, suffix, state, tokens), (lp, mask) in zip(beam, scored):
                 self.stats.nodes_expanded += 1
@@ -691,7 +730,9 @@ class Executor:
         prefix_lang = self.compiled.prefix_dfa.intersect(closure).minimized()
         return WalkCounter(prefix_lang, max_length=self.max_prefix_chars)
 
-    def _sample_once(self, prefix_counter: WalkCounter | None):
+    def _sample_once(
+        self, prefix_counter: WalkCounter | None
+    ) -> Generator[Any, Any, MatchResult | None]:
         """One sampling attempt (stepwise generator; returns the
         :class:`MatchResult` or ``None`` as its generator return value)."""
         automaton = self.automaton

@@ -36,7 +36,7 @@ class MatchWriter:
         self._handle = self.path.open("a", encoding="utf-8")
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def write(self, match: MatchResult) -> None:

@@ -14,7 +14,7 @@ runtime for similar reasons).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.automata.dfa import DFA
 from repro.automata.levenshtein import levenshtein_expand

@@ -14,8 +14,8 @@ are both supported; the long form is the underlying representation.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Sequence
+from dataclasses import dataclass, replace
+from typing import Any, Sequence
 
 __all__ = [
     "QuerySearchStrategy",
@@ -105,7 +105,7 @@ class SimpleSearchQuery:
     beam_width: int = 16
     seed: int | None = None
 
-    def with_(self, **changes) -> "SimpleSearchQuery":
+    def with_(self, **changes: Any) -> "SimpleSearchQuery":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
 

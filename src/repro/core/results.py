@@ -135,9 +135,16 @@ class SchedulerStats:
     queries_completed: int = 0
     queries_truncated: int = 0
     queries_cancelled: int = 0
+    #: Queries admission control refused at submit time — error-level
+    #: analyzer findings or a cost estimate beyond the admission cap.
+    #: Rejected queries never issue an LM call.
+    queries_rejected: int = 0
     max_round_size: int = 0
     round_sizes: list = field(default_factory=list)
     round_members: list = field(default_factory=list)
+    #: Static-analyzer verdict (``"ok"``/``"warning"``/``"error"``) per
+    #: query name, recorded at submit (absent when analysis is disabled).
+    per_query_verdict: dict = field(default_factory=dict)
     #: Wall-clock seconds from submit to completion, keyed by query name
     #: (the scheduler de-duplicates names at submit, so keys never collide).
     per_query_latency: dict = field(default_factory=dict)
@@ -171,9 +178,11 @@ class SchedulerStats:
             "queries_completed": self.queries_completed,
             "queries_truncated": self.queries_truncated,
             "queries_cancelled": self.queries_cancelled,
+            "queries_rejected": self.queries_rejected,
             "mean_round_size": self.mean_round_size,
             "max_round_size": self.max_round_size,
             "per_query_latency": dict(self.per_query_latency),
+            "per_query_verdict": dict(self.per_query_verdict),
             "prefix_hits": self.prefix_hits,
             "prefix_misses": self.prefix_misses,
             "prefix_evictions": self.prefix_evictions,

@@ -27,18 +27,26 @@ Guarantees:
   next boundary; a cancelled query never issues another LM call.
 * **Fairness** — when a round cannot service every runnable query
   (``concurrency`` caps queries per round), ``fairness="round_robin"``
-  rotates who goes first and ``fairness="shortest_frontier"`` services the
+  rotates who goes first, ``fairness="shortest_frontier"`` services the
   smallest pending frontiers first (latency-oriented: cheap templated
-  queries drain quickly between heavy ones).
+  queries drain quickly between heavy ones), and
+  ``fairness="cheapest_cost"`` orders by the static analyzer's LM-call
+  bound (EXPLAIN-driven: provably light queries drain first).
+* **Admission control** — queries the static analyzer proves fruitless
+  (error-level findings, e.g. an empty language) are rejected at submit
+  with zero LM calls; ``admission_max_cost`` additionally refuses queries
+  whose estimated LM-call bound exceeds the cap.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.core.compiler import GraphCompiler
 from repro.core.executor import Executor, LmRequest
+from repro.core.findings import QueryReport
 from repro.core.query import SimpleSearchQuery
 from repro.core.results import ExecutionStats, MatchResult, SchedulerStats
 from repro.lm.base import LanguageModel, LogitsCache
@@ -47,7 +55,7 @@ from repro.tokenizers.bpe import BPETokenizer
 __all__ = ["QueryBudget", "ScheduledQuery", "QueryScheduler", "FAIRNESS_POLICIES"]
 
 #: Recognised fairness policies (which waiting queries join a capped round).
-FAIRNESS_POLICIES = ("round_robin", "shortest_frontier")
+FAIRNESS_POLICIES = ("round_robin", "shortest_frontier", "cheapest_cost")
 
 
 @dataclass(frozen=True)
@@ -86,6 +94,7 @@ class ScheduledQuery:
         executor: Executor,
         budget: QueryBudget,
         submitted_at: float,
+        report: QueryReport | None = None,
     ) -> None:
         self.index = index
         self.name = name
@@ -93,6 +102,9 @@ class ScheduledQuery:
         self.executor = executor
         self.budget = budget
         self.submitted_at = submitted_at
+        #: Static-analyzer verdict for this query (``None`` when the
+        #: shared compiler runs with analysis disabled).
+        self.report = report
         self.results: list[MatchResult] = []
         self.done = False
         self.truncated = False
@@ -161,11 +173,13 @@ class QueryScheduler:
         logits_cache: LogitsCache | None = None,
         concurrency: int = 8,
         fairness: str = "round_robin",
-        clock=time.monotonic,
+        clock: Callable[[], float] = time.monotonic,
         record_history: bool = False,
         kv_cache: bool = True,
         kv_cache_mb: float | None = None,
-        **executor_defaults,
+        admission_control: bool = True,
+        admission_max_cost: int | None = None,
+        **executor_defaults: Any,
     ) -> None:
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
@@ -201,6 +215,13 @@ class QueryScheduler:
         self.fairness = fairness
         self.clock = clock
         self.record_history = record_history
+        #: Admission control: refuse queries the static analyzer proves
+        #: fruitless (error-level findings → reason ``"rejected"``) and,
+        #: when ``admission_max_cost`` is set, queries whose estimated
+        #: LM-call bound exceeds it (reason ``"rejected_cost"``).  Both
+        #: finish at submit time with zero LM calls and empty results.
+        self.admission_control = admission_control
+        self.admission_max_cost = admission_max_cost
         self.executor_defaults = executor_defaults
         self.stats = SchedulerStats()
         self.queries: list[ScheduledQuery] = []
@@ -219,7 +240,7 @@ class QueryScheduler:
         *,
         budget: QueryBudget | None = None,
         name: str | None = None,
-        **executor_overrides,
+        **executor_overrides: Any,
     ) -> ScheduledQuery:
         """Prepare *query* and enqueue it; returns its handle.
 
@@ -258,9 +279,23 @@ class QueryScheduler:
             executor=executor,
             budget=budget if budget is not None else QueryBudget(),
             submitted_at=self.clock(),
+            report=compiled.report,
         )
         self.queries.append(handle)
         self.stats.queries_submitted += 1
+        report = compiled.report
+        if report is not None:
+            self.stats.per_query_verdict[unique] = report.verdict
+            if self.admission_control:
+                if report.has_errors:
+                    self._finish(handle, truncated=True, reason="rejected")
+                elif (
+                    self.admission_max_cost is not None
+                    and report.cost is not None
+                    and report.cost.lm_calls_bound is not None
+                    and report.cost.lm_calls_bound > self.admission_max_cost
+                ):
+                    self._finish(handle, truncated=True, reason="rejected_cost")
         return handle
 
     # -- driving ------------------------------------------------------------------
@@ -315,7 +350,7 @@ class QueryScheduler:
             self._advance(sq, payload)
         return True
 
-    def _advance(self, sq: ScheduledQuery, payload) -> None:
+    def _advance(self, sq: ScheduledQuery, payload: Any) -> None:
         """Resume *sq*'s generator until it demands the LM or finishes."""
         if sq._cancelled:
             self._finish(sq, truncated=True, reason="cancelled")
@@ -366,6 +401,8 @@ class QueryScheduler:
         self.stats.per_query_latency[sq.name] = sq.latency
         if reason == "cancelled":
             self.stats.queries_cancelled += 1
+        elif reason in ("rejected", "rejected_cost"):
+            self.stats.queries_rejected += 1
         elif truncated:
             self.stats.queries_truncated += 1
         else:
@@ -381,6 +418,19 @@ class QueryScheduler:
                 waiting, key=lambda sq: (len(sq._pending.contexts), sq.index)
             )
             return ranked[:self.concurrency]
+        if self.fairness == "cheapest_cost":
+            # Statically-cheapest queries first (EXPLAIN's LM-call bound):
+            # templated light queries drain ahead of heavy scans, with the
+            # frontier size breaking ties among equally-estimated queries.
+            ranked = sorted(
+                waiting,
+                key=lambda sq: (
+                    self._cost_rank(sq),
+                    len(sq._pending.contexts),
+                    sq.index,
+                ),
+            )
+            return ranked[:self.concurrency]
         # round_robin: rotate the start position across rounds so every
         # query gets serviced regardless of submission order.
         total = len(self.queries)
@@ -390,3 +440,11 @@ class QueryScheduler:
         chosen = ranked[:self.concurrency]
         self._rr_next = (chosen[-1].index + 1) % total
         return chosen
+
+    @staticmethod
+    def _cost_rank(sq: ScheduledQuery) -> int:
+        """Static LM-call bound for ordering (∞-ish when unanalyzed)."""
+        report = sq.report
+        if report is None or report.cost is None or report.cost.lm_calls_bound is None:
+            return 1 << 62
+        return report.cost.lm_calls_bound

@@ -19,7 +19,7 @@ Everything is deterministic given the seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.datasets.lexicon import (
     ADJECTIVES,

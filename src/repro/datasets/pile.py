@@ -20,7 +20,7 @@ from __future__ import annotations
 import random
 import re as _re
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.automata.alphabet import ALPHABET_SET
 from repro.datasets.lexicon import FIRST_NAMES, INSULTS, NOUNS, PLACES, VERBS_PAST

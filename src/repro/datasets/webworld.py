@@ -12,7 +12,7 @@ registered (the realistic-looking junk the paper's baselines extract).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.datasets.lexicon import DOMAIN_WORDS, TLDS, URL_PATH_WORDS
 

@@ -68,7 +68,8 @@ class BiasConfig:
 
     def describe(self) -> str:
         """Human-readable panel description."""
-        enc = "all encodings" if self.tokenization is QueryTokenizationStrategy.ALL_TOKENS else "canonical"
+        all_tokens = self.tokenization is QueryTokenizationStrategy.ALL_TOKENS
+        enc = "all encodings" if all_tokens else "canonical"
         parts = [enc, "prefix" if self.use_prefix else "no prefix"]
         if self.edits:
             parts.append(f"{self.edits} edit(s)")
@@ -79,14 +80,21 @@ class BiasConfig:
 FIGURE7_CONFIGS: tuple[BiasConfig, ...] = (
     BiasConfig("fig7a_all_no_prefix", QueryTokenizationStrategy.ALL_TOKENS, use_prefix=False),
     BiasConfig("fig7b_canonical_prefix", QueryTokenizationStrategy.CANONICAL, use_prefix=True),
-    BiasConfig("fig7c_canonical_prefix_edits", QueryTokenizationStrategy.CANONICAL, use_prefix=True, edits=1),
+    BiasConfig(
+        "fig7c_canonical_prefix_edits",
+        QueryTokenizationStrategy.CANONICAL,
+        use_prefix=True,
+        edits=1,
+    ),
 )
 
 #: The four panels of Figures 13/14 (all with a prefix).
 FIGURE13_CONFIGS: tuple[BiasConfig, ...] = (
     BiasConfig("all_encodings", QueryTokenizationStrategy.ALL_TOKENS, use_prefix=True),
     BiasConfig("canonical", QueryTokenizationStrategy.CANONICAL, use_prefix=True),
-    BiasConfig("all_encodings_edits", QueryTokenizationStrategy.ALL_TOKENS, use_prefix=True, edits=1),
+    BiasConfig(
+        "all_encodings_edits", QueryTokenizationStrategy.ALL_TOKENS, use_prefix=True, edits=1
+    ),
     BiasConfig("canonical_edits", QueryTokenizationStrategy.CANONICAL, use_prefix=True, edits=1),
 )
 

@@ -26,7 +26,7 @@ from repro.lm.base import LogitsCache
 from repro.lm.ngram import NGramModel
 from repro.tokenizers.bpe import BPETokenizer, train_bpe
 
-__all__ = ["Environment", "get_environment"]
+__all__ = ["Environment", "get_environment", "experiment_query_sets"]
 
 #: Scale presets: (general lines, bias lines per gender, toxic repeats,
 #: vocab size, lambada item counts scale).
@@ -97,6 +97,55 @@ class Environment:
             logits_cache=self.logits_cache(size),
             **scheduler_kwargs,
         )
+
+
+def experiment_query_sets(num_samples: int = 20, seed: int = 0) -> dict:
+    """The built-in experiments' query workloads, by set name.
+
+    Returns ``{"bias": [...], "knowledge": [...], "memorization": [...]}``
+    where each entry is a list of ``(name, SimpleSearchQuery)`` pairs —
+    exactly the queries the corresponding experiment submits, minus the
+    sampling loops.  This is what ``relm lint --set`` (and the CI query-lint
+    gate) runs the static analyzer over.
+
+    Note the knowledge set belongs to the knowledge world's own tokenizer,
+    not the shared environment's (coverage findings are
+    tokenizer-relative); ``relm lint`` pairs each set with its tokenizer.
+    """
+    from repro.experiments.bias import FIGURE7_CONFIGS, bias_query
+    from repro.experiments.knowledge import FACTS, birthdate_query, month_query
+    from repro.experiments.memorization import URL_PATTERN, URL_PREFIX_REGEX
+
+    from repro.core.query import SearchQuery
+    from repro.datasets.lexicon import GENDERS
+
+    bias = []
+    for config in FIGURE7_CONFIGS:
+        for gender in (None, *GENDERS):
+            label = gender if gender is not None else "both"
+            bias.append(
+                (
+                    f"{config.name}/{label}",
+                    bias_query(config, gender, num_samples=num_samples, seed=seed),
+                )
+            )
+    knowledge = []
+    for subject, _ in FACTS:
+        slug = subject.lower().replace(" ", "_")
+        knowledge.append((f"birthdate/{slug}", birthdate_query(subject)))
+        knowledge.append((f"month/{slug}", month_query(subject)))
+    memorization = [
+        (
+            "urls",
+            SearchQuery(
+                URL_PATTERN,
+                prefix=URL_PREFIX_REGEX,
+                top_k=40,
+                sequence_length=24,
+            ),
+        )
+    ]
+    return {"bias": bias, "knowledge": knowledge, "memorization": memorization}
 
 
 @lru_cache(maxsize=4)

@@ -29,7 +29,12 @@ from functools import lru_cache
 
 from repro.core.compiler import GraphCompiler
 from repro.core.scheduler import QueryBudget, QueryScheduler
-from repro.core.query import QueryString, QuerySearchStrategy, QueryTokenizationStrategy, SimpleSearchQuery
+from repro.core.query import (
+    QueryString,
+    QuerySearchStrategy,
+    QueryTokenizationStrategy,
+    SimpleSearchQuery,
+)
 from repro.lm.decoding import DecodingPolicy
 from repro.lm.ngram import NGramModel
 from repro.regex import escape

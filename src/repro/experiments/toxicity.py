@@ -26,7 +26,7 @@ from repro.core.query import (
     SimpleSearchQuery,
 )
 from repro.datasets.lexicon import INSULTS
-from repro.datasets.pile import PileShard, ScanResult
+from repro.datasets.pile import ScanResult
 from repro.experiments.common import Environment
 from repro.regex import escape
 

@@ -11,10 +11,9 @@ show the engine is architecture-agnostic).
 
 from __future__ import annotations
 
-import math
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -38,7 +37,7 @@ class LanguageModel(ABC):
     #: when present.
     prefix_cache = None
 
-    def enable_prefix_cache(self, max_bytes: int | None = None):
+    def enable_prefix_cache(self, max_bytes: int | None = None) -> Any | None:
         """Attach a prefix-state (KV) cache of *max_bytes*, if the model
         supports incremental decoding.
 
@@ -87,7 +86,9 @@ class LanguageModel(ABC):
             context.append(tok)
         return total
 
-    def sample_token(self, context: Sequence[int], rng, policy=None) -> int:
+    def sample_token(
+        self, context: Sequence[int], rng: Any, policy: Any | None = None
+    ) -> int:
         """Sample one next token, optionally under a decoding policy.
 
         ``rng`` is either a :class:`random.Random` (``choices`` interface)
@@ -110,9 +111,9 @@ class LanguageModel(ABC):
     def generate(
         self,
         prefix: Sequence[int],
-        rng,
+        rng: Any,
         max_new_tokens: int,
-        policy=None,
+        policy: Any | None = None,
         stop_at_eos: bool = True,
     ) -> list[int]:
         """Free-running sampling — the paper's baseline generation loop.
@@ -266,7 +267,7 @@ class LogitsCache:
         return self.hits / total if total else 0.0
 
     @property
-    def prefix_cache(self):
+    def prefix_cache(self) -> Any | None:
         """The underlying model's prefix-state (KV) cache, if any.
 
         Exposed so drivers holding only the logits cache (the executor,

@@ -75,7 +75,7 @@ class DecodingPolicy:
             mask &= keep
         return mask
 
-    def allowed_mask_for(self, logprobs: np.ndarray, token_ids) -> np.ndarray:
+    def allowed_mask_for(self, logprobs: np.ndarray, token_ids: np.ndarray) -> np.ndarray:
         """Admissibility of just the *token_ids* subset — vectorized, and
         equal to ``allowed_mask(logprobs)[token_ids]`` by construction.
 

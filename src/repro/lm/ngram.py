@@ -19,7 +19,7 @@ probability everywhere (GPT-2's language is likewise support-complete,
 from __future__ import annotations
 
 from collections import Counter, OrderedDict
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -127,7 +127,7 @@ class NGramModel(LanguageModel):
 
         rng = _random.Random(noise_seed)
 
-        def encoded():
+        def encoded() -> Iterator[list[int]]:
             for line in lines:
                 if encoding_noise > 0.0 and rng.random() < encoding_noise:
                     yield tokenizer.encode_noncanonical(line, rng)

@@ -46,7 +46,9 @@ class TransformerConfig:
 # functional pieces (forward returns (out, cache); backward consumes cache)
 # --------------------------------------------------------------------------
 
-def _layer_norm_forward(x, g, b, eps=1e-5):
+def _layer_norm_forward(
+    x: np.ndarray, g: np.ndarray, b: np.ndarray, eps: float = 1e-5
+) -> tuple[np.ndarray, tuple]:
     mu = x.mean(axis=-1, keepdims=True)
     var = x.var(axis=-1, keepdims=True)
     rstd = 1.0 / np.sqrt(var + eps)
@@ -54,7 +56,9 @@ def _layer_norm_forward(x, g, b, eps=1e-5):
     return g * xhat + b, (xhat, rstd, g)
 
 
-def _layer_norm_backward(dout, cache):
+def _layer_norm_backward(
+    dout: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     xhat, rstd, g = cache
     dg = (dout * xhat).sum(axis=tuple(range(dout.ndim - 1)))
     db = dout.sum(axis=tuple(range(dout.ndim - 1)))
@@ -71,19 +75,19 @@ def _layer_norm_backward(dout, cache):
 _GELU_C = math.sqrt(2.0 / math.pi)
 
 
-def _gelu_forward(x):
+def _gelu_forward(x: np.ndarray) -> tuple[np.ndarray, tuple]:
     inner = _GELU_C * (x + 0.044715 * x**3)
     t = np.tanh(inner)
     return 0.5 * x * (1.0 + t), (x, t)
 
 
-def _gelu_backward(dout, cache):
+def _gelu_backward(dout: np.ndarray, cache: tuple) -> np.ndarray:
     x, t = cache
     dinner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
     return dout * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * dinner)
 
 
-def _softmax(x):
+def _softmax(x: np.ndarray) -> np.ndarray:
     x = x - x.max(axis=-1, keepdims=True)
     e = np.exp(x)
     return e / e.sum(axis=-1, keepdims=True)
@@ -116,7 +120,7 @@ class TransformerModel(LanguageModel):
         c = config
         std = 0.02
 
-        def init(*shape):
+        def init(*shape: int) -> np.ndarray:
             return rng.normal(0.0, std, size=shape)
 
         self.params: dict[str, np.ndarray] = {
@@ -144,7 +148,7 @@ class TransformerModel(LanguageModel):
         self._adam_t = 0
 
     # -- forward ---------------------------------------------------------------
-    def _forward(self, idx: np.ndarray):
+    def _forward(self, idx: np.ndarray) -> tuple[np.ndarray, list]:
         """Forward pass over a (B, T) batch of token ids.
 
         Returns (logits, caches) where caches holds every intermediate
@@ -192,7 +196,9 @@ class TransformerModel(LanguageModel):
         logits = final @ P["wte"].T
         return logits, caches
 
-    def _forward_infer(self, idx: np.ndarray, past: list | None = None):
+    def _forward_infer(
+        self, idx: np.ndarray, past: list | None = None
+    ) -> tuple[np.ndarray, list]:
         """Inference-only forward over a (B, S) *chunk* continuing cached
         per-layer K/V state for ``m`` earlier positions.
 
@@ -279,7 +285,8 @@ class TransformerModel(LanguageModel):
             dx = dx + dx2
             # Attention branch
             dattn_out = dx
-            grads[p + "proj_w"] += cache["ctx_merged"].reshape(B * T, -1).T @ dattn_out.reshape(B * T, -1)
+            ctx_flat = cache["ctx_merged"].reshape(B * T, -1)
+            grads[p + "proj_w"] += ctx_flat.T @ dattn_out.reshape(B * T, -1)
             grads[p + "proj_b"] += dattn_out.sum(axis=(0, 1))
             dctx_merged = dattn_out @ P[p + "proj_w"].T
             dctx = dctx_merged.reshape(B, T, H, hd).transpose(0, 2, 1, 3)
@@ -307,7 +314,9 @@ class TransformerModel(LanguageModel):
         return grads
 
     # -- training ------------------------------------------------------------
-    def loss_and_grads(self, idx: np.ndarray, targets: np.ndarray):
+    def loss_and_grads(
+        self, idx: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, dict[str, np.ndarray]]:
         """Cross-entropy loss over a batch and its parameter gradients."""
         logits, caches = self._forward(idx)
         B, T, V = logits.shape

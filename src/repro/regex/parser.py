@@ -219,7 +219,8 @@ class _Parser:
                 break
             first = False
             lo = self._class_char()
-            if self._peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[self.pos + 1] != "]":
+            has_range = self.pos + 1 < len(self.pattern) and self.pattern[self.pos + 1] != "]"
+            if self._peek() == "-" and has_range:
                 self._advance()  # consume '-'
                 hi = self._class_char()
                 if ord(hi) < ord(lo):

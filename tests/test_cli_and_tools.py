@@ -138,3 +138,147 @@ class TestCLI:
         code = main(["experiment", "bias"])
         assert code == 0
         assert "chi2" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_lint_clean_pattern_exits_zero(self, capsys):
+        code = main(["lint", "The cat", "--tokenization", "canonical"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "0 error" in err
+
+    def test_lint_syntax_error_exits_nonzero(self, capsys):
+        code = main(["lint", "[unclosed"])
+        assert code == 1
+        assert "RLM000" in capsys.readouterr().out
+
+    def test_lint_json_payload(self, capsys):
+        code = main(["lint", "The ((cat)|(dog))", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        assert payload[0]["verdict"] in ("ok", "warning")
+        assert "cost" in payload[0]
+
+    def test_lint_multiple_patterns(self, capsys):
+        code = main(["lint", "The cat", "[bad", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        verdicts = {entry["query"]: entry["verdict"] for entry in payload}
+        assert verdicts["[bad"] == "error"
+
+    def test_lint_requires_target(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_lint_experiment_set(self, capsys):
+        code = main(["lint", "--set", "memorization", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(entry["name"] == "memorization/urls" for entry in payload)
+
+
+class TestExplainCommand:
+    def test_explain_text_output(self, capsys):
+        code = main(["explain", "The ((cat)|(dog))"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "language" in out
+        assert "verdict" in out
+
+    def test_explain_json(self, capsys):
+        code = main(["explain", "The cat", "--sequence-length", "8", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cost"]["horizon"] == 8
+
+    def test_explain_error_exits_nonzero(self, capsys):
+        code = main(["explain", "[unclosed"])
+        assert code == 1
+
+
+class TestDeterminismLinter:
+    @pytest.fixture()
+    def lint(self):
+        import importlib.util
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        spec = importlib.util.spec_from_file_location(
+            "lint_determinism", root / "tools" / "lint_determinism.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        import sys
+
+        sys.modules[spec.name] = module  # dataclasses resolve annotations here
+        spec.loader.exec_module(module)
+        return module
+
+    def _codes(self, lint, tmp_path, source, name="repro/core/mod.py"):
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        return [f.code for f in lint.lint_file(path, tmp_path)]
+
+    def test_unseeded_random_flagged(self, lint, tmp_path):
+        codes = self._codes(
+            lint, tmp_path, "import random\nr = random.Random()\n"
+        )
+        assert codes == ["DET001"]
+
+    def test_seeded_random_ok(self, lint, tmp_path):
+        codes = self._codes(
+            lint, tmp_path, "import random\nr = random.Random(0)\n"
+        )
+        assert codes == []
+
+    def test_global_random_call_flagged(self, lint, tmp_path):
+        codes = self._codes(
+            lint, tmp_path, "import random\nx = random.choice([1, 2])\n"
+        )
+        assert codes == ["DET001"]
+
+    def test_legacy_numpy_random_flagged(self, lint, tmp_path):
+        source = "import numpy as np\nx = np.random.rand(3)\n"
+        assert self._codes(lint, tmp_path, source) == ["DET001"]
+        ok = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert self._codes(lint, tmp_path, ok) == []
+
+    def test_wall_clock_flagged_only_in_core(self, lint, tmp_path):
+        source = "import time\nt = time.time()\n"
+        assert self._codes(lint, tmp_path, source) == ["DET002"]
+        assert self._codes(lint, tmp_path, source, name="repro/experiments/m.py") == []
+
+    def test_monotonic_ok_in_core(self, lint, tmp_path):
+        source = "import time\nt = time.monotonic()\n"
+        assert self._codes(lint, tmp_path, source) == []
+
+    def test_set_iteration_flagged(self, lint, tmp_path):
+        assert self._codes(lint, tmp_path, "for x in {1, 2}:\n    pass\n") == ["DET003"]
+        assert self._codes(lint, tmp_path, "xs = list(set([1, 2]))\n") == ["DET003"]
+        assert self._codes(lint, tmp_path, "s = ','.join({'a', 'b'})\n") == ["DET003"]
+
+    def test_sorted_set_ok(self, lint, tmp_path):
+        assert self._codes(lint, tmp_path, "xs = sorted(set([1, 2]))\n") == []
+
+    def test_pragma_suppresses(self, lint, tmp_path):
+        source = "import random\nr = random.Random()  # det: ok\n"
+        assert self._codes(lint, tmp_path, source) == []
+
+    def test_syntax_error_reported_not_raised(self, lint, tmp_path):
+        assert self._codes(lint, tmp_path, "def broken(:\n") == ["DET000"]
+
+    def test_src_tree_is_clean(self, lint):
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parents[1] / "src"
+        assert lint.lint_paths([src]) == []
+
+    def test_cli_json_and_exit_codes(self, lint, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nx = random.random()\n")
+        code = lint.main([str(tmp_path), "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["code"] == "DET001"
+        assert lint.main([str(tmp_path / "missing")]) == 2

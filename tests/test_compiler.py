@@ -83,20 +83,23 @@ class TestAllEncodings:
         compiled = compiler.compile(SearchQuery("The cat"))
         assert not compiled.token_automaton.accepts_tokens(tokenizer.encode("The dog"))
 
-    def test_empty_language_rejected(self, tokenizer):
+    def test_empty_language_compiles_to_empty_automaton(self, tokenizer):
+        # A statically-empty language no longer raises: it compiles to a
+        # degenerate automaton (no accepting states) flagged RLM001, so the
+        # executor/scheduler can short-circuit with a clean empty result.
         compiler = GraphCompiler(tokenizer)
-        query = SimpleSearchQuery(query_string=QueryString("[0-9]"), preprocessors=())
-        # Make it empty via an impossible intersection encoded as a regex:
-        # a single char that is both a digit and a letter does not exist,
-        # so use a preprocessor-free empty construct instead.
         from repro.core.preprocessors import FilterPreprocessor
 
         empty_query = SimpleSearchQuery(
             query_string=QueryString("a"),
             preprocessors=(FilterPreprocessor(["a"]),),
         )
-        with pytest.raises(ValueError):
-            compiler.compile(empty_query)
+        compiled = compiler.compile(empty_query)
+        assert compiled.is_empty
+        assert compiled.token_automaton.accepts == frozenset()
+        assert compiled.report is not None
+        assert "RLM001" in compiled.report.codes
+        assert compiled.report.has_errors
 
 
 class TestCanonical:
