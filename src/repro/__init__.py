@@ -48,6 +48,7 @@ from repro.core import (
     SuffixFilterPreprocessor,
     TokenAutomaton,
     TransducerPreprocessor,
+    WorkerPool,
     analyze_query,
     prepare,
     search,
@@ -80,6 +81,7 @@ __all__ = [
     "QueryBudget",
     "ScheduledQuery",
     "SchedulerStats",
+    "WorkerPool",
     "SearchQuery",
     "SimpleSearchQuery",
     "QueryString",

@@ -82,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-lm-calls", type=int, default=None,
         help="per-query LM-call budget (scheduler mode)",
     )
+    query.add_argument(
+        "--workers", type=int, default=0,
+        help="shard each coalesced LM round across N model-replica "
+             "processes (>1 engages the scheduler; results are unchanged)",
+    )
+    query.add_argument(
+        "--pipeline", action="store_true",
+        help="overlap one round's worker compute with the next round's "
+             "frontier expansion (scheduler mode; results are unchanged)",
+    )
 
     experiment = sub.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument(
@@ -177,6 +187,8 @@ def _cmd_query_scheduled(args, env, queries) -> int:
         backend=args.backend,
         kv_cache=not args.no_kv_cache,
         kv_cache_mb=args.kv_cache_mb,
+        workers=args.workers,
+        pipeline=args.pipeline,
         max_expansions=50_000,
         max_attempts=50 * args.samples,
     )
@@ -185,11 +197,14 @@ def _cmd_query_scheduled(args, env, queries) -> int:
         max_lm_calls=args.max_lm_calls,
         max_results=args.max_matches,
     )
-    handles = [
-        scheduler.submit(query, budget=budget, name=pattern)
-        for pattern, query in zip(args.pattern, queries)
-    ]
-    scheduler.run()
+    try:
+        handles = [
+            scheduler.submit(query, budget=budget, name=pattern)
+            for pattern, query in zip(args.pattern, queries)
+        ]
+        scheduler.run()
+    finally:
+        scheduler.close()
     writer = MatchWriter(args.log) if args.log else None
     for handle in handles:
         flag = f" [truncated: {handle.truncated_reason}]" if (
@@ -211,6 +226,15 @@ def _cmd_query_scheduled(args, env, queries) -> int:
         f"max_coalesced={stats.max_round_size}",
         file=sys.stderr,
     )
+    if stats.workers > 1:
+        print(
+            f"# parallel: workers={stats.workers} "
+            f"parallel_rounds={stats.parallel_rounds}/{stats.rounds} "
+            f"shards={stats.shards_dispatched} "
+            f"lm_wall={stats.lm_wall_ms:.1f}ms"
+            f"{' pipelined' if args.pipeline else ''}",
+            file=sys.stderr,
+        )
     if stats.prefix_hits or stats.prefix_misses:
         print(
             f"# prefix-state cache: hits={stats.prefix_hits} "
@@ -242,6 +266,8 @@ def _cmd_query(args) -> int:
         or args.concurrency > 1
         or args.deadline is not None
         or args.max_lm_calls is not None
+        or args.workers > 1
+        or args.pipeline
     ):
         return _cmd_query_scheduled(args, env, queries)
     query = queries[0]

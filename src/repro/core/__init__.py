@@ -24,6 +24,7 @@ from repro.core.compiler import (
 )
 from repro.core.diagnostics import EliminationTracker
 from repro.core.executor import Executor, LmRequest
+from repro.core.parallel import PooledModel, RoundTicket, WorkerPool
 from repro.core.scheduler import (
     FAIRNESS_POLICIES,
     QueryBudget,
@@ -58,6 +59,9 @@ __all__ = [
     "ScheduledQuery",
     "SchedulerStats",
     "FAIRNESS_POLICIES",
+    "WorkerPool",
+    "PooledModel",
+    "RoundTicket",
     "LmRequest",
     "MatchWriter",
     "read_matches",

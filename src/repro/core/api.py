@@ -29,6 +29,7 @@ from typing import Any, Iterator, Sequence
 
 from repro.core.compiler import CompiledQuery, GraphCompiler
 from repro.core.executor import Executor
+from repro.core.parallel import PooledModel, WorkerPool
 from repro.core.query import SimpleSearchQuery
 from repro.core.findings import QueryReport
 from repro.core.results import ExecutionStats, MatchResult
@@ -46,6 +47,12 @@ class SearchSession:
     the same compiled query with different executor limits.  Pass
     ``compiler=`` to reuse a caller-owned :class:`GraphCompiler` (and its
     compilation cache) across sessions.
+
+    ``workers=N`` (N > 1) shards each batched LM round across N
+    model-replica processes (see :mod:`repro.core.parallel`); the session
+    then owns a :class:`WorkerPool` — use it as a context manager or call
+    :meth:`close` to reclaim the processes and shared-memory segments.
+    ``min_shard_size`` tunes the adaptive shard sizer's floor.
     """
 
     def __init__(
@@ -56,6 +63,8 @@ class SearchSession:
         compiler: GraphCompiler | None = None,
         kv_cache: bool = True,
         kv_cache_mb: float | None = None,
+        workers: int = 0,
+        min_shard_size: int = 8,
         **executor_kwargs: Any,
     ) -> None:
         if compiler is None:
@@ -70,17 +79,39 @@ class SearchSession:
             model.disable_prefix_cache()
         elif kv_cache_mb is not None:
             model.enable_prefix_cache(int(kv_cache_mb * (1 << 20)))
+        self.pool: WorkerPool | None = None
+        effective_model: LanguageModel = model
+        if workers > 1:
+            if executor_kwargs.get("logits_cache") is not None:
+                raise ValueError(
+                    "a shared logits_cache cannot be combined with workers>1 "
+                    "(the cache wraps the pooled model; build the session "
+                    "without one, or share a WorkerPool via QueryScheduler)"
+                )
+            self.pool = WorkerPool(model, workers, min_shard_size=min_shard_size)
+            effective_model = PooledModel(model, self.pool)
         cache = compiler.cache
         hits_before = cache.hits if cache is not None else 0
         misses_before = cache.misses if cache is not None else 0
         self.compiled: CompiledQuery = compiler.compile(query)
-        self.executor = Executor(model, self.compiled, **executor_kwargs)
+        self.executor = Executor(effective_model, self.compiled, **executor_kwargs)
         if cache is not None:
             self.executor.stats.compilation_cache_hits = cache.hits - hits_before
             self.executor.stats.compilation_cache_misses = cache.misses - misses_before
 
     def __iter__(self) -> Iterator[MatchResult]:
         return self.executor.run()
+
+    def close(self) -> None:
+        """Shut down the session's worker pool, if it owns one."""
+        if self.pool is not None:
+            self.pool.shutdown()
+
+    def __enter__(self) -> "SearchSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     @property
     def stats(self) -> ExecutionStats:
@@ -126,6 +157,9 @@ def search_many(
     compiler: GraphCompiler | None = None,
     logits_cache: LogitsCache | None = None,
     budget: QueryBudget | None = None,
+    workers: int = 0,
+    pipeline: bool = False,
+    min_shard_size: int = 8,
     **executor_kwargs: Any,
 ) -> list[ScheduledQuery]:
     """Run many queries through one :class:`QueryScheduler` to completion.
@@ -136,6 +170,12 @@ def search_many(
     ``results`` (bit-identical to a serial :func:`search`) and ``stats``.
     ``budget`` (optional) applies to every query; use the scheduler
     directly for per-query budgets.
+
+    ``workers=N`` (N > 1) shards each coalesced round across N
+    model-replica processes, and ``pipeline=True`` overlaps one round's
+    worker compute with the next round's frontier expansion; neither
+    changes any result (see :class:`QueryScheduler`).  The pool is
+    created and torn down inside this call.
     """
     scheduler = QueryScheduler(
         model,
@@ -144,8 +184,14 @@ def search_many(
         logits_cache=logits_cache,
         concurrency=concurrency,
         fairness=fairness,
+        workers=workers,
+        pipeline=pipeline,
+        min_shard_size=min_shard_size,
         **executor_kwargs,
     )
-    for query in queries:
-        scheduler.submit(query, budget=budget)
-    return scheduler.run()
+    try:
+        for query in queries:
+            scheduler.submit(query, budget=budget)
+        return scheduler.run()
+    finally:
+        scheduler.close()

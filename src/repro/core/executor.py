@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import heapq
 import random
+import time
 from typing import Any, Generator, Iterator
 
 import numpy as np
@@ -168,6 +169,15 @@ class Executor:
         if backend not in ("arrays", "dict"):
             raise ValueError(f"unknown backend {backend!r} (use 'arrays' or 'dict')")
         self.backend = backend
+        # Process-parallel evaluation: when the model is a
+        # :class:`~repro.core.parallel.PooledModel`, batched rounds shard
+        # across its pool; stats report this run's share of its counters.
+        pool = getattr(model, "pool", None)
+        self._pool = pool
+        self._pool_base = (
+            (pool.shards_dispatched, pool.parallel_rounds) if pool is not None else (0, 0)
+        )
+        self.stats.workers = pool.workers if pool is not None else 1
         #: Statically-empty language (RLM001): the traversal short-circuits
         #: to an immediate clean finish, so skip cache and array setup.
         self.language_empty = compiled.is_empty
@@ -240,6 +250,10 @@ class Executor:
             self.stats.prefix_misses = prefix.misses - m0
             self.stats.prefix_evictions = prefix.evictions - e0
             self.stats.prefix_bytes = prefix.bytes
+        if self._pool is not None:
+            s0, p0 = self._pool_base
+            self.stats.shards_dispatched = self._pool.shards_dispatched - s0
+            self.stats.parallel_rounds = self._pool.parallel_rounds - p0
 
     def finish_request(self, request: LmRequest, rows: list[np.ndarray]) -> list:
         """Post-process one serviced :class:`LmRequest`.
@@ -332,7 +346,9 @@ class Executor:
             except StopIteration:
                 return
             if isinstance(event, LmRequest):
+                started = time.perf_counter()
                 rows = self._cache.logprobs_batch(event.contexts)
+                self.stats.lm_wall_ms += (time.perf_counter() - started) * 1e3
                 self._sync_cache_stats()
                 payload = self.finish_request(event, rows)
             else:

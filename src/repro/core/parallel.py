@@ -1,0 +1,545 @@
+"""Process-parallel LM evaluation with shared-memory logits transport.
+
+The scheduler (PR 2) already coalesces every query's frontier into one
+deduped context set per round, and the prefix-state cache (PR 3) makes each
+context cheap — but every logit was still computed serially in one Python
+process on one core.  This module shards a coalesced round across ``N``
+``multiprocessing`` workers, the reproduction's stand-in for the paper's
+"scheduling massive sets of test vectors on accelerators" (Kuchnik et al.,
+MLSys 2023, §3.3): one round = one dispatch, split into contiguous shards.
+
+Design notes:
+
+* **Replicas, not pickled closures.**  Each worker builds a private model
+  replica exactly once from a picklable :class:`~repro.lm.base.ModelSpec`
+  (weights + config; derived caches are stripped and regrown worker-side).
+* **Zero-copy transport.**  Workers write logit rows straight into
+  ``multiprocessing.shared_memory`` blocks created — and eventually
+  unlinked — by the parent; only tiny ``(task_id, segment_name)`` control
+  messages cross the queues.  Segments are pooled and reused round to
+  round, so steady-state rounds allocate nothing.
+* **Bit-identical results.**  Shards are contiguous slices of the round's
+  context list, each evaluated by ``model.logprobs_batch`` exactly as the
+  serial path would; rows are reassembled in dispatch order.  Models whose
+  rows are computed independently per context (the n-gram's CSR block) are
+  bit-identical under any sharding; batched-GEMM models (the NumPy
+  transformer) can differ in the last ulp because BLAS summation shapes
+  change with batch size.
+* **Adaptive shard sizing.**  Rounds smaller than ``min_shard_size * 2``
+  contexts fall back to in-process evaluation — no IPC, no shared-memory
+  traffic — so tiny rounds (single-query random sampling) pay nothing.
+* **Async by construction.**  :meth:`WorkerPool.dispatch` returns a
+  :class:`RoundTicket` immediately; :meth:`WorkerPool.collect` blocks on
+  it.  The pipelined scheduler dispatches round ``R+1`` before collecting
+  round ``R``, overlapping worker compute with automaton frontier
+  expansion.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+import weakref
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.lm.base import LanguageModel, LogitsCache, ModelSpec
+
+__all__ = ["WorkerPool", "PooledModel", "RoundTicket"]
+
+#: Smallest shared-memory segment we bother creating (segments are pooled
+#: by rounded-up size, so a generous floor maximises reuse).
+_MIN_SEGMENT_BYTES = 1 << 16
+
+#: How long queue polls wait before re-checking worker liveness.  Short
+#: enough that a killed worker surfaces promptly; long enough to stay off
+#: the CPU while workers compute.
+_POLL_SECONDS = 0.1
+
+#: Startup handshake budget — covers unpickling a large model replica.
+_STARTUP_TIMEOUT_SECONDS = 120.0
+
+
+def _attach_segment(name: str) -> Any:
+    """Attach to an existing shared-memory segment without claiming
+    ownership for this process's ``resource_tracker``.
+
+    The parent creates and unlinks every segment exactly once.  Under the
+    Linux ``fork`` start method workers share the parent's tracker, so a
+    plain attach is already clean; CPython 3.13+ additionally exposes
+    ``track=False``, which keeps spawn-started workers (the macOS default)
+    from warning about "leaked" segments the parent still owns.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        # Python < 3.13 has no ``track`` parameter and registers the
+        # segment with this process's tracker even on attach — which makes
+        # a worker's tracker warn about (or, under spawn, unlink!) the
+        # parent's live segments when the worker exits.  Suppress the
+        # registration for the duration of the attach.
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda name, rtype: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+def _worker_main(
+    spec: ModelSpec,
+    worker_index: int,
+    task_queue: Any,
+    result_queue: Any,
+    cache_capacity: int,
+) -> None:
+    """Worker loop: build one replica, then serve shard tasks forever.
+
+    Protocol (all messages are ``(kind, task_id, payload)`` tuples):
+
+    * parent -> worker: ``(task_id, segment_name, n_rows, contexts)``, or
+      ``None`` to shut down.
+    * worker -> parent: ``("ready", -1, worker_index)`` once the replica
+      is built; ``("ok", task_id, None)`` after writing a shard's rows
+      into its segment; ``("error", task_id, detail)`` on evaluation
+      failure; ``("fatal", -1, detail)`` if the replica cannot be built.
+    """
+    try:
+        model = spec.build()
+        cache = LogitsCache(model, capacity=cache_capacity) if cache_capacity > 0 else None
+        result_queue.put(("ready", -1, worker_index))
+    except BaseException as exc:  # startup failure must not hang the parent
+        result_queue.put(("fatal", -1, f"{type(exc).__name__}: {exc}"))
+        return
+    segments: dict[str, Any] = {}
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            task_id, segment_name, n_rows, contexts = task
+            try:
+                if cache is not None:
+                    rows = cache.logprobs_batch(contexts)
+                else:
+                    rows = model.logprobs_batch(contexts)
+                shm = segments.get(segment_name)
+                if shm is None:
+                    shm = _attach_segment(segment_name)
+                    segments[segment_name] = shm
+                out = np.ndarray(
+                    (n_rows, model.vocab_size), dtype=np.float64, buffer=shm.buf
+                )
+                for r, row in enumerate(rows):
+                    out[r] = row
+                del out
+                result_queue.put(("ok", task_id, None))
+            except BaseException as exc:
+                result_queue.put(("error", task_id, f"{type(exc).__name__}: {exc}"))
+    finally:
+        for shm in segments.values():
+            try:
+                shm.close()
+            except Exception:
+                pass
+
+
+class _SegmentPool:
+    """Parent-owned pool of shared-memory segments, reused across rounds.
+
+    Segments are created on demand (size rounded up to a power of two) and
+    returned to the free list after each collect; :meth:`destroy` closes
+    and unlinks every segment ever created.  The parent is the sole owner:
+    workers only ever attach, so there is exactly one unlink per segment.
+    """
+
+    def __init__(self) -> None:
+        self._free: list[Any] = []
+        self._all: list[Any] = []
+
+    def acquire(self, nbytes: int) -> Any:
+        best = None
+        for shm in self._free:
+            if shm.size >= nbytes and (best is None or shm.size < best.size):
+                best = shm
+        if best is not None:
+            self._free.remove(best)
+            return best
+        from multiprocessing import shared_memory
+
+        size = max(nbytes, _MIN_SEGMENT_BYTES)
+        size = 1 << (size - 1).bit_length()
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        self._all.append(shm)
+        return shm
+
+    def release(self, shm: Any) -> None:
+        self._free.append(shm)
+
+    def names(self) -> list[str]:
+        return [shm.name for shm in self._all]
+
+    def destroy(self) -> None:
+        for shm in self._all:
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+        self._all.clear()
+        self._free.clear()
+
+
+def _shutdown_resources(
+    procs: list[Any], task_queues: list[Any], result_queue: Any, segments: _SegmentPool
+) -> None:
+    """Tear down pool resources; idempotent and safe from a finalizer."""
+    for q in task_queues:
+        try:
+            q.put_nowait(None)
+        except Exception:
+            pass
+    for proc in procs:
+        try:
+            proc.join(timeout=5.0)
+        except Exception:
+            pass
+    for proc in procs:
+        try:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        except Exception:
+            pass
+    queues = list(task_queues)
+    if result_queue is not None:
+        queues.append(result_queue)
+    for q in queues:
+        try:
+            q.close()
+            q.cancel_join_thread()
+        except Exception:
+            pass
+    segments.destroy()
+
+
+@dataclass
+class _Shard:
+    """One contiguous slice of a round, in flight on one worker."""
+
+    task_id: int
+    worker_index: int
+    segment: Any
+    n_rows: int
+
+
+@dataclass
+class RoundTicket:
+    """Handle for a dispatched (possibly still computing) logits round.
+
+    Returned by :meth:`WorkerPool.dispatch`; redeemed exactly once with
+    :meth:`WorkerPool.collect`.  ``shards`` is empty for rounds the
+    adaptive sizer kept in-process (evaluated lazily at collect time, so
+    even inline rounds compose with the pipelined scheduler).
+    """
+
+    contexts: list[tuple[int, ...]]
+    shards: list[_Shard] = field(default_factory=list)
+    started: float = 0.0
+    collected: bool = False
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this round was sharded across workers."""
+        return bool(self.shards)
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        """Row count per dispatched shard (empty for inline rounds)."""
+        return [shard.n_rows for shard in self.shards]
+
+
+class WorkerPool:
+    """An LM-evaluation service sharding logits rounds across processes.
+
+    ``model`` is either a live :class:`~repro.lm.base.LanguageModel` (its
+    :meth:`~repro.lm.base.LanguageModel.spec` is shipped to workers and the
+    live instance serves inline fallbacks) or a prebuilt
+    :class:`~repro.lm.base.ModelSpec`.  With ``workers <= 1`` no processes
+    are spawned and every round is evaluated in-process — the pool is then
+    a zero-overhead pass-through, which keeps call sites branch-free.
+
+    ``min_shard_size`` is the adaptive sizer's floor: a round is sharded
+    into at most ``workers`` contiguous chunks of at least that many
+    contexts, and rounds too small for two such chunks run inline.
+    ``worker_cache_size`` bounds each worker's private
+    :class:`~repro.lm.base.LogitsCache` (0 disables worker-side caching).
+
+    Use as a context manager, or call :meth:`shutdown`; a ``weakref``
+    finalizer reclaims processes and shared-memory segments if neither
+    happens.
+    """
+
+    def __init__(
+        self,
+        model: LanguageModel | ModelSpec,
+        workers: int,
+        *,
+        min_shard_size: int = 8,
+        worker_cache_size: int = 8192,
+        start_method: str | None = None,
+    ) -> None:
+        if isinstance(model, ModelSpec):
+            spec = model
+            self._local_model: LanguageModel | None = None
+        else:
+            spec = model.spec() if workers > 1 else None  # type: ignore[assignment]
+            self._local_model = model
+        self._spec = spec
+        self.workers = max(1, int(workers))
+        self.min_shard_size = max(1, int(min_shard_size))
+        self.vocab_size = model.vocab_size
+        self.eos_id = model.eos_id
+        self.rounds = 0
+        self.parallel_rounds = 0
+        self.inline_rounds = 0
+        self.shards_dispatched = 0
+        self.contexts_evaluated = 0
+        self.wall_ms = 0.0
+        self._closed = False
+        self._broken = False
+        self._next_task_id = 0
+        self._stash: dict[int, tuple[str, int, Any]] = {}
+        self._segments = _SegmentPool()
+        self._procs: list[Any] = []
+        self._task_queues: list[Any] = []
+        self._result_queue: Any = None
+        if self.workers > 1:
+            assert self._spec is not None
+            ctx = mp.get_context(start_method)
+            self._result_queue = ctx.Queue()
+            self._task_queues = [ctx.Queue() for _ in range(self.workers)]
+            for i in range(self.workers):
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        self._spec,
+                        i,
+                        self._task_queues[i],
+                        self._result_queue,
+                        worker_cache_size,
+                    ),
+                    daemon=True,
+                    name=f"relm-eval-{i}",
+                )
+                proc.start()
+                self._procs.append(proc)
+        self._finalizer = weakref.finalize(
+            self,
+            _shutdown_resources,
+            self._procs,
+            self._task_queues,
+            self._result_queue,
+            self._segments,
+        )
+        if self._procs:
+            try:
+                self._await_ready()
+            except BaseException:
+                self.shutdown()
+                raise
+
+    # -- lifecycle -----------------------------------------------------------
+    def _await_ready(self) -> None:
+        """Block until every worker reports its replica built."""
+        pending = set(range(self.workers))
+        deadline = time.monotonic() + _STARTUP_TIMEOUT_SECONDS
+        while pending:
+            if time.monotonic() > deadline:
+                raise RuntimeError("worker pool startup timed out")
+            try:
+                kind, _, payload = self._result_queue.get(timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                self._raise_if_dead()
+                continue
+            if kind == "fatal":
+                raise RuntimeError(f"worker failed to start: {payload}")
+            if kind == "ready":
+                pending.discard(payload)
+
+    def shutdown(self) -> None:
+        """Stop all workers and unlink every shared-memory segment.
+
+        Idempotent; after shutdown :meth:`dispatch` raises.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer()
+
+    close = shutdown
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def segment_names(self) -> list[str]:
+        """Names of every shared-memory segment the pool has created."""
+        return self._segments.names()
+
+    # -- evaluation ----------------------------------------------------------
+    def logprobs_batch(self, contexts: Sequence[Sequence[int]]) -> list[np.ndarray]:
+        """Synchronous sharded evaluation of one context batch."""
+        return self.collect(self.dispatch(contexts))
+
+    def dispatch(self, contexts: Sequence[Sequence[int]]) -> RoundTicket:
+        """Start evaluating *contexts*; returns immediately.
+
+        Contiguous shards go to workers ``0..k-1`` in order; rounds the
+        adaptive sizer deems too small are deferred to collect time and
+        evaluated in-process.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if self._broken:
+            raise RuntimeError("WorkerPool is broken (a worker died or errored)")
+        keys = [tuple(c) for c in contexts]
+        self.rounds += 1
+        self.contexts_evaluated += len(keys)
+        ticket = RoundTicket(contexts=keys, started=time.perf_counter())
+        sizes = self._shard_sizes(len(keys))
+        if sizes is None:
+            self.inline_rounds += 1
+            return ticket
+        self.parallel_rounds += 1
+        self.shards_dispatched += len(sizes)
+        row_bytes = self.vocab_size * 8
+        offset = 0
+        for worker_index, size in enumerate(sizes):
+            chunk = keys[offset : offset + size]
+            offset += size
+            segment = self._segments.acquire(size * row_bytes)
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            self._task_queues[worker_index].put((task_id, segment.name, size, chunk))
+            ticket.shards.append(_Shard(task_id, worker_index, segment, size))
+        return ticket
+
+    def collect(self, ticket: RoundTicket) -> list[np.ndarray]:
+        """Block until *ticket*'s round is done; rows in dispatch order."""
+        if ticket.collected:
+            raise RuntimeError("RoundTicket already collected")
+        ticket.collected = True
+        if not ticket.shards:
+            rows = [np.asarray(r) for r in self._local().logprobs_batch(ticket.contexts)]
+            self.wall_ms += (time.perf_counter() - ticket.started) * 1e3
+            return rows
+        rows: list[np.ndarray] = []
+        for shard in ticket.shards:
+            self._await(shard)
+            view = np.ndarray(
+                (shard.n_rows, self.vocab_size), dtype=np.float64, buffer=shard.segment.buf
+            )
+            for r in range(shard.n_rows):
+                rows.append(view[r].copy())
+            del view
+            self._segments.release(shard.segment)
+        self.wall_ms += (time.perf_counter() - ticket.started) * 1e3
+        return rows
+
+    # -- internals -----------------------------------------------------------
+    def _shard_sizes(self, n: int) -> list[int] | None:
+        """Contiguous shard sizes for an *n*-context round, or ``None`` to
+        evaluate in-process (pool disabled, or round below the floor)."""
+        if not self._procs or self._broken:
+            return None
+        n_shards = min(self.workers, n // self.min_shard_size)
+        if n_shards < 2:
+            return None
+        base, extra = divmod(n, n_shards)
+        return [base + 1 if i < extra else base for i in range(n_shards)]
+
+    def _local(self) -> LanguageModel:
+        if self._local_model is None:
+            assert self._spec is not None
+            self._local_model = self._spec.build()
+        return self._local_model
+
+    def _await(self, shard: _Shard) -> None:
+        """Wait for one shard's completion message; raise (and mark the
+        pool broken) on worker death or evaluation error — never hang."""
+        msg = self._stash.pop(shard.task_id, None)
+        while msg is None:
+            try:
+                incoming = self._result_queue.get(timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                self._raise_if_dead()
+                continue
+            if incoming[1] == shard.task_id:
+                msg = incoming
+            else:
+                self._stash[incoming[1]] = incoming
+        kind, _, payload = msg
+        if kind == "error":
+            self._broken = True
+            raise RuntimeError(f"worker evaluation failed: {payload}")
+
+    def _raise_if_dead(self) -> None:
+        for i, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                self._broken = True
+                raise RuntimeError(
+                    f"worker {i} died (exit code {proc.exitcode}) during a logits round"
+                )
+
+
+class PooledModel(LanguageModel):
+    """Adapter presenting a :class:`WorkerPool` as a ``LanguageModel``.
+
+    Batched scoring routes through the pool; single-context scoring and
+    prefix-cache management delegate to the live inner model.  This is how
+    the single-query executor path (:class:`repro.core.api.SearchSession`)
+    gains parallel rounds without changing its shape — the
+    :class:`~repro.lm.base.LogitsCache` simply wraps the adapter.
+    """
+
+    def __init__(self, inner: LanguageModel, pool: WorkerPool) -> None:
+        self.inner = inner
+        self.pool = pool
+        self.vocab_size = inner.vocab_size
+        self.eos_id = inner.eos_id
+        self.max_sequence_length = inner.max_sequence_length
+
+    @property
+    def prefix_cache(self) -> Any | None:  # type: ignore[override]
+        return self.inner.prefix_cache
+
+    @prefix_cache.setter
+    def prefix_cache(self, value: Any | None) -> None:
+        self.inner.prefix_cache = value
+
+    def enable_prefix_cache(self, max_bytes: int | None = None) -> Any | None:
+        return self.inner.enable_prefix_cache(max_bytes)
+
+    def logprobs(self, context: Sequence[int]) -> np.ndarray:
+        return self.inner.logprobs(context)
+
+    def logprobs_batch(self, contexts: Sequence[Sequence[int]]) -> list[np.ndarray]:
+        return self.pool.logprobs_batch(contexts)
+
+    def spec(self) -> ModelSpec:
+        return self.inner.spec()

@@ -70,6 +70,13 @@ class ExecutionStats:
     #: Resident payload bytes in the prefix cache when the run last
     #: synced (a gauge, not a delta — eviction makes deltas meaningless).
     prefix_bytes: int = 0
+    #: Process-parallel evaluation (see :mod:`repro.core.parallel`):
+    #: worker count behind this run (1 = in-process), shards dispatched,
+    #: rounds that actually ran sharded, and LM-round wall-clock.
+    workers: int = 1
+    shards_dispatched: int = 0
+    parallel_rounds: int = 0
+    lm_wall_ms: float = 0.0
 
     @property
     def mean_batch_size(self) -> float:
@@ -91,7 +98,7 @@ class ExecutionStats:
         total = self.prefix_hits + self.prefix_misses
         return self.prefix_hits / total if total else 0.0
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, float]:
         """Plain-dict view for logging/reporting."""
         return {
             "lm_calls": self.lm_calls,
@@ -111,6 +118,10 @@ class ExecutionStats:
             "prefix_misses": self.prefix_misses,
             "prefix_evictions": self.prefix_evictions,
             "prefix_bytes": self.prefix_bytes,
+            "workers": self.workers,
+            "shards_dispatched": self.shards_dispatched,
+            "parallel_rounds": self.parallel_rounds,
+            "lm_wall_ms": self.lm_wall_ms,
         }
 
 
@@ -142,6 +153,16 @@ class SchedulerStats:
     max_round_size: int = 0
     round_sizes: list = field(default_factory=list)
     round_members: list = field(default_factory=list)
+    #: Per-round LM-service wall-clock (milliseconds), recorded only under
+    #: ``record_history=True`` like the other per-round logs.
+    round_wall_ms: list = field(default_factory=list)
+    #: Process-parallel evaluation: worker processes behind the scheduler
+    #: (1 = in-process), shards dispatched across all rounds, rounds that
+    #: actually ran sharded, and total LM-service wall-clock.
+    workers: int = 1
+    shards_dispatched: int = 0
+    parallel_rounds: int = 0
+    lm_wall_ms: float = 0.0
     #: Static-analyzer verdict (``"ok"``/``"warning"``/``"error"``) per
     #: query name, recorded at submit (absent when analysis is disabled).
     per_query_verdict: dict = field(default_factory=dict)
@@ -181,6 +202,10 @@ class SchedulerStats:
             "queries_rejected": self.queries_rejected,
             "mean_round_size": self.mean_round_size,
             "max_round_size": self.max_round_size,
+            "workers": self.workers,
+            "shards_dispatched": self.shards_dispatched,
+            "parallel_rounds": self.parallel_rounds,
+            "lm_wall_ms": self.lm_wall_ms,
             "per_query_latency": dict(self.per_query_latency),
             "per_query_verdict": dict(self.per_query_verdict),
             "prefix_hits": self.prefix_hits,

@@ -47,9 +47,10 @@ from typing import Any, Callable
 from repro.core.compiler import GraphCompiler
 from repro.core.executor import Executor, LmRequest
 from repro.core.findings import QueryReport
+from repro.core.parallel import RoundTicket, WorkerPool
 from repro.core.query import SimpleSearchQuery
 from repro.core.results import ExecutionStats, MatchResult, SchedulerStats
-from repro.lm.base import LanguageModel, LogitsCache
+from repro.lm.base import LanguageModel, LogitsCache, RoundPlan
 from repro.tokenizers.bpe import BPETokenizer
 
 __all__ = ["QueryBudget", "ScheduledQuery", "QueryScheduler", "FAIRNESS_POLICIES"]
@@ -133,6 +134,24 @@ class ScheduledQuery:
         return f"ScheduledQuery({self.name!r}, {state}, {len(self.results)} results)"
 
 
+@dataclass
+class _InflightRound:
+    """One coalesced round between dispatch and completion.
+
+    The split-phase cache round (:meth:`~repro.lm.base.LogitsCache.begin_round`)
+    plus — when a worker pool is attached — the in-flight
+    :class:`~repro.core.parallel.RoundTicket`.  Holding this struct is what
+    lets ``pipeline=True`` expand round ``R+1``'s frontiers while round
+    ``R``'s shards compute in the workers.
+    """
+
+    chosen: list[ScheduledQuery]
+    plan: RoundPlan
+    missing: list[tuple[int, ...]]
+    ticket: RoundTicket | None
+    started: float
+
+
 class QueryScheduler:
     """Drives many prepared queries through coalesced LM rounds.
 
@@ -159,9 +178,26 @@ class QueryScheduler:
     cache (see :mod:`repro.lm.state_cache`): coalesced rounds feed it one
     batched frontier per round, so all concurrent queries share its
     incremental-decoding savings; its counters land in
-    ``stats.prefix_hits`` etc.  Remaining keyword arguments become
-    per-executor defaults (``backend``, ``batch_size``,
-    ``max_expansions``, ...), overridable per :meth:`submit`.
+    ``stats.prefix_hits`` etc.
+
+    ``workers=N`` (N > 1) shards each round's deduped missing-context set
+    across N model-replica processes (:class:`~repro.core.parallel.WorkerPool`);
+    rounds below ``min_shard_size * 2`` contexts evaluate in-process with
+    no IPC.  ``pipeline=True`` double-buffers rounds: round ``R+1`` is
+    selected and dispatched before round ``R``'s rows are collected, so
+    automaton frontier expansion overlaps worker compute.  Neither knob
+    changes any result — shards are contiguous slices evaluated in the
+    same order the serial path would use, and pipelining only reorders
+    *when* work happens (the differential grid pins bit-identity for
+    every workers × pipeline combination).  Pass a prebuilt ``worker_pool``
+    to share replicas across schedulers (the scheduler then does not own
+    its shutdown).  A scheduler with workers is a context manager; call
+    :meth:`close` (or leave the ``with`` block) to reclaim the processes
+    and shared-memory segments.
+
+    Remaining keyword arguments become per-executor defaults
+    (``backend``, ``batch_size``, ``max_expansions``, ...), overridable
+    per :meth:`submit`.
     """
 
     def __init__(
@@ -179,6 +215,10 @@ class QueryScheduler:
         kv_cache_mb: float | None = None,
         admission_control: bool = True,
         admission_max_cost: int | None = None,
+        workers: int = 0,
+        pipeline: bool = False,
+        min_shard_size: int = 8,
+        worker_pool: WorkerPool | None = None,
         **executor_defaults: Any,
     ) -> None:
         if concurrency < 1:
@@ -223,7 +263,21 @@ class QueryScheduler:
         self.admission_control = admission_control
         self.admission_max_cost = admission_max_cost
         self.executor_defaults = executor_defaults
+        # Process-parallel evaluation: an attached pool serves each round's
+        # missing-context set; ``pipeline`` additionally double-buffers
+        # rounds in :meth:`run`.  ``workers <= 1`` stays fully in-process.
+        if worker_pool is not None:
+            self._pool: WorkerPool | None = worker_pool
+            self._owns_pool = False
+        elif workers > 1:
+            self._pool = WorkerPool(model, workers, min_shard_size=min_shard_size)
+            self._owns_pool = True
+        else:
+            self._pool = None
+            self._owns_pool = False
+        self.pipeline = bool(pipeline)
         self.stats = SchedulerStats()
+        self.stats.workers = self._pool.workers if self._pool is not None else 1
         self.queries: list[ScheduledQuery] = []
         #: Every match in global yield order, as ``(query_name, match)`` —
         #: the merged stream the property suite checks is a permutation of
@@ -300,9 +354,21 @@ class QueryScheduler:
 
     # -- driving ------------------------------------------------------------------
     def run(self) -> list[ScheduledQuery]:
-        """Drive every submitted query to completion; returns the handles."""
-        while self.step():
-            pass
+        """Drive every submitted query to completion; returns the handles.
+
+        With ``pipeline=True`` rounds are double-buffered: while round
+        ``R``'s shards compute in the worker pool, round ``R+1`` is
+        selected (from the queries not already in flight), its cache
+        detection pass runs, and its shards are dispatched; only then is
+        round ``R`` collected and its queries' generators resumed.  Every
+        query still sees exactly the rows it asked for, in order, so
+        results are identical to the unpipelined loop.
+        """
+        if self.pipeline:
+            self._run_pipelined()
+        else:
+            while self.step():
+                pass
         return list(self.queries)
 
     def step(self) -> bool:
@@ -314,25 +380,86 @@ class QueryScheduler:
         fairness policy, service their contexts in one coalesced
         cache round, and resume them with the scores.
         """
+        waiting = self._gather_waiting(())
+        if not waiting:
+            return False
+        self._complete(self._service(self._select(waiting)))
+        return True
+
+    def _run_pipelined(self) -> None:
+        """Double-buffered drive loop (used by :meth:`run` when
+        ``pipeline=True``)."""
+        inflight: _InflightRound | None = None
+        while True:
+            exclude = tuple(inflight.chosen) if inflight is not None else ()
+            waiting = self._gather_waiting(exclude)
+            nxt = self._service(self._select(waiting)) if waiting else None
+            if inflight is not None:
+                # Round R's shards are still computing in the workers while
+                # the selection + cache detection + dispatch above ran; the
+                # collect below is where the overlap pays off.
+                self._complete(inflight)
+            elif nxt is None:
+                return
+            inflight = nxt
+
+    def _gather_waiting(
+        self, exclude: tuple[ScheduledQuery, ...]
+    ) -> list[ScheduledQuery]:
+        """Advance ready queries, enforce budgets, and return the queries
+        waiting on an LM round (minus *exclude*, the in-flight round)."""
         for sq in self.queries:
             if not sq.done and sq._pending is None:
                 self._advance(sq, None)
-        waiting = [sq for sq in self.queries if not sq.done and sq._pending is not None]
+        waiting = [
+            sq
+            for sq in self.queries
+            if not sq.done and sq._pending is not None and sq not in exclude
+        ]
         for sq in waiting:
             self._enforce_budget(sq)
-        waiting = [sq for sq in waiting if not sq.done]
-        if not waiting:
-            return False
-        chosen = self._select(waiting)
+        return [sq for sq in waiting if not sq.done]
+
+    def _service(self, chosen: list[ScheduledQuery]) -> _InflightRound:
+        """Begin one coalesced round: cache detection pass, then dispatch
+        the missing contexts to the worker pool (when attached)."""
         groups = [sq._pending.contexts for sq in chosen]
-        rows, hits, misses = self.logits_cache.logprobs_round(groups)
-        size = sum(len(g) for g in groups)
+        plan = self.logits_cache.begin_round(groups)
+        started = time.perf_counter()
+        missing = plan.missing_contexts()
+        ticket: RoundTicket | None = None
+        if self._pool is not None and missing:
+            ticket = self._pool.dispatch(missing)
+        return _InflightRound(
+            chosen=chosen, plan=plan, missing=missing, ticket=ticket, started=started
+        )
+
+    def _complete(self, inflight: _InflightRound) -> None:
+        """Finish one round: collect rows, fold them into the cache,
+        credit per-query stats, and resume the round's generators."""
+        if inflight.ticket is not None:
+            assert self._pool is not None
+            fresh = self._pool.collect(inflight.ticket)
+        elif inflight.missing:
+            fresh = self.logits_cache.model.logprobs_batch(inflight.missing)
+        else:
+            fresh = []
+        rows, hits, misses = self.logits_cache.finish_round(inflight.plan, fresh)
+        wall_ms = (time.perf_counter() - inflight.started) * 1e3
+        chosen = inflight.chosen
+        size = inflight.plan.total_contexts
         self.stats.rounds += 1
         self.stats.contexts_serviced += size
         self.stats.max_round_size = max(self.stats.max_round_size, size)
+        self.stats.lm_wall_ms += wall_ms
+        ticket = inflight.ticket
+        if ticket is not None and ticket.parallel:
+            self.stats.parallel_rounds += 1
+            self.stats.shards_dispatched += len(ticket.shards)
         if self.record_history:
             self.stats.round_sizes.append(size)
             self.stats.round_members.append(tuple(sq.name for sq in chosen))
+            self.stats.round_wall_ms.append(wall_ms)
         prefix = getattr(self.model, "prefix_cache", None)
         if prefix is not None:
             h0, m0, e0 = self._prefix_base
@@ -348,7 +475,22 @@ class QueryScheduler:
             sq.stats.scheduler_rounds += 1
             payload = sq.executor.finish_request(request, group_rows)
             self._advance(sq, payload)
-        return True
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool, if this scheduler owns one.
+
+        Idempotent; a scheduler handed a shared ``worker_pool`` leaves it
+        running for its other users.
+        """
+        if self._pool is not None and self._owns_pool:
+            self._pool.shutdown()
+
+    def __enter__(self) -> "QueryScheduler":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     def _advance(self, sq: ScheduledQuery, payload: Any) -> None:
         """Resume *sq*'s generator until it demands the LM or finishes."""

@@ -6,7 +6,7 @@ memorising — the workhorse of the experiments) and
 independence).  Decoding decision rules live in :class:`DecodingPolicy`.
 """
 
-from repro.lm.base import CountingModel, LanguageModel, LogitsCache
+from repro.lm.base import CountingModel, LanguageModel, LogitsCache, ModelSpec, RoundPlan
 from repro.lm.decoding import GREEDY, UNRESTRICTED, DecodingPolicy
 from repro.lm.ngram import NGramModel
 from repro.lm.state_cache import PrefixStateCache
@@ -16,6 +16,8 @@ __all__ = [
     "LanguageModel",
     "LogitsCache",
     "CountingModel",
+    "ModelSpec",
+    "RoundPlan",
     "PrefixStateCache",
     "DecodingPolicy",
     "GREEDY",

@@ -11,13 +11,42 @@ show the engine is architecture-agnostic).
 
 from __future__ import annotations
 
+import pickle
 from abc import ABC, abstractmethod
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 import numpy as np
 
-__all__ = ["LanguageModel", "LogitsCache", "CountingModel"]
+__all__ = ["LanguageModel", "LogitsCache", "CountingModel", "ModelSpec", "RoundPlan"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A picklable recipe for rebuilding a model in another process.
+
+    The parallel evaluation service (:mod:`repro.core.parallel`) ships one
+    spec to each worker, which calls :meth:`build` exactly once to obtain a
+    private replica.  Models customise what crosses the process boundary via
+    ``__getstate__``/``__setstate__`` — derived state (LRU row caches,
+    optimiser moments, prefix-state caches) is dropped and rebuilt fresh on
+    the worker side, so the payload stays small and replicas start cold.
+    """
+
+    #: Pickled model payload (already serialised, so the spec itself stays
+    #: cheap to re-pickle when crossing a ``spawn`` process boundary).
+    payload: bytes
+    #: Mirrors of the interface constants workers need before building.
+    vocab_size: int
+    eos_id: int
+
+    def build(self) -> "LanguageModel":
+        """Reconstruct a private model replica from the payload."""
+        model = pickle.loads(self.payload)
+        if not isinstance(model, LanguageModel):
+            raise TypeError(f"spec payload is not a LanguageModel: {type(model)!r}")
+        return model
 
 
 class LanguageModel(ABC):
@@ -67,10 +96,33 @@ class LanguageModel(ABC):
 
         The executor batches frontier expansions through this call — the
         paper's "scheduling massive sets of test vectors on accelerators"
-        (§3.3).  The default loops; models with hardware-style batched
-        forwards (the NumPy transformer) override it.
+        (§3.3).  The default loops over unique contexts (duplicates inside
+        one batch are scored once and the row shared); models with
+        hardware-style batched forwards (the NumPy transformer) override it.
         """
-        return [self.logprobs(context) for context in contexts]
+        unique: dict[tuple[int, ...], np.ndarray] = {}
+        out: list[np.ndarray] = []
+        for context in contexts:
+            key = tuple(context)
+            row = unique.get(key)
+            if row is None:
+                row = self.logprobs(key)
+                unique[key] = row
+            out.append(row)
+        return out
+
+    def spec(self) -> ModelSpec:
+        """A picklable :class:`ModelSpec` that rebuilds this model elsewhere.
+
+        The default pickles the model itself; models override
+        ``__getstate__`` to strip derived caches from the payload rather
+        than overriding this method.
+        """
+        return ModelSpec(
+            payload=pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL),
+            vocab_size=self.vocab_size,
+            eos_id=self.eos_id,
+        )
 
     def sequence_logprob(self, tokens: Sequence[int], prefix: Sequence[int] = ()) -> float:
         """Total ``log p(tokens | prefix)`` under the chain rule.
@@ -132,6 +184,32 @@ class LanguageModel(ABC):
             if len(context) >= self.max_sequence_length:
                 break
         return out
+
+
+@dataclass
+class RoundPlan:
+    """In-flight state of a split-phase :class:`LogitsCache` round.
+
+    Produced by :meth:`LogitsCache.begin_round`; consumed (exactly once) by
+    :meth:`LogitsCache.finish_round`.  ``missing`` holds the round-unique
+    uncached contexts in first-request order — the evaluation order every
+    backend (in-process or worker pool) must preserve for bit-identical
+    results — and ``overlay`` snapshots the rows that were already cached
+    when the round began.
+    """
+
+    keys_per_group: list[list[tuple[int, ...]]]
+    missing: dict[tuple[int, ...], None]
+    overlay: dict[tuple[int, ...], np.ndarray]
+
+    def missing_contexts(self) -> list[tuple[int, ...]]:
+        """The contexts to evaluate, in the order rows must come back."""
+        return list(self.missing)
+
+    @property
+    def total_contexts(self) -> int:
+        """Occurrence count across all groups (cache lookups this round)."""
+        return sum(len(keys) for keys in self.keys_per_group)
 
 
 class LogitsCache:
@@ -203,6 +281,26 @@ class LogitsCache:
         counts as a hit.  The per-group tallies let a scheduler credit each
         query's :class:`~repro.core.results.ExecutionStats` exactly even
         though the cache is shared.
+
+        Internally this is :meth:`begin_round` (detect the round-unique
+        missing contexts) + one model call + :meth:`finish_round`
+        (attribute rows).  Callers that want to evaluate the missing set
+        elsewhere — e.g. dispatch it to a worker pool and expand another
+        query's frontier meanwhile — use the split-phase API directly.
+        """
+        plan = self.begin_round(groups)
+        fresh = self.model.logprobs_batch(plan.missing_contexts()) if plan.missing else []
+        return self.finish_round(plan, fresh)
+
+    def begin_round(self, groups: Sequence[Sequence[Sequence[int]]]) -> RoundPlan:
+        """Detection phase of a coalesced round: snapshot cached rows and
+        collect the round-unique missing contexts, without calling the
+        model.
+
+        Returns a :class:`RoundPlan`; the caller evaluates
+        ``plan.missing_contexts()`` however it likes (in-process, or
+        sharded across a worker pool) and hands the resulting rows — in the
+        same order — to :meth:`finish_round`.
         """
         keys_per_group = [[tuple(c) for c in g] for g in groups]
         # The round-local overlay snapshots every row the round needs: rows
@@ -223,9 +321,22 @@ class LogitsCache:
                     overlay[key] = cached
                 else:
                     missing[key] = None
-        if missing:
-            fresh = self.model.logprobs_batch(list(missing))
-            overlay.update(zip(missing, fresh))
+        return RoundPlan(keys_per_group=keys_per_group, missing=missing, overlay=overlay)
+
+    def finish_round(
+        self, plan: RoundPlan, fresh: Sequence[np.ndarray]
+    ) -> tuple[list[list[np.ndarray]], list[int], list[int]]:
+        """Attribution phase of a coalesced round: fold the freshly scored
+        rows (aligned with ``plan.missing_contexts()``) back into the cache
+        and charge per-group hits/misses exactly as
+        :meth:`logprobs_round` documents.
+        """
+        missing = plan.missing
+        overlay = plan.overlay
+        if len(fresh) != len(missing):
+            raise ValueError(f"round produced {len(fresh)} rows for {len(missing)} contexts")
+        overlay.update(zip(missing, fresh))
+        keys_per_group = plan.keys_per_group
         rows_per_group: list[list[np.ndarray]] = []
         hits = [0] * len(keys_per_group)
         misses = [0] * len(keys_per_group)

@@ -330,6 +330,19 @@ class NGramModel(LanguageModel):
             P[rows_a] = sub / (level["totals"][cis_a][:, None] + self.alpha)
         return list(np.log(P))
 
+    # -- process transport -----------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle without the LRU row cache.
+
+        Worker replicas (see :mod:`repro.core.parallel`) rebuild a fresh
+        cache on their side; shipping cached rows would bloat the spec
+        payload without changing any result (rows are a pure function of
+        the counts).
+        """
+        state = self.__dict__.copy()
+        state["_cache"] = OrderedDict()
+        return state
+
     # -- introspection ----------------------------------------------------------
     def context_count(self, context: Sequence[int]) -> int:
         """How many times the exact (order-1 suffix of) *context* was seen

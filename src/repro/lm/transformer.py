@@ -389,6 +389,30 @@ class TransformerModel(LanguageModel):
                 print(f"step {step}: loss {loss:.4f}")
         return losses
 
+    # -- process transport -------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle weights + config only.
+
+        Optimiser moments are training-only state, and the prefix-state
+        (KV) cache holds derived arrays a replica can regrow — both are
+        dropped so :meth:`~repro.lm.base.LanguageModel.spec` payloads stay
+        lean.  The KV *budget* is preserved so worker replicas (see
+        :mod:`repro.core.parallel`) rebuild an empty cache of the same
+        size.
+        """
+        state = self.__dict__.copy()
+        state["_adam_m"] = {}
+        state["_adam_v"] = {}
+        state["_adam_t"] = 0
+        cache = state.pop("prefix_cache")
+        state["_pickled_kv_bytes"] = cache.max_bytes if cache is not None else None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        kv_bytes = state.pop("_pickled_kv_bytes", None)
+        self.__dict__.update(state)
+        self.prefix_cache = PrefixStateCache(kv_bytes) if kv_bytes else None
+
     # -- prefix-state (KV) cache -------------------------------------------------
     def enable_prefix_cache(self, max_bytes: int | None = None) -> PrefixStateCache:
         """Attach (or resize) the prefix-state cache; returns it."""

@@ -327,6 +327,103 @@ class TestSchedulerSerialEquivalence:
         assert serial_stats.logits_misses == sched_stats.logits_misses
 
 
+#: The process-parallel grid: every workers x pipeline combination the
+#: engine supports.  workers=1 exercises the knob plumbing without a pool.
+PARALLEL_GRID = [
+    (1, False), (1, True), (2, False), (2, True), (4, False), (4, True),
+]
+
+
+class TestParallelSchedulerDifferential:
+    """The 13-combo grid across workers x pipeline vs serial scheduling.
+
+    Sharding a round across model-replica processes and/or pipelining
+    round R's compute against round R+1's frontier expansion must be
+    invisible: the same matches, in the same order, with bit-identical
+    log-probabilities and identical traversal statistics.  (The n-gram's
+    block evaluation is row-independent, so even float equality is exact
+    under any sharding.)  Pools are class-shared — one fork set per
+    (model, workers), injected via ``worker_pool=``; ``min_shard_size=1``
+    forces even the grid's tiny rounds through shared memory.
+    """
+
+    @pytest.fixture(scope="class")
+    def pools(self, model, env):
+        from repro.core.parallel import WorkerPool
+
+        sources = {"tiny": model, "env_small": env.model("small")}
+        created: dict = {}
+
+        def get(source, workers):
+            if workers <= 1:
+                return None
+            key = (source, workers)
+            if key not in created:
+                created[key] = WorkerPool(
+                    sources[source], workers, min_shard_size=1
+                )
+            return created[key]
+
+        yield get
+        for pool in created.values():
+            pool.shutdown()
+
+    @pytest.fixture(scope="class")
+    def serial_baseline(self):
+        return {}
+
+    @pytest.mark.parametrize(
+        "workers,pipeline", PARALLEL_GRID,
+        ids=[f"w{w}_{'pipe' if p else 'sync'}" for w, p in PARALLEL_GRID],
+    )
+    @pytest.mark.parametrize(
+        "name,source,query", COMBOS, ids=[c[0] for c in COMBOS]
+    )
+    def test_grid_matches_serial(
+        self, model, tokenizer, env, pools, serial_baseline,
+        name, source, query, workers, pipeline,
+    ):
+        from repro.core.scheduler import QueryBudget, QueryScheduler
+
+        m, tok = _world(source, model, tokenizer, env)
+        if name not in serial_baseline:
+            serial_baseline[name] = _run_scheduled(m, tok, query, "arrays")
+        serial, serial_stats = serial_baseline[name]
+
+        pool = pools(source, workers)
+        scheduler = QueryScheduler(
+            m, tok, concurrency=1, backend="arrays",
+            pipeline=pipeline, worker_pool=pool,
+        )
+        handle = scheduler.submit(query, budget=QueryBudget(max_results=200))
+        scheduler.run()
+
+        assert len(handle.results) == len(serial)
+        assert len(serial) > 0, f"combo {name} produced no matches"
+        for a, b in zip(serial, handle.results):
+            assert a.text == b.text
+            assert a.tokens == b.tokens
+            # Bit-identical, not approximately equal: sharding and
+            # pipelining reorder *work*, never *results*.
+            assert a.total_logprob == b.total_logprob
+            assert a.logprob == b.logprob
+            assert a.canonical == b.canonical
+        assert handle.stats.lm_calls == serial_stats.lm_calls
+        assert handle.stats.tokens_scored == serial_stats.tokens_scored
+        assert handle.stats.pruned_edges == serial_stats.pruned_edges
+        assert handle.stats.failed_attempts == serial_stats.failed_attempts
+        assert handle.stats.logits_hits == serial_stats.logits_hits
+        assert handle.stats.logits_misses == serial_stats.logits_misses
+        stats = scheduler.stats
+        assert stats.workers == (workers if workers > 1 else 1)
+        if workers > 1:
+            # min_shard_size=1: every multi-context round must have sharded.
+            assert stats.parallel_rounds > 0 or stats.rounds == 0 or (
+                stats.contexts_serviced <= stats.rounds  # all 1-context rounds
+            )
+            assert stats.shards_dispatched >= stats.parallel_rounds
+
+
 class TestSharedLogitsCache:
     def test_shared_cache_across_executors(self, model, tokenizer):
         shared = LogitsCache(model, capacity=4096)

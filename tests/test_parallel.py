@@ -1,0 +1,313 @@
+"""Unit tests for the process-parallel evaluation engine.
+
+:class:`WorkerPool` mechanics — sharded rounds bit-identical to serial
+evaluation, the adaptive inline fallback, double-buffered dispatch/collect,
+crash containment (a killed worker raises cleanly instead of hanging), and
+shared-memory segment lifecycle (pooled reuse while open, every segment
+unlinked at shutdown) — plus :class:`~repro.lm.base.ModelSpec` pickling and
+the batch-dedupe guarantee of ``logprobs_batch``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import PooledModel, WorkerPool
+from repro.lm.base import LanguageModel, LogitsCache, ModelSpec
+
+
+def _contexts(n, depth=3, vocab=300):
+    return [[(7 * i + 3 * t) % (vocab - 1) + 1 for t in range(depth)] for i in range(n)]
+
+
+class _ExplodingModel(LanguageModel):
+    """Builds fine in a worker, then fails every batched evaluation.
+
+    Module-level so :meth:`LanguageModel.spec` can pickle it.
+    """
+
+    def __init__(self, vocab_size: int = 64) -> None:
+        self.vocab_size = vocab_size
+        self.eos_id = 0
+
+    def logprobs(self, context):
+        return np.full(self.vocab_size, -np.log(self.vocab_size))
+
+    def logprobs_batch(self, contexts):
+        raise ValueError(f"boom on {len(contexts)} contexts")
+
+
+def _segment_exists(name: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    return True
+
+
+class TestShardedRounds:
+    @pytest.fixture(scope="class")
+    def pool(self, model):
+        with WorkerPool(model, 2, min_shard_size=1) as pool:
+            yield pool
+
+    def test_rows_bit_identical_to_serial(self, model, pool):
+        ctxs = _contexts(17, vocab=model.vocab_size)
+        serial = model.logprobs_batch(ctxs)
+        parallel = pool.logprobs_batch(ctxs)
+        assert len(parallel) == len(serial)
+        for a, b in zip(serial, parallel):
+            # The n-gram scores each row independently, so sharding must be
+            # exact — not allclose.
+            assert np.array_equal(a, b)
+
+    def test_counters_and_shard_sizes(self, model, pool):
+        before = (pool.rounds, pool.parallel_rounds, pool.shards_dispatched)
+        ticket = pool.dispatch(_contexts(10, vocab=model.vocab_size))
+        assert ticket.parallel
+        assert ticket.shard_sizes == [5, 5]
+        pool.collect(ticket)
+        assert pool.rounds == before[0] + 1
+        assert pool.parallel_rounds == before[1] + 1
+        assert pool.shards_dispatched == before[2] + 2
+
+    def test_double_buffered_rounds_interleave(self, model, pool):
+        """The pipelined scheduler's shape: dispatch R+1 before collecting
+        R.  Out-of-order completion messages go through the stash."""
+        a_ctxs = _contexts(8, vocab=model.vocab_size)
+        b_ctxs = _contexts(12, depth=4, vocab=model.vocab_size)
+        ticket_a = pool.dispatch(a_ctxs)
+        ticket_b = pool.dispatch(b_ctxs)
+        rows_a = pool.collect(ticket_a)
+        rows_b = pool.collect(ticket_b)
+        for got, ctxs in ((rows_a, a_ctxs), (rows_b, b_ctxs)):
+            for row, ctx in zip(got, model.logprobs_batch(ctxs)):
+                assert np.array_equal(row, ctx)
+
+    def test_ticket_redeemed_once(self, model, pool):
+        ticket = pool.dispatch(_contexts(6, vocab=model.vocab_size))
+        pool.collect(ticket)
+        with pytest.raises(RuntimeError, match="already collected"):
+            pool.collect(ticket)
+
+    def test_segments_pooled_not_leaked(self, model, pool):
+        """Steady-state rounds reuse segments instead of allocating."""
+        for _ in range(5):
+            pool.logprobs_batch(_contexts(10, vocab=model.vocab_size))
+        grown = len(pool.segment_names())
+        for _ in range(10):
+            pool.logprobs_batch(_contexts(10, vocab=model.vocab_size))
+        assert len(pool.segment_names()) == grown
+
+
+class TestInlineFallback:
+    def test_small_rounds_stay_in_process(self, model):
+        with WorkerPool(model, 2, min_shard_size=8) as pool:
+            ticket = pool.dispatch(_contexts(9, vocab=model.vocab_size))
+            assert not ticket.parallel  # 9 // 8 == 1 shard -> inline
+            rows = pool.collect(ticket)
+            assert pool.inline_rounds == 1 and pool.parallel_rounds == 0
+            for a, b in zip(model.logprobs_batch(_contexts(9, vocab=model.vocab_size)), rows):
+                assert np.array_equal(a, b)
+            ticket = pool.dispatch(_contexts(16, vocab=model.vocab_size))
+            assert ticket.shard_sizes == [8, 8]
+            pool.collect(ticket)
+
+    def test_workers_1_is_a_passthrough(self, model):
+        pool = WorkerPool(model, 1)
+        assert pool.workers == 1
+        rows = pool.logprobs_batch(_contexts(20, vocab=model.vocab_size))
+        assert pool.parallel_rounds == 0 and pool.inline_rounds == 1
+        assert len(rows) == 20
+        assert pool.segment_names() == []
+        pool.shutdown()
+
+
+class TestLifecycle:
+    def test_shutdown_releases_every_segment(self, model):
+        with WorkerPool(model, 2, min_shard_size=1) as pool:
+            pool.logprobs_batch(_contexts(12, vocab=model.vocab_size))
+            names = pool.segment_names()
+            assert names and all(_segment_exists(n) for n in names)
+        assert pool.closed
+        assert not any(_segment_exists(n) for n in names)
+
+    def test_shutdown_idempotent_and_dispatch_after_raises(self, model):
+        pool = WorkerPool(model, 2, min_shard_size=1)
+        pool.shutdown()
+        pool.shutdown()  # no-op
+        pool.close()  # alias, also a no-op
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.dispatch(_contexts(4, vocab=model.vocab_size))
+
+    def test_killed_worker_raises_cleanly_and_releases_segments(self, model):
+        """A SIGKILLed worker must surface as a RuntimeError naming the
+        worker — never a hang — and shutdown must still unlink every
+        shared-memory segment."""
+        pool = WorkerPool(model, 2, min_shard_size=1)
+        try:
+            pool.logprobs_batch(_contexts(8, vocab=model.vocab_size))
+            os.kill(pool._procs[0].pid, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while pool._procs[0].is_alive() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            start = time.monotonic()
+            with pytest.raises(RuntimeError, match="worker 0 died"):
+                pool.logprobs_batch(_contexts(8, vocab=model.vocab_size))
+            assert time.monotonic() - start < 30.0
+            with pytest.raises(RuntimeError, match="broken"):
+                pool.dispatch(_contexts(8, vocab=model.vocab_size))
+            names = pool.segment_names()
+        finally:
+            pool.shutdown()
+        assert not any(_segment_exists(n) for n in names)
+
+    def test_worker_side_evaluation_error_propagates(self):
+        bad = _ExplodingModel()
+        with WorkerPool(bad, 2, min_shard_size=1, worker_cache_size=0) as pool:
+            with pytest.raises(RuntimeError, match="worker evaluation failed"):
+                pool.logprobs_batch(_contexts(8, vocab=bad.vocab_size))
+
+
+class TestModelSpec:
+    def test_ngram_roundtrip_bit_identical(self, model):
+        spec = model.spec()
+        assert isinstance(spec, ModelSpec)
+        rebuilt = spec.build()
+        assert rebuilt.vocab_size == model.vocab_size
+        assert rebuilt.eos_id == model.eos_id
+        for ctx in _contexts(5, vocab=model.vocab_size):
+            assert np.array_equal(rebuilt.logprobs(ctx), model.logprobs(ctx))
+
+    def test_ngram_lru_cache_not_shipped(self, model):
+        model.logprobs([1, 2])  # warm the model's private LRU
+        rebuilt = model.spec().build()
+        assert len(rebuilt._cache) == 0
+
+    def test_transformer_strips_optimizer_keeps_kv_budget(self, tokenizer):
+        from repro.lm.transformer import TransformerConfig, TransformerModel
+
+        config = TransformerConfig(
+            vocab_size=len(tokenizer), block_size=16, n_layer=1, n_head=2, n_embd=16
+        )
+        m = TransformerModel(config, eos_id=tokenizer.eos_id, seed=0, kv_cache_mb=4.0)
+        m.fit([list(range(1, 25))], steps=2, batch_size=1, seed=0)
+        assert m._adam_t > 0
+        rebuilt = m.spec().build()
+        assert rebuilt._adam_t == 0 and rebuilt._adam_m == {}
+        assert rebuilt.prefix_cache is not None
+        assert rebuilt.prefix_cache.max_bytes == m.prefix_cache.max_bytes
+        # A replica scores exactly like its source (same weights, and its
+        # own empty prefix cache does not change full-forward results).
+        got = rebuilt.logprobs_batch([[1, 2, 3]])
+        want = m.logprobs_batch([[1, 2, 3]])
+        assert np.allclose(got[0], want[0], atol=1e-12)
+
+    def test_pool_accepts_prebuilt_spec(self, model):
+        with WorkerPool(model.spec(), 2, min_shard_size=1) as pool:
+            rows = pool.logprobs_batch(_contexts(8, vocab=model.vocab_size))
+            for a, b in zip(model.logprobs_batch(_contexts(8, vocab=model.vocab_size)), rows):
+                assert np.array_equal(a, b)
+
+
+class TestPooledModel:
+    def test_delegates_and_routes_batches(self, model):
+        with WorkerPool(model, 2, min_shard_size=1) as pool:
+            adapter = PooledModel(model, pool)
+            assert adapter.vocab_size == model.vocab_size
+            assert adapter.pool is pool
+            ctxs = _contexts(8, vocab=model.vocab_size)
+            before = pool.rounds
+            rows = adapter.logprobs_batch(ctxs)
+            assert pool.rounds == before + 1
+            assert np.array_equal(rows[0], model.logprobs(ctxs[0]))
+            # Single-context scoring bypasses the pool entirely.
+            adapter.logprobs([1, 2])
+            assert pool.rounds == before + 1
+
+
+class TestBatchDedupe:
+    class _Counting(LanguageModel):
+        def __init__(self, vocab_size=32):
+            self.vocab_size = vocab_size
+            self.eos_id = 0
+            self.calls = 0
+
+        def logprobs(self, context):
+            self.calls += 1
+            row = np.full(self.vocab_size, -np.log(self.vocab_size))
+            return row
+
+    def test_default_batch_scores_each_unique_context_once(self):
+        m = self._Counting()
+        rows = m.logprobs_batch([[1, 2], [3], [1, 2], [3], [1, 2]])
+        assert m.calls == 2  # two unique contexts, five rows
+        assert len(rows) == 5
+        assert rows[0] is rows[2] is rows[4]  # duplicates share the row
+
+    def test_logits_cache_batch_dedupes_before_the_model(self):
+        m = self._Counting()
+        cache = LogitsCache(m, capacity=64)
+        cache.logprobs_batch([[1], [2], [1], [2], [1]])
+        assert m.calls == 2
+        assert cache.misses == 2 and cache.hits == 3
+
+
+class TestSchedulerOwnership:
+    def test_owned_pool_closed_with_scheduler(self, model, tokenizer):
+        from repro.core.query import SearchQuery
+        from repro.core.scheduler import QueryScheduler
+
+        scheduler = QueryScheduler(model, tokenizer, workers=2, min_shard_size=1)
+        scheduler.submit(SearchQuery("The ((cat)|(dog))"))
+        scheduler.run()
+        pool = scheduler._pool
+        assert pool is not None and not pool.closed
+        assert scheduler.stats.workers == 2
+        scheduler.close()
+        assert pool.closed
+
+    def test_injected_pool_survives_scheduler_close(self, model, tokenizer):
+        from repro.core.query import SearchQuery
+        from repro.core.scheduler import QueryScheduler
+
+        with WorkerPool(model, 2, min_shard_size=1) as pool:
+            for _ in range(2):  # the same pool serves several schedulers
+                scheduler = QueryScheduler(model, tokenizer, worker_pool=pool)
+                scheduler.submit(SearchQuery("The ((cat)|(dog))"))
+                scheduler.run()
+                scheduler.close()
+                assert not pool.closed
+
+    def test_session_context_manager_reclaims_pool(self, model, tokenizer):
+        from repro.core.api import SearchSession
+        from repro.core.query import SearchQuery
+
+        with SearchSession(
+            model, tokenizer, SearchQuery("The ((cat)|(dog))"),
+            workers=2, min_shard_size=1,
+        ) as session:
+            texts = sorted(m.text for m in session)
+            assert texts == ["The cat", "The dog"]
+            assert session.pool is not None
+            names = session.pool.segment_names()
+        assert session.pool.closed
+        assert not any(_segment_exists(n) for n in names)
+
+    def test_session_rejects_shared_cache_with_workers(self, model, tokenizer):
+        from repro.core.api import SearchSession
+        from repro.core.query import SearchQuery
+
+        with pytest.raises(ValueError, match="logits_cache"):
+            SearchSession(
+                model, tokenizer, SearchQuery("The cat"),
+                workers=2, logits_cache=LogitsCache(model),
+            )
