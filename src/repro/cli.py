@@ -92,6 +92,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="overlap one round's worker compute with the next round's "
              "frontier expansion (scheduler mode; results are unchanged)",
     )
+    query.add_argument(
+        "--max-retries", type=int, default=2,
+        help="failed-shard re-deliveries before the in-process fallback "
+             "(worker supervision; negative disables supervision entirely "
+             "and a worker failure aborts the run)",
+    )
+    query.add_argument(
+        "--shard-timeout", type=float, default=None,
+        help="seconds before an unanswered shard is declared hung and "
+             "retried on a respawned worker (default: wait forever)",
+    )
+    query.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="snapshot sweep progress to PATH after every completed round "
+             "batch (atomic; engages the scheduler)",
+    )
+    query.add_argument(
+        "--resume", action="store_true",
+        help="restore completed queries from --checkpoint before running "
+             "the rest (a missing checkpoint file is a fresh run)",
+    )
+    query.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="completed rounds between checkpoint snapshots (cadence vs. "
+             "overhead; see cookbook §13)",
+    )
+    query.add_argument(
+        "--inject-fault", action="append", default=None, metavar="SPEC",
+        help="testing only: deterministically fail a shard delivery; SPEC "
+             "is KIND:ROUND:SHARD[:SECONDS] with KIND in "
+             "{crash,hang,slow,error}, ROUND an integer, '*' or '*/N' "
+             "(repeatable)",
+    )
 
     experiment = sub.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument(
@@ -177,9 +210,16 @@ def _build_queries(args):
 
 def _cmd_query_scheduled(args, env, queries) -> int:
     """Many patterns (or budgets): run through the multi-query scheduler."""
+    from repro.core.faults import FaultPlan
     from repro.core.logging import MatchWriter
     from repro.core.scheduler import QueryBudget
 
+    if args.resume and args.checkpoint is None:
+        print("error: --resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    fault_plan = (
+        FaultPlan.parse_all(args.inject_fault) if args.inject_fault else None
+    )
     scheduler = env.scheduler(
         args.model,
         concurrency=args.concurrency,
@@ -189,6 +229,12 @@ def _cmd_query_scheduled(args, env, queries) -> int:
         kv_cache_mb=args.kv_cache_mb,
         workers=args.workers,
         pipeline=args.pipeline,
+        max_retries=args.max_retries if args.max_retries >= 0 else None,
+        shard_timeout=args.shard_timeout,
+        fault_plan=fault_plan,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
         max_expansions=50_000,
         max_attempts=50 * args.samples,
     )
@@ -203,6 +249,20 @@ def _cmd_query_scheduled(args, env, queries) -> int:
             for pattern, query in zip(args.pattern, queries)
         ]
         scheduler.run()
+    except KeyboardInterrupt:
+        stats = scheduler.stats
+        print(
+            f"# interrupted: {stats.queries_completed + stats.queries_truncated}"
+            f"/{stats.queries_submitted} queries finished"
+            + (
+                f"; checkpoint saved to {args.checkpoint} — rerun with "
+                f"--checkpoint {args.checkpoint} --resume to continue"
+                if args.checkpoint
+                else "; no --checkpoint configured, progress lost"
+            ),
+            file=sys.stderr,
+        )
+        return 130
     finally:
         scheduler.close()
     writer = MatchWriter(args.log) if args.log else None
@@ -231,8 +291,17 @@ def _cmd_query_scheduled(args, env, queries) -> int:
             f"# parallel: workers={stats.workers} "
             f"parallel_rounds={stats.parallel_rounds}/{stats.rounds} "
             f"shards={stats.shards_dispatched} "
-            f"lm_wall={stats.lm_wall_ms:.1f}ms"
+            f"lm_wall={stats.lm_wall_ms:.1f}ms "
+            f"retries={stats.retries} respawns={stats.respawns} "
+            f"degraded={stats.degraded_rounds}"
             f"{' pipelined' if args.pipeline else ''}",
+            file=sys.stderr,
+        )
+    if args.checkpoint:
+        print(
+            f"# checkpoint: {args.checkpoint} "
+            f"writes={stats.checkpoints_written} "
+            f"resumed={stats.queries_resumed}",
             file=sys.stderr,
         )
     if stats.prefix_hits or stats.prefix_misses:
@@ -268,6 +337,9 @@ def _cmd_query(args) -> int:
         or args.max_lm_calls is not None
         or args.workers > 1
         or args.pipeline
+        or args.checkpoint is not None
+        or args.resume
+        or args.inject_fault
     ):
         return _cmd_query_scheduled(args, env, queries)
     query = queries[0]

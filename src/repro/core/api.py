@@ -29,6 +29,7 @@ from typing import Any, Iterator, Sequence
 
 from repro.core.compiler import CompiledQuery, GraphCompiler
 from repro.core.executor import Executor
+from repro.core.faults import FaultPlan
 from repro.core.parallel import PooledModel, WorkerPool
 from repro.core.query import SimpleSearchQuery
 from repro.core.findings import QueryReport
@@ -65,6 +66,9 @@ class SearchSession:
         kv_cache_mb: float | None = None,
         workers: int = 0,
         min_shard_size: int = 8,
+        max_retries: int | None = 2,
+        shard_timeout: float | None = None,
+        fault_plan: FaultPlan | None = None,
         **executor_kwargs: Any,
     ) -> None:
         if compiler is None:
@@ -88,7 +92,14 @@ class SearchSession:
                     "(the cache wraps the pooled model; build the session "
                     "without one, or share a WorkerPool via QueryScheduler)"
                 )
-            self.pool = WorkerPool(model, workers, min_shard_size=min_shard_size)
+            self.pool = WorkerPool(
+                model,
+                workers,
+                min_shard_size=min_shard_size,
+                max_retries=max_retries,
+                shard_timeout=shard_timeout,
+                fault_plan=fault_plan,
+            )
             effective_model = PooledModel(model, self.pool)
         cache = compiler.cache
         hits_before = cache.hits if cache is not None else 0
@@ -160,6 +171,13 @@ def search_many(
     workers: int = 0,
     pipeline: bool = False,
     min_shard_size: int = 8,
+    max_retries: int | None = 2,
+    backoff_base: float = 0.05,
+    shard_timeout: float | None = None,
+    fault_plan: FaultPlan | None = None,
+    checkpoint: str | None = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
     **executor_kwargs: Any,
 ) -> list[ScheduledQuery]:
     """Run many queries through one :class:`QueryScheduler` to completion.
@@ -175,7 +193,16 @@ def search_many(
     model-replica processes, and ``pipeline=True`` overlaps one round's
     worker compute with the next round's frontier expansion; neither
     changes any result (see :class:`QueryScheduler`).  The pool is
-    created and torn down inside this call.
+    created and torn down inside this call.  Worker failures are
+    supervised by default (``max_retries`` re-deliveries then in-process
+    fallback; ``shard_timeout`` turns hangs into failures; ``fault_plan``
+    injects failures for testing).
+
+    ``checkpoint=PATH`` snapshots progress every ``checkpoint_every``
+    completed rounds (and on interruption); ``resume=True`` restores
+    completed queries from that snapshot before running the rest, so an
+    interrupted sweep reproduces the uninterrupted run's results without
+    repeating its finished work (see :mod:`repro.core.checkpoint`).
     """
     scheduler = QueryScheduler(
         model,
@@ -187,6 +214,13 @@ def search_many(
         workers=workers,
         pipeline=pipeline,
         min_shard_size=min_shard_size,
+        max_retries=max_retries,
+        backoff_base=backoff_base,
+        shard_timeout=shard_timeout,
+        fault_plan=fault_plan,
+        checkpoint_path=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
         **executor_kwargs,
     )
     try:

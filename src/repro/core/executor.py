@@ -175,7 +175,15 @@ class Executor:
         pool = getattr(model, "pool", None)
         self._pool = pool
         self._pool_base = (
-            (pool.shards_dispatched, pool.parallel_rounds) if pool is not None else (0, 0)
+            (
+                pool.shards_dispatched,
+                pool.parallel_rounds,
+                pool.retries,
+                pool.respawns,
+                pool.degraded_rounds,
+            )
+            if pool is not None
+            else (0, 0, 0, 0, 0)
         )
         self.stats.workers = pool.workers if pool is not None else 1
         #: Statically-empty language (RLM001): the traversal short-circuits
@@ -251,9 +259,12 @@ class Executor:
             self.stats.prefix_evictions = prefix.evictions - e0
             self.stats.prefix_bytes = prefix.bytes
         if self._pool is not None:
-            s0, p0 = self._pool_base
+            s0, p0, r0, w0, d0 = self._pool_base
             self.stats.shards_dispatched = self._pool.shards_dispatched - s0
             self.stats.parallel_rounds = self._pool.parallel_rounds - p0
+            self.stats.retries = self._pool.retries - r0
+            self.stats.respawns = self._pool.respawns - w0
+            self.stats.degraded_rounds = self._pool.degraded_rounds - d0
 
     def finish_request(self, request: LmRequest, rows: list[np.ndarray]) -> list:
         """Post-process one serviced :class:`LmRequest`.

@@ -1,0 +1,157 @@
+"""Deterministic fault injection for the process-parallel engine.
+
+The replication study of the source paper reports run interruptions as the
+dominant practical obstacle to reproducing its large sweeps — which makes
+*failure handling* part of the system under test.  This module provides the
+testable half of that story: a :class:`FaultPlan` describes, ahead of time,
+exactly which (round, shard) deliveries should misbehave and how, so every
+failure mode the supervisor must survive — a worker SIGKILLing itself, a
+worker hanging past its shard deadline, a worker returning late, a worker
+raising mid-evaluation — can be reproduced bit-for-bit in CI.
+
+The plan is consulted by the *parent* at dispatch time (it owns the round
+and shard numbering); the selected :class:`FaultSpec` travels to the worker
+inside the task message and is executed just before the shard would be
+evaluated.  Faults are keyed by delivery ``attempt`` (0 = first dispatch),
+so a default spec fires once and the supervised retry then succeeds — the
+shape every recovery test wants.
+
+Fault kinds:
+
+* ``"crash"`` — the worker SIGKILLs itself (hard process death; the
+  supervisor must detect it via liveness, not a message).
+* ``"hang"`` — the worker sleeps ``seconds`` before proceeding; with a
+  ``shard_timeout`` configured the parent declares the shard dead and
+  respawns the worker mid-sleep.
+* ``"slow"`` — the worker sleeps ``seconds`` and then answers normally (a
+  late reply; below the deadline it is just latency, above it the stale
+  answer must be discarded).
+* ``"error"`` — the worker raises during evaluation and reports it (clean
+  failure message, process stays alive).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+
+#: Recognised fault kinds (see the module docstring).
+FAULT_KINDS = ("crash", "hang", "slow", "error")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: *kind*, fired on matching (round, shard) deliveries.
+
+    ``round_index`` pins an exact parallel-round number (the pool numbers
+    parallel dispatches from 0); ``every`` instead matches every round where
+    ``round_index % every == 0``; both ``None`` matches every round.
+    ``shard`` is the shard index within the round — negative counts from the
+    end, so ``-1`` is the round's last shard.  ``attempts`` lists the
+    delivery attempts the fault fires on (``(0,)`` = first dispatch only,
+    which is what lets a supervised retry succeed deterministically).
+    """
+
+    kind: str
+    round_index: int | None = None
+    every: int | None = None
+    shard: int = 0
+    seconds: float = 30.0
+    attempts: tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (use one of {FAULT_KINDS})")
+        if self.every is not None and self.every < 1:
+            raise ValueError("every must be >= 1")
+
+    def matches(
+        self, round_index: int, shard_index: int, n_shards: int, attempt: int
+    ) -> bool:
+        """Whether this fault fires on the given shard delivery."""
+        if attempt not in self.attempts:
+            return False
+        if self.round_index is not None and round_index != self.round_index:
+            return False
+        if self.every is not None and round_index % self.every != 0:
+            return False
+        shard = self.shard if self.shard >= 0 else n_shards + self.shard
+        return shard == shard_index
+
+    def execute(self) -> None:
+        """Carry out the fault (called inside the worker process)."""
+        if self.kind == "crash":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif self.kind in ("hang", "slow"):
+            time.sleep(self.seconds)
+        elif self.kind == "error":
+            raise InjectedFault(f"injected fault: {self!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the CLI form ``KIND:ROUND:SHARD[:SECONDS]``.
+
+        ``ROUND`` is an integer, ``*`` (every round), or ``*/N`` (every Nth
+        round); ``SHARD`` may be negative (from the end).  Examples:
+        ``crash:1:0``, ``slow:*/2:-1:0.05``, ``hang:*:0:30``.
+        """
+        parts = text.split(":")
+        if len(parts) not in (3, 4):
+            raise ValueError(f"fault spec {text!r} is not KIND:ROUND:SHARD[:SECONDS]")
+        kind, round_str, shard_str = parts[0], parts[1], parts[2]
+        seconds = float(parts[3]) if len(parts) == 4 else 30.0
+        round_index: int | None = None
+        every: int | None = None
+        if round_str == "*":
+            pass
+        elif round_str.startswith("*/"):
+            every = int(round_str[2:])
+        else:
+            round_index = int(round_str)
+        return cls(
+            kind=kind,
+            round_index=round_index,
+            every=every,
+            shard=int(shard_str),
+            seconds=seconds,
+        )
+
+
+class InjectedFault(RuntimeError):
+    """Raised worker-side by an ``"error"`` fault."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of :class:`FaultSpec` consulted at dispatch.
+
+    Picklable by construction (it crosses no process boundary itself, but
+    the selected spec does, inside the task message).  ``directive`` returns
+    the first matching spec, or ``None`` for a clean delivery.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def directive(
+        self, round_index: int, shard_index: int, n_shards: int, attempt: int
+    ) -> FaultSpec | None:
+        """The fault to inject for this shard delivery, if any."""
+        for spec in self.specs:
+            if spec.matches(round_index, shard_index, n_shards, attempt):
+                return spec
+        return None
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultPlan":
+        """Build a plan from specs (convenience for tests)."""
+        return cls(specs=tuple(specs))
+
+    @classmethod
+    def parse_all(cls, texts: Iterable[str] | Sequence[str]) -> "FaultPlan":
+        """Build a plan from CLI ``KIND:ROUND:SHARD[:SECONDS]`` strings."""
+        return cls(specs=tuple(FaultSpec.parse(t) for t in texts))

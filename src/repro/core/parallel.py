@@ -33,12 +33,23 @@ Design notes:
   it.  The pipelined scheduler dispatches round ``R+1`` before collecting
   round ``R``, overlapping worker compute with automaton frontier
   expansion.
+* **Supervision, not crash-propagation.**  A worker that dies, errors, or
+  blows the ``shard_timeout`` deadline no longer poisons the run: the
+  failed shard is retried with exponential backoff on a respawned worker,
+  and after ``max_retries`` attempts it is evaluated in-process instead
+  (a *degraded* shard — slow, never wrong).  ``max_retries=None`` restores
+  the legacy fail-fast behaviour (first failure raises and marks the pool
+  broken).  Because a shard's contexts always reach the same
+  ``logprobs_batch`` evaluation whichever process finally serves them,
+  supervision never changes a result.  A :class:`~repro.core.faults.FaultPlan`
+  can deterministically inject crash/hang/slow/error faults on chosen
+  (round, shard) deliveries, which is how CI exercises every recovery path.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-import queue as queue_mod
+from multiprocessing import connection as mp_conn
 import time
 import weakref
 from dataclasses import dataclass, field
@@ -46,6 +57,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.faults import FaultPlan, FaultSpec
 from repro.lm.base import LanguageModel, LogitsCache, ModelSpec
 
 __all__ = ["WorkerPool", "PooledModel", "RoundTicket"]
@@ -95,26 +107,46 @@ def _worker_main(
     spec: ModelSpec,
     worker_index: int,
     task_queue: Any,
-    result_queue: Any,
+    result_conn: Any,
     cache_capacity: int,
 ) -> None:
     """Worker loop: build one replica, then serve shard tasks forever.
 
     Protocol (all messages are ``(kind, task_id, payload)`` tuples):
 
-    * parent -> worker: ``(task_id, segment_name, n_rows, contexts)``, or
-      ``None`` to shut down.
+    * parent -> worker: ``(task_id, segment_name, n_rows, contexts, fault)``,
+      or ``None`` to shut down.  ``fault`` is an injected
+      :class:`~repro.core.faults.FaultSpec` (or ``None``), executed just
+      before the shard is evaluated.
     * worker -> parent: ``("ready", -1, worker_index)`` once the replica
       is built; ``("ok", task_id, None)`` after writing a shard's rows
       into its segment; ``("error", task_id, detail)`` on evaluation
       failure; ``("fatal", -1, detail)`` if the replica cannot be built.
+
+    Results travel over a **per-worker pipe**, not a shared queue, and
+    that choice is load-bearing for supervision: a ``multiprocessing``
+    queue write holds a cross-process lock in a background feeder thread,
+    so a worker dying mid-``put`` (a SIGKILL landing during the flush of
+    an earlier message) would strand the lock and deadlock every other
+    worker's sends.  ``Connection.send`` runs synchronously in this
+    thread — when it returns the frame is fully written — and each worker
+    owns its pipe, so an abrupt death can never block anyone else.
     """
+
+    def _send(msg: tuple[str, int, Any]) -> None:
+        try:
+            result_conn.send(msg)
+        except (BrokenPipeError, OSError):
+            raise SystemExit(1)  # parent is gone; nothing left to serve
+
     try:
         model = spec.build()
         cache = LogitsCache(model, capacity=cache_capacity) if cache_capacity > 0 else None
-        result_queue.put(("ready", -1, worker_index))
+        _send(("ready", -1, worker_index))
+    except SystemExit:
+        return
     except BaseException as exc:  # startup failure must not hang the parent
-        result_queue.put(("fatal", -1, f"{type(exc).__name__}: {exc}"))
+        _send(("fatal", -1, f"{type(exc).__name__}: {exc}"))
         return
     segments: dict[str, Any] = {}
     try:
@@ -122,8 +154,10 @@ def _worker_main(
             task = task_queue.get()
             if task is None:
                 break
-            task_id, segment_name, n_rows, contexts = task
+            task_id, segment_name, n_rows, contexts, fault = task
             try:
+                if fault is not None:
+                    fault.execute()
                 if cache is not None:
                     rows = cache.logprobs_batch(contexts)
                 else:
@@ -138,9 +172,11 @@ def _worker_main(
                 for r, row in enumerate(rows):
                     out[r] = row
                 del out
-                result_queue.put(("ok", task_id, None))
+                _send(("ok", task_id, None))
+            except SystemExit:
+                return
             except BaseException as exc:
-                result_queue.put(("error", task_id, f"{type(exc).__name__}: {exc}"))
+                _send(("error", task_id, f"{type(exc).__name__}: {exc}"))
     finally:
         for shm in segments.values():
             try:
@@ -199,9 +235,17 @@ class _SegmentPool:
 
 
 def _shutdown_resources(
-    procs: list[Any], task_queues: list[Any], result_queue: Any, segments: _SegmentPool
+    procs: list[Any],
+    task_queues: list[Any],
+    result_conns: list[Any],
+    segments: _SegmentPool,
 ) -> None:
-    """Tear down pool resources; idempotent and safe from a finalizer."""
+    """Tear down pool resources; idempotent and safe from a finalizer.
+
+    Every step is individually guarded: a worker that was SIGKILLed, a
+    queue whose feeder thread already died, or a segment unlinked by an
+    earlier call must never turn shutdown into a raise.
+    """
     for q in task_queues:
         try:
             q.put_nowait(None)
@@ -219,26 +263,44 @@ def _shutdown_resources(
                 proc.join(timeout=5.0)
         except Exception:
             pass
-    queues = list(task_queues)
-    if result_queue is not None:
-        queues.append(result_queue)
-    for q in queues:
+    for q in task_queues:
         try:
             q.close()
             q.cancel_join_thread()
         except Exception:
             pass
-    segments.destroy()
+    for conn in result_conns:
+        try:
+            if conn is not None:
+                conn.close()
+        except Exception:
+            pass
+    try:
+        segments.destroy()
+    except Exception:
+        pass
 
 
 @dataclass
 class _Shard:
-    """One contiguous slice of a round, in flight on one worker."""
+    """One contiguous slice of a round, in flight on one worker.
+
+    Carries everything a retry needs: the contexts themselves (so a
+    respawned worker — or the in-process degraded fallback — can re-evaluate
+    them), the round/shard coordinates the fault plan keys on, and the
+    delivery ``attempts`` count the supervisor budgets against."""
 
     task_id: int
     worker_index: int
     segment: Any
     n_rows: int
+    contexts: list[tuple[int, ...]] = field(default_factory=list)
+    round_index: int = 0
+    shard_index: int = 0
+    n_shards: int = 1
+    attempts: int = 0
+    deadline: float | None = None
+    degraded: bool = False
 
 
 @dataclass
@@ -283,9 +345,22 @@ class WorkerPool:
     ``worker_cache_size`` bounds each worker's private
     :class:`~repro.lm.base.LogitsCache` (0 disables worker-side caching).
 
+    **Supervision** (``max_retries``, ``backoff_base``, ``backoff_cap``,
+    ``shard_timeout``): a shard whose worker dies, errors, or misses the
+    ``shard_timeout`` deadline is retried on a freshly respawned worker,
+    sleeping ``min(backoff_cap, backoff_base * 2**(attempt-1))`` between
+    attempts; after ``max_retries`` failed deliveries the shard is
+    evaluated in-process (degraded — slow, never wrong).  Counters:
+    :attr:`retries`, :attr:`respawns`, :attr:`degraded_shards`,
+    :attr:`degraded_rounds`.  ``max_retries=None`` restores the legacy
+    fail-fast contract: the first failure raises ``RuntimeError`` and marks
+    the pool broken.  ``fault_plan`` deterministically injects failures for
+    testing (see :mod:`repro.core.faults`).
+
     Use as a context manager, or call :meth:`shutdown`; a ``weakref``
     finalizer reclaims processes and shared-memory segments if neither
-    happens.
+    happens.  :meth:`shutdown` is idempotent and never raises — not even
+    after worker crashes.
     """
 
     def __init__(
@@ -296,58 +371,78 @@ class WorkerPool:
         min_shard_size: int = 8,
         worker_cache_size: int = 8192,
         start_method: str | None = None,
+        max_retries: int | None = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        shard_timeout: float | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
+        self._spec: ModelSpec | None
+        self._local_model: LanguageModel | None
         if isinstance(model, ModelSpec):
-            spec = model
-            self._local_model: LanguageModel | None = None
+            self._spec = model
+            self._local_model = None
         else:
-            spec = model.spec() if workers > 1 else None  # type: ignore[assignment]
+            self._spec = model.spec() if workers > 1 else None
             self._local_model = model
-        self._spec = spec
         self.workers = max(1, int(workers))
         self.min_shard_size = max(1, int(min_shard_size))
         self.vocab_size = model.vocab_size
         self.eos_id = model.eos_id
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.shard_timeout = shard_timeout
+        self.fault_plan = fault_plan
         self.rounds = 0
         self.parallel_rounds = 0
         self.inline_rounds = 0
         self.shards_dispatched = 0
         self.contexts_evaluated = 0
         self.wall_ms = 0.0
+        #: Supervision counters: shard re-deliveries, worker process
+        #: respawns, shards that fell back to in-process evaluation after
+        #: exhausting retries, rounds containing at least one such shard,
+        #: and faults the plan injected (testing).
+        self.retries = 0
+        self.respawns = 0
+        self.degraded_shards = 0
+        self.degraded_rounds = 0
+        self.faults_injected = 0
         self._closed = False
         self._broken = False
         self._next_task_id = 0
+        self._round_index = 0
+        self._worker_cache_size = worker_cache_size
+        #: Live shards by their *current* task_id; messages for task_ids not
+        #: in here are stale (a retried delivery superseded them) and are
+        #: dropped by the message pump.
+        self._live: dict[int, _Shard] = {}
         self._stash: dict[int, tuple[str, int, Any]] = {}
         self._segments = _SegmentPool()
+        self._ctx: Any = None
         self._procs: list[Any] = []
         self._task_queues: list[Any] = []
-        self._result_queue: Any = None
+        #: Per-worker result pipes (parent read ends).  One pipe per worker
+        #: — never a shared queue — so a worker SIGKILLed mid-send can only
+        #: ever lose its own message, not wedge the transport for everyone
+        #: (see :func:`_worker_main`).  An entry goes ``None`` once its
+        #: read end hits EOF; :meth:`_respawn` installs a fresh pipe.
+        self._result_conns: list[Any] = []
         if self.workers > 1:
             assert self._spec is not None
-            ctx = mp.get_context(start_method)
-            self._result_queue = ctx.Queue()
-            self._task_queues = [ctx.Queue() for _ in range(self.workers)]
+            self._ctx = mp.get_context(start_method)
+            self._task_queues = [self._ctx.Queue() for _ in range(self.workers)]
+            self._result_conns = [None] * self.workers
             for i in range(self.workers):
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        self._spec,
-                        i,
-                        self._task_queues[i],
-                        self._result_queue,
-                        worker_cache_size,
-                    ),
-                    daemon=True,
-                    name=f"relm-eval-{i}",
-                )
-                proc.start()
+                proc = self._spawn_worker(i)
                 self._procs.append(proc)
         self._finalizer = weakref.finalize(
             self,
             _shutdown_resources,
             self._procs,
             self._task_queues,
-            self._result_queue,
+            self._result_conns,
             self._segments,
         )
         if self._procs:
@@ -358,6 +453,28 @@ class WorkerPool:
                 raise
 
     # -- lifecycle -----------------------------------------------------------
+    def _spawn_worker(self, index: int) -> Any:
+        """Start worker *index* on its current task queue and a fresh
+        result pipe; the parent keeps the read end, the worker the write
+        end (the parent's copy of which is closed so EOF is observable)."""
+        read_end, write_end = self._ctx.Pipe(duplex=False)
+        self._result_conns[index] = read_end
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                self._spec,
+                index,
+                self._task_queues[index],
+                write_end,
+                self._worker_cache_size,
+            ),
+            daemon=True,
+            name=f"relm-eval-{index}",
+        )
+        proc.start()
+        write_end.close()
+        return proc
+
     def _await_ready(self) -> None:
         """Block until every worker reports its replica built."""
         pending = set(range(self.workers))
@@ -365,25 +482,35 @@ class WorkerPool:
         while pending:
             if time.monotonic() > deadline:
                 raise RuntimeError("worker pool startup timed out")
-            try:
-                kind, _, payload = self._result_queue.get(timeout=_POLL_SECONDS)
-            except queue_mod.Empty:
-                self._raise_if_dead()
-                continue
-            if kind == "fatal":
-                raise RuntimeError(f"worker failed to start: {payload}")
-            if kind == "ready":
-                pending.discard(payload)
+            got = False
+            for i, msg in self._poll_conns(_POLL_SECONDS):
+                got = True
+                kind, _, payload = msg
+                if kind == "fatal":
+                    raise RuntimeError(f"worker failed to start: {payload}")
+                if kind == "ready":
+                    pending.discard(payload)
+            if not got:
+                for i, proc in enumerate(self._procs):
+                    if i in pending and not proc.is_alive():
+                        raise RuntimeError(
+                            f"worker {i} died (exit code {proc.exitcode}) during startup"
+                        )
 
     def shutdown(self) -> None:
         """Stop all workers and unlink every shared-memory segment.
 
-        Idempotent; after shutdown :meth:`dispatch` raises.
+        Idempotent and exception-free — safe to call repeatedly, after
+        worker crashes, and from ``finally`` blocks; after shutdown
+        :meth:`dispatch` raises.
         """
         if self._closed:
             return
         self._closed = True
-        self._finalizer()
+        try:
+            self._finalizer()
+        except Exception:
+            pass
 
     close = shutdown
 
@@ -427,16 +554,26 @@ class WorkerPool:
             return ticket
         self.parallel_rounds += 1
         self.shards_dispatched += len(sizes)
+        round_index = self._round_index
+        self._round_index += 1
         row_bytes = self.vocab_size * 8
         offset = 0
-        for worker_index, size in enumerate(sizes):
+        for shard_index, size in enumerate(sizes):
             chunk = keys[offset : offset + size]
             offset += size
             segment = self._segments.acquire(size * row_bytes)
-            task_id = self._next_task_id
-            self._next_task_id += 1
-            self._task_queues[worker_index].put((task_id, segment.name, size, chunk))
-            ticket.shards.append(_Shard(task_id, worker_index, segment, size))
+            shard = _Shard(
+                task_id=-1,
+                worker_index=shard_index,
+                segment=segment,
+                n_rows=size,
+                contexts=chunk,
+                round_index=round_index,
+                shard_index=shard_index,
+                n_shards=len(sizes),
+            )
+            self._dispatch_shard(shard)
+            ticket.shards.append(shard)
         return ticket
 
     def collect(self, ticket: RoundTicket) -> list[np.ndarray]:
@@ -445,9 +582,9 @@ class WorkerPool:
             raise RuntimeError("RoundTicket already collected")
         ticket.collected = True
         if not ticket.shards:
-            rows = [np.asarray(r) for r in self._local().logprobs_batch(ticket.contexts)]
+            inline = [np.asarray(r) for r in self._local().logprobs_batch(ticket.contexts)]
             self.wall_ms += (time.perf_counter() - ticket.started) * 1e3
-            return rows
+            return inline
         rows: list[np.ndarray] = []
         for shard in ticket.shards:
             self._await(shard)
@@ -458,6 +595,8 @@ class WorkerPool:
                 rows.append(view[r].copy())
             del view
             self._segments.release(shard.segment)
+        if any(shard.degraded for shard in ticket.shards):
+            self.degraded_rounds += 1
         self.wall_ms += (time.perf_counter() - ticket.started) * 1e3
         return rows
 
@@ -479,32 +618,206 @@ class WorkerPool:
             self._local_model = self._spec.build()
         return self._local_model
 
-    def _await(self, shard: _Shard) -> None:
-        """Wait for one shard's completion message; raise (and mark the
-        pool broken) on worker death or evaluation error — never hang."""
-        msg = self._stash.pop(shard.task_id, None)
-        while msg is None:
-            try:
-                incoming = self._result_queue.get(timeout=_POLL_SECONDS)
-            except queue_mod.Empty:
-                self._raise_if_dead()
-                continue
-            if incoming[1] == shard.task_id:
-                msg = incoming
-            else:
-                self._stash[incoming[1]] = incoming
-        kind, _, payload = msg
-        if kind == "error":
-            self._broken = True
-            raise RuntimeError(f"worker evaluation failed: {payload}")
+    def _dispatch_shard(self, shard: _Shard) -> None:
+        """Send (or resend) *shard* to its worker under a fresh task id."""
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        shard.task_id = task_id
+        fault: FaultSpec | None = None
+        if self.fault_plan is not None:
+            fault = self.fault_plan.directive(
+                shard.round_index, shard.shard_index, shard.n_shards, shard.attempts
+            )
+            if fault is not None:
+                self.faults_injected += 1
+        shard.deadline = (
+            time.monotonic() + self.shard_timeout if self.shard_timeout is not None else None
+        )
+        self._live[task_id] = shard
+        self._task_queues[shard.worker_index].put(
+            (task_id, shard.segment.name, shard.n_rows, shard.contexts, fault)
+        )
 
-    def _raise_if_dead(self) -> None:
-        for i, proc in enumerate(self._procs):
+    def _await(self, shard: _Shard) -> None:
+        """Wait for *shard* to be satisfied: a clean completion message, a
+        supervised retry that eventually lands, or the in-process degraded
+        fallback.  Never hangs: worker death is detected by liveness,
+        hangs by the ``shard_timeout`` deadline."""
+        while True:
+            msg = self._stash.pop(shard.task_id, None)
+            if msg is None:
+                self._drain()
+                msg = self._stash.pop(shard.task_id, None)
+            if msg is not None:
+                kind, _, payload = msg
+                self._live.pop(shard.task_id, None)
+                if kind == "ok":
+                    return
+                if self._failure(shard, f"worker evaluation failed: {payload}"):
+                    return
+                continue
+            proc = self._procs[shard.worker_index]
             if not proc.is_alive():
+                self._drain()
+                if shard.task_id in self._stash:
+                    continue  # completion raced in just before death
+                self._live.pop(shard.task_id, None)
+                detail = (
+                    f"worker {shard.worker_index} died (exit code {proc.exitcode}) "
+                    f"during a logits round"
+                )
+                if self._failure(shard, detail):
+                    return
+                continue
+            if shard.deadline is not None and time.monotonic() > shard.deadline:
+                self._live.pop(shard.task_id, None)
+                detail = (
+                    f"worker {shard.worker_index} missed the "
+                    f"{self.shard_timeout}s shard deadline"
+                )
+                if self._failure(shard, detail):
+                    return
+                continue
+            self._pump(_POLL_SECONDS)
+
+    def _failure(self, shard: _Shard, detail: str) -> bool:
+        """Handle one failed shard delivery.
+
+        Fail-fast mode (``max_retries=None``) marks the pool broken and
+        raises.  Supervised mode respawns the shard's worker, then either
+        re-dispatches the shard after an exponential-backoff sleep (returns
+        ``False``: keep waiting) or — once retries are exhausted — evaluates
+        it in-process into its segment (returns ``True``: satisfied)."""
+        if self.max_retries is None:
+            self._broken = True
+            raise RuntimeError(detail)
+        shard.attempts += 1
+        self._respawn(shard.worker_index)
+        if shard.attempts > self.max_retries:
+            self.degraded_shards += 1
+            shard.degraded = True
+            try:
+                rows = self._local().logprobs_batch(shard.contexts)
+            except Exception as exc:
                 self._broken = True
                 raise RuntimeError(
-                    f"worker {i} died (exit code {proc.exitcode}) during a logits round"
-                )
+                    f"worker evaluation failed in-process too "
+                    f"(after {shard.attempts - 1} retries): "
+                    f"{type(exc).__name__}: {exc}; last worker failure: {detail}"
+                ) from exc
+            out = np.ndarray(
+                (shard.n_rows, self.vocab_size), dtype=np.float64, buffer=shard.segment.buf
+            )
+            for r, row in enumerate(rows):
+                out[r] = row
+            del out
+            return True
+        self.retries += 1
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** (shard.attempts - 1)))
+        if delay > 0:
+            time.sleep(delay)
+        self._dispatch_shard(shard)
+        return False
+
+    def _respawn(self, worker_index: int) -> None:
+        """Replace worker *worker_index* with a fresh process.
+
+        The old process is terminated first (so it can never write into a
+        segment a retry is about to reuse), its queue — which may still hold
+        undelivered tasks — is abandoned, and every other live shard that
+        was in flight on it is re-dispatched to the replacement."""
+        proc = self._procs[worker_index]
+        try:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=5.0)
+        except Exception:
+            pass
+        old_queue = self._task_queues[worker_index]
+        try:
+            old_queue.close()
+            old_queue.cancel_join_thread()
+        except Exception:
+            pass
+        # Drop the dead worker's result pipe unread: anything still in it is
+        # from deliveries this respawn is superseding, hence stale by
+        # construction (and _route would drop it by task_id anyway).
+        old_conn = self._result_conns[worker_index]
+        if old_conn is not None:
+            try:
+                old_conn.close()
+            except Exception:
+                pass
+            self._result_conns[worker_index] = None
+        self._task_queues[worker_index] = self._ctx.Queue()
+        self._procs[worker_index] = self._spawn_worker(worker_index)
+        self.respawns += 1
+        # Collateral damage: shards queued on (or racing through) the dead
+        # worker lost their task messages with its queue; re-deliver them to
+        # the replacement.  Their attempt counts rise too, so a worker that
+        # keeps dying cannot retry its passengers forever.
+        for task_id, other in list(self._live.items()):
+            if other.worker_index == worker_index:
+                del self._live[task_id]
+                self._stash.pop(task_id, None)
+                other.attempts += 1
+                self.retries += 1
+                self._dispatch_shard(other)
+
+    def _poll_conns(self, timeout: float) -> list[tuple[int, tuple[str, int, Any]]]:
+        """One ``connection.wait`` pass over the live result pipes.
+
+        Returns every ``(worker_index, message)`` that was ready within
+        *timeout*.  A pipe at EOF (its worker died) is closed and nulled
+        out — worker death itself is the :meth:`_await` liveness check's
+        job, so EOF is not an error here, just the end of that pipe.
+        """
+        by_conn = {
+            conn: i for i, conn in enumerate(self._result_conns) if conn is not None
+        }
+        if not by_conn:
+            if timeout > 0:
+                time.sleep(timeout)
+            return []
+        out: list[tuple[int, tuple[str, int, Any]]] = []
+        for ready in mp_conn.wait(list(by_conn), timeout=timeout):
+            index = by_conn[ready]
+            try:
+                out.append((index, self._result_conns[index].recv()))
+            except (EOFError, OSError):
+                try:
+                    self._result_conns[index].close()
+                except Exception:
+                    pass
+                self._result_conns[index] = None
+        return out
+
+    def _pump(self, timeout: float) -> None:
+        """One poll of the result pipes; routes messages to the stash."""
+        for _, incoming in self._poll_conns(timeout):
+            self._route(incoming)
+
+    def _drain(self) -> None:
+        """Route every message currently sitting in the result pipes."""
+        while True:
+            batch = self._poll_conns(0)
+            if not batch:
+                return
+            for _, incoming in batch:
+                self._route(incoming)
+
+    def _route(self, incoming: tuple[str, int, Any]) -> None:
+        kind, task_id, _ = incoming
+        if kind in ("ready", "fatal"):
+            # Respawn handshakes; a fatal worker exits and is then caught
+            # by the liveness check of whichever shard awaits it.
+            return
+        if task_id in self._live:
+            self._stash[task_id] = incoming
+        # else: stale completion from a superseded delivery — dropped.
 
 
 class PooledModel(LanguageModel):

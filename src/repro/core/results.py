@@ -77,6 +77,12 @@ class ExecutionStats:
     shards_dispatched: int = 0
     parallel_rounds: int = 0
     lm_wall_ms: float = 0.0
+    #: Supervision activity while this run held the pool (deltas): shard
+    #: re-deliveries after worker failures, worker process respawns, and
+    #: rounds containing a shard that fell back to in-process evaluation.
+    retries: int = 0
+    respawns: int = 0
+    degraded_rounds: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -122,6 +128,9 @@ class ExecutionStats:
             "shards_dispatched": self.shards_dispatched,
             "parallel_rounds": self.parallel_rounds,
             "lm_wall_ms": self.lm_wall_ms,
+            "retries": self.retries,
+            "respawns": self.respawns,
+            "degraded_rounds": self.degraded_rounds,
         }
 
 
@@ -163,6 +172,18 @@ class SchedulerStats:
     shards_dispatched: int = 0
     parallel_rounds: int = 0
     lm_wall_ms: float = 0.0
+    #: Supervision activity (see :mod:`repro.core.parallel`): shard
+    #: re-deliveries after worker failures, worker process respawns, and
+    #: rounds containing a shard that exhausted its retries and fell back
+    #: to in-process evaluation (slow, never wrong).
+    retries: int = 0
+    respawns: int = 0
+    degraded_rounds: int = 0
+    #: Checkpoint/resume activity (see :mod:`repro.core.checkpoint`):
+    #: snapshots written this run, and queries restored from a snapshot at
+    #: resume instead of being re-run.
+    checkpoints_written: int = 0
+    queries_resumed: int = 0
     #: Static-analyzer verdict (``"ok"``/``"warning"``/``"error"``) per
     #: query name, recorded at submit (absent when analysis is disabled).
     per_query_verdict: dict = field(default_factory=dict)
@@ -206,6 +227,11 @@ class SchedulerStats:
             "shards_dispatched": self.shards_dispatched,
             "parallel_rounds": self.parallel_rounds,
             "lm_wall_ms": self.lm_wall_ms,
+            "retries": self.retries,
+            "respawns": self.respawns,
+            "degraded_rounds": self.degraded_rounds,
+            "checkpoints_written": self.checkpoints_written,
+            "queries_resumed": self.queries_resumed,
             "per_query_latency": dict(self.per_query_latency),
             "per_query_verdict": dict(self.per_query_verdict),
             "prefix_hits": self.prefix_hits,

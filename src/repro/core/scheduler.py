@@ -40,12 +40,19 @@ Guarantees:
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
 import time
 from dataclasses import dataclass
+from types import FrameType
 from typing import Any, Callable
 
+from repro.core import checkpoint as ckpt_mod
+from repro.core.checkpoint import QuerySnapshot, RunCheckpoint, query_fingerprint
 from repro.core.compiler import GraphCompiler
 from repro.core.executor import Executor, LmRequest
+from repro.core.faults import FaultPlan
 from repro.core.findings import QueryReport
 from repro.core.parallel import RoundTicket, WorkerPool
 from repro.core.query import SimpleSearchQuery
@@ -219,6 +226,14 @@ class QueryScheduler:
         pipeline: bool = False,
         min_shard_size: int = 8,
         worker_pool: WorkerPool | None = None,
+        max_retries: int | None = 2,
+        backoff_base: float = 0.05,
+        shard_timeout: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 1,
+        checkpoint_cache_mb: float = 64.0,
+        resume: bool = False,
         **executor_defaults: Any,
     ) -> None:
         if concurrency < 1:
@@ -227,6 +242,10 @@ class QueryScheduler:
             raise ValueError(
                 f"unknown fairness policy {fairness!r} (use one of {FAIRNESS_POLICIES})"
             )
+        if resume and checkpoint_path is None:
+            raise ValueError("resume=True requires a checkpoint_path")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         self.model = model
         self.tokenizer = tokenizer
         # Prefix-state (KV) cache knobs apply to the *model* — one cache
@@ -270,12 +289,40 @@ class QueryScheduler:
             self._pool: WorkerPool | None = worker_pool
             self._owns_pool = False
         elif workers > 1:
-            self._pool = WorkerPool(model, workers, min_shard_size=min_shard_size)
+            self._pool = WorkerPool(
+                model,
+                workers,
+                min_shard_size=min_shard_size,
+                max_retries=max_retries,
+                backoff_base=backoff_base,
+                shard_timeout=shard_timeout,
+                fault_plan=fault_plan,
+            )
             self._owns_pool = True
         else:
             self._pool = None
             self._owns_pool = False
+        # Supervision counters are deltas against the pool's state at
+        # attach time (a shared pool may carry earlier schedulers' traffic).
+        self._pool_fault_base = (
+            (self._pool.retries, self._pool.respawns, self._pool.degraded_rounds)
+            if self._pool is not None
+            else (0, 0, 0)
+        )
         self.pipeline = bool(pipeline)
+        # Checkpoint/resume state (see :mod:`repro.core.checkpoint`): a
+        # snapshot is written after every ``checkpoint_every`` completed
+        # rounds, at the end of a clean :meth:`run`, and best-effort on
+        # interruption; ``resume=True`` restores completed queries (and
+        # preloads the logits cache) from ``checkpoint_path`` the first
+        # time :meth:`run`/:meth:`step` executes.
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_cache_mb = checkpoint_cache_mb
+        self.resume = resume
+        self._resume_attempted = False
+        self._rounds_since_checkpoint = 0
+        self._interrupt_requested = False
         self.stats = SchedulerStats()
         self.stats.workers = self._pool.workers if self._pool is not None else 1
         self.queries: list[ScheduledQuery] = []
@@ -363,12 +410,43 @@ class QueryScheduler:
         round ``R`` collected and its queries' generators resumed.  Every
         query still sees exactly the rows it asked for, in order, so
         results are identical to the unpipelined loop.
+
+        **Interruption.**  When driving from the main thread, ``run``
+        installs a deferred SIGINT handler: the first Ctrl-C finishes the
+        round in flight, writes a checkpoint (when ``checkpoint_path`` is
+        set), shuts down an owned worker pool — unlinking every pooled
+        shared-memory segment — and raises ``KeyboardInterrupt``; a second
+        Ctrl-C escalates immediately.  Any other exception escaping the
+        drive loop triggers the same best-effort checkpoint + cleanup
+        before propagating, so a crashed sweep is resumable too.
         """
-        if self.pipeline:
-            self._run_pipelined()
-        else:
-            while self.step():
-                pass
+        self._maybe_resume()
+        previous: Any = None
+        installed = threading.current_thread() is threading.main_thread()
+        if installed:
+
+            def _on_sigint(signum: int, frame: FrameType | None) -> None:
+                if self._interrupt_requested:  # second Ctrl-C: stop *now*
+                    raise KeyboardInterrupt
+                self._interrupt_requested = True
+
+            previous = signal.signal(signal.SIGINT, _on_sigint)
+        try:
+            if self.pipeline:
+                self._run_pipelined()
+            else:
+                while not self._interrupt_requested and self.step():
+                    pass
+            if self._interrupt_requested:
+                raise KeyboardInterrupt
+            if self.checkpoint_path is not None:
+                self.save_checkpoint()
+        except BaseException:
+            self._emergency_stop()
+            raise
+        finally:
+            if installed:
+                signal.signal(signal.SIGINT, previous)
         return list(self.queries)
 
     def step(self) -> bool:
@@ -380,6 +458,7 @@ class QueryScheduler:
         fairness policy, service their contexts in one coalesced
         cache round, and resume them with the scores.
         """
+        self._maybe_resume()
         waiting = self._gather_waiting(())
         if not waiting:
             return False
@@ -391,6 +470,13 @@ class QueryScheduler:
         ``pipeline=True``)."""
         inflight: _InflightRound | None = None
         while True:
+            if self._interrupt_requested:
+                # Deferred Ctrl-C: finish the round already in the workers
+                # (cheap, and it keeps the checkpoint at a round boundary),
+                # dispatch nothing new, and let :meth:`run` unwind.
+                if inflight is not None:
+                    self._complete(inflight)
+                return
             exclude = tuple(inflight.chosen) if inflight is not None else ()
             waiting = self._gather_waiting(exclude)
             nxt = self._service(self._select(waiting)) if waiting else None
@@ -456,6 +542,11 @@ class QueryScheduler:
         if ticket is not None and ticket.parallel:
             self.stats.parallel_rounds += 1
             self.stats.shards_dispatched += len(ticket.shards)
+        if self._pool is not None:
+            r0, w0, d0 = self._pool_fault_base
+            self.stats.retries = self._pool.retries - r0
+            self.stats.respawns = self._pool.respawns - w0
+            self.stats.degraded_rounds = self._pool.degraded_rounds - d0
         if self.record_history:
             self.stats.round_sizes.append(size)
             self.stats.round_members.append(tuple(sq.name for sq in chosen))
@@ -475,6 +566,116 @@ class QueryScheduler:
             sq.stats.scheduler_rounds += 1
             payload = sq.executor.finish_request(request, group_rows)
             self._advance(sq, payload)
+        self._rounds_since_checkpoint += 1
+        if (
+            self.checkpoint_path is not None
+            and self._rounds_since_checkpoint >= self.checkpoint_every
+        ):
+            self.save_checkpoint()
+
+    # -- checkpoint / resume ------------------------------------------------------
+    def save_checkpoint(self) -> None:
+        """Atomically snapshot the sweep's progress to ``checkpoint_path``.
+
+        The snapshot holds every query's completion state (results, stats,
+        truncation verdict — done queries only; unfinished queries are
+        recorded as pending and re-run on resume) plus up to
+        ``checkpoint_cache_mb`` of the shared logits cache, newest rows
+        preferred, so resumed re-runs hit the cache instead of the model.
+        Called automatically every ``checkpoint_every`` completed rounds;
+        callable directly for an on-demand snapshot.
+        """
+        if self.checkpoint_path is None:
+            raise ValueError("scheduler was built without a checkpoint_path")
+        snapshots = [
+            QuerySnapshot(
+                name=sq.name,
+                fingerprint=query_fingerprint(sq.query),
+                done=sq.done,
+                truncated=sq.truncated,
+                truncated_reason=sq.truncated_reason,
+                results=list(sq.results) if sq.done else [],
+                stats=sq.stats.as_dict() if sq.done else {},
+                latency=sq.latency if sq.latency is not None else 0.0,
+            )
+            for sq in self.queries
+        ]
+        budget_bytes = int(self.checkpoint_cache_mb * (1 << 20))
+        ckpt_mod.save_checkpoint(
+            self.checkpoint_path,
+            RunCheckpoint(
+                rounds_completed=self.stats.rounds,
+                queries=snapshots,
+                cache_rows=self.logits_cache.dump_rows(budget_bytes),
+                scheduler_stats=self.stats.as_dict(),
+            ),
+        )
+        self.stats.checkpoints_written += 1
+        self._rounds_since_checkpoint = 0
+
+    def _maybe_resume(self) -> None:
+        """Restore completed queries from ``checkpoint_path`` (first
+        drive only, ``resume=True`` only; a missing file is a fresh run)."""
+        if not self.resume or self._resume_attempted:
+            return
+        self._resume_attempted = True
+        assert self.checkpoint_path is not None  # enforced at construction
+        if not os.path.exists(self.checkpoint_path):
+            return
+        loaded = ckpt_mod.load_checkpoint(self.checkpoint_path)
+        # Snapshots are matched to submitted queries by content
+        # fingerprint, in submission order — never by position — so a
+        # reordered or extended query list resumes correctly: anything
+        # without a matching done-snapshot simply runs fresh.
+        buckets: dict[str, list[QuerySnapshot]] = {}
+        for snap in loaded.queries:
+            if snap.done:
+                buckets.setdefault(snap.fingerprint, []).append(snap)
+        for sq in self.queries:
+            if sq.done:  # e.g. rejected at submit by admission control
+                continue
+            bucket = buckets.get(query_fingerprint(sq.query))
+            if bucket:
+                self._restore_query(sq, bucket.pop(0))
+        self.logits_cache.preload(loaded.cache_rows)
+
+    def _restore_query(self, sq: ScheduledQuery, snap: QuerySnapshot) -> None:
+        """Reinstate *sq* from its snapshot without running its traversal."""
+        sq._gen.close()
+        sq._pending = None
+        sq.done = True
+        sq.truncated = snap.truncated
+        sq.truncated_reason = snap.truncated_reason
+        sq.results = list(snap.results)
+        sq.latency = snap.latency
+        for key, value in snap.stats.items():
+            if hasattr(sq.stats, key):
+                setattr(sq.stats, key, value)
+        self.stats.per_query_latency[sq.name] = snap.latency
+        self.stats.queries_resumed += 1
+        if snap.truncated_reason == "cancelled":
+            self.stats.queries_cancelled += 1
+        elif snap.truncated_reason in ("rejected", "rejected_cost"):
+            self.stats.queries_rejected += 1
+        elif snap.truncated:
+            self.stats.queries_truncated += 1
+        else:
+            self.stats.queries_completed += 1
+
+    def _emergency_stop(self) -> None:
+        """Best-effort teardown on interruption or crash: checkpoint what
+        completed, then release worker processes and every pooled
+        shared-memory segment (the SIGINT-leak fix — segments are unlinked
+        here, not left for process exit)."""
+        if self.checkpoint_path is not None:
+            try:
+                self.save_checkpoint()
+            except Exception:
+                pass
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- lifecycle ----------------------------------------------------------------
     def close(self) -> None:

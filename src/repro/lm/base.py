@@ -371,6 +371,39 @@ class LogitsCache:
         if len(self._store) > self.capacity:
             self._store.popitem(last=False)
 
+    def dump_rows(
+        self, max_bytes: int | None = None
+    ) -> list[tuple[tuple[int, ...], np.ndarray]]:
+        """Snapshot cached rows for checkpointing, newest-last.
+
+        Walks the LRU order newest-first until *max_bytes* of row data is
+        collected (``None`` = everything), then returns the selection
+        oldest-first so :meth:`preload` reinstates the same recency order.
+        Rows are the cached arrays themselves (they are treated as
+        immutable everywhere); the pickler copies them on write.
+        """
+        selected: list[tuple[tuple[int, ...], np.ndarray]] = []
+        budget = max_bytes if max_bytes is not None else None
+        spent = 0
+        for key in reversed(self._store):
+            row = self._store[key]
+            if budget is not None:
+                spent += row.nbytes
+                if selected and spent > budget:
+                    break
+            selected.append((key, row))
+        selected.reverse()
+        return selected
+
+    def preload(self, rows: Sequence[tuple[Sequence[int], np.ndarray]]) -> None:
+        """Reinstate rows saved by :meth:`dump_rows` (oldest-first).
+
+        Pure state restoration: hit/miss counters are untouched, so a
+        resumed run's cache statistics reflect only its own traffic.
+        """
+        for key, row in rows:
+            self._insert(tuple(key), row)
+
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0 when unused)."""

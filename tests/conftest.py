@@ -31,22 +31,34 @@ TINY_CORPUS = [
 ] * 25
 
 
-@pytest.fixture(scope="session")
-def tokenizer():
-    """BPE tokenizer trained on the tiny corpus."""
+def build_tokenizer():
+    """BPE tokenizer trained on the tiny corpus (plain function so
+    subprocess test drivers can rebuild it without pytest)."""
     return train_bpe(TINY_CORPUS, vocab_size=320)
 
 
-@pytest.fixture(scope="session")
-def model(tokenizer):
+def build_model(tokenizer):
     """Order-6 n-gram trained on the tiny corpus (memorises it).
 
     Trained with a slice of encoding noise so non-canonical token paths
-    have visible probability (as in GPT-2, §3.2).
+    have visible probability (as in GPT-2, §3.2).  Deterministic, so a
+    subprocess rebuild scores identically to the session fixture.
     """
     return NGramModel.train_on_text(
         TINY_CORPUS, tokenizer, order=6, alpha=0.1, encoding_noise=0.05
     )
+
+
+@pytest.fixture(scope="session")
+def tokenizer():
+    """BPE tokenizer trained on the tiny corpus."""
+    return build_tokenizer()
+
+
+@pytest.fixture(scope="session")
+def model(tokenizer):
+    """Order-6 n-gram trained on the tiny corpus (memorises it)."""
+    return build_model(tokenizer)
 
 
 @pytest.fixture(scope="session")

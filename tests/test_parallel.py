@@ -149,10 +149,12 @@ class TestLifecycle:
             pool.dispatch(_contexts(4, vocab=model.vocab_size))
 
     def test_killed_worker_raises_cleanly_and_releases_segments(self, model):
-        """A SIGKILLed worker must surface as a RuntimeError naming the
-        worker — never a hang — and shutdown must still unlink every
-        shared-memory segment."""
-        pool = WorkerPool(model, 2, min_shard_size=1)
+        """Legacy fail-fast contract (``max_retries=None``): a SIGKILLed
+        worker must surface as a RuntimeError naming the worker — never a
+        hang — and shutdown must still unlink every shared-memory
+        segment.  (The supervised default retries instead; see
+        tests/test_faults.py.)"""
+        pool = WorkerPool(model, 2, min_shard_size=1, max_retries=None)
         try:
             pool.logprobs_batch(_contexts(8, vocab=model.vocab_size))
             os.kill(pool._procs[0].pid, signal.SIGKILL)
@@ -172,9 +174,28 @@ class TestLifecycle:
 
     def test_worker_side_evaluation_error_propagates(self):
         bad = _ExplodingModel()
-        with WorkerPool(bad, 2, min_shard_size=1, worker_cache_size=0) as pool:
+        with WorkerPool(
+            bad, 2, min_shard_size=1, worker_cache_size=0, max_retries=None
+        ) as pool:
             with pytest.raises(RuntimeError, match="worker evaluation failed"):
                 pool.logprobs_batch(_contexts(8, vocab=bad.vocab_size))
+
+    def test_shutdown_idempotent_after_worker_sigkill(self, model):
+        """Regression: shutdown after a worker crash used to re-raise from
+        the dead worker's queue teardown.  Both the double-call and the
+        shutdown-after-crash must be silent no-ops."""
+        pool = WorkerPool(model, 2, min_shard_size=1)
+        pool.logprobs_batch(_contexts(8, vocab=model.vocab_size))
+        os.kill(pool._procs[0].pid, signal.SIGKILL)
+        deadline = time.monotonic() + 10.0
+        while pool._procs[0].is_alive() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        names = pool.segment_names()
+        pool.shutdown()
+        pool.shutdown()  # second call: still a no-op, still no raise
+        pool.close()
+        assert pool.closed
+        assert not any(_segment_exists(n) for n in names)
 
 
 class TestModelSpec:
