@@ -5,7 +5,10 @@ A fast, CI-friendly subset of the pytest-benchmark suite: it times the
 batching ablation, the dict-vs-arrays backend comparison (the fast path's
 >=2x acceptance bar at batch_size >= 4 on the n-gram model), the compiler
 benches (all-encodings compile cost plus the cross-query compilation
-cache), the multi-query scheduler's cross-query coalescing (8
+cache), the compile fast path (trie-guided vs per-token-scan edge
+construction — the >=2x bar — token-automaton minimization, and the
+persistent disk cache's warm start, which must recompile zero
+queries), the multi-query scheduler's cross-query coalescing (8
 templated knowledge queries must issue <= 0.35x the serial LM rounds),
 and the process-parallel round sharding (workers=4 must reach >= 1.8x
 the workers=1 round throughput on machines with >= 4 CPUs), and records
@@ -116,6 +119,74 @@ def bench_compiler(env, repeats: int) -> dict:
     median, _ = _median_time(lambda: [warm.compile(q) for q in queries], repeats)
     out["bias_loop_cached_ms"] = round(1000 * median, 3)
     out["cache_hit_rate"] = round(cache.hit_rate, 4)
+    return out
+
+
+def bench_compile(env, repeats: int) -> dict:
+    """Compile-time fast path: trie-guided vs per-token scan construction,
+    token-automaton minimization, and the persistent disk cache.
+
+    Three figures:
+
+    * ``trie_speedup`` — trie-guided edge construction
+      (:meth:`GraphCompiler.compile_all_tokens`) vs the paper's per-token
+      DFS scan (``compile_all_tokens_scan``) on the high-fanout URL
+      pattern, identical automata asserted.  The acceptance bar is >= 2x.
+    * ``token_states``/``minimized_states`` (and edges) — what Hopcroft
+      minimization removes from the executor's working set.
+    * ``disk_warm`` — a bias-style templated query loop compiled cold
+      into a fresh on-disk cache, then replayed by a *new* compiler on
+      the same directory.  The warm run must recompile **zero** queries.
+    """
+    import shutil
+    import tempfile
+
+    out: dict = {}
+    dfa = compile_dfa(FANOUT_PATTERN)
+    compiler = GraphCompiler(env.tokenizer, cache=False)
+    trie_ms, trie_auto = _median_time(
+        lambda: compiler.compile_all_tokens(dfa, None), repeats
+    )
+    scan_ms, scan_auto = _median_time(
+        lambda: compiler.compile_all_tokens_scan(dfa, None), 1
+    )
+    assert trie_auto.edges == scan_auto.edges, "trie vs scan construction diverged"
+    assert trie_auto.accepts == scan_auto.accepts, "trie vs scan accepts diverged"
+    out["trie_ms"] = round(1000 * trie_ms, 3)
+    out["scan_ms"] = round(1000 * scan_ms, 3)
+    out["trie_speedup"] = round(scan_ms / trie_ms, 2)
+
+    compiled = GraphCompiler(env.tokenizer, cache=False).compile(
+        SearchQuery(FANOUT_PATTERN)
+    )
+    metrics = compiled.metrics
+    assert metrics is not None
+    out["token_states"] = metrics.token_states
+    out["token_edges"] = metrics.token_edges
+    out["minimized_states"] = metrics.minimized_states
+    out["minimized_edges"] = metrics.minimized_edges
+
+    config = FIGURE7_CONFIGS[1]
+    queries = [
+        bias_query(config, gender, 10, seed)
+        for seed in range(4)
+        for gender in ("man", "woman")
+    ]
+    cache_dir = tempfile.mkdtemp(prefix="relm-bench-compile-")
+    try:
+        cold = GraphCompiler(env.tokenizer, cache=False, disk_cache=cache_dir)
+        cold_ms, _ = _median_time(lambda: [cold.compile(q) for q in queries], 1)
+        warm = GraphCompiler(env.tokenizer, cache=False, disk_cache=cache_dir)
+        warm_ms, _ = _median_time(lambda: [warm.compile(q) for q in queries], repeats)
+        assert warm.disk_cache is not None
+        out["disk_queries"] = len(queries)
+        out["disk_cold_ms"] = round(1000 * cold_ms, 3)
+        out["disk_warm_ms"] = round(1000 * warm_ms, 3)
+        out["disk_warm_speedup"] = round(cold_ms / warm_ms, 2)
+        # Disk misses on the warm compiler == queries it had to recompile.
+        out["warm_recompiles"] = warm.disk_cache.misses
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
     return out
 
 
@@ -395,6 +466,7 @@ def main(argv=None) -> int:
         "batching": bench_batching(env, args.repeats),
         "backend": bench_backends(env, args.repeats),
         "compiler": bench_compiler(env, args.repeats),
+        "compile": bench_compile(env, args.repeats),
         "scheduler": bench_scheduler(args.repeats),
         "incremental": bench_incremental(env, args.repeats),
         "parallel": bench_parallel(env, args.repeats),
@@ -416,6 +488,16 @@ def main(argv=None) -> int:
     if report["compiler"]["cache_hit_rate"] < 0.9:
         failures.append(
             f"cache hit rate {report['compiler']['cache_hit_rate']} is below 0.9"
+        )
+    if report["compile"]["trie_speedup"] < 2.0:
+        failures.append(
+            f"trie-guided compile speedup {report['compile']['trie_speedup']}x "
+            "vs the per-token scan is below the 2x bar"
+        )
+    if report["compile"]["warm_recompiles"] != 0:
+        failures.append(
+            f"warm disk-cache run recompiled {report['compile']['warm_recompiles']} "
+            "queries (expected 0)"
         )
     if report["scheduler"]["round_ratio"] > 0.35:
         failures.append(

@@ -119,6 +119,25 @@ def build_parser() -> argparse.ArgumentParser:
              "overhead; see cookbook §13)",
     )
     query.add_argument(
+        "--compile-cache", default=None, metavar="DIR",
+        help="persistent compile-cache directory: compiled automata are "
+             "reused across runs and worker respawns (entries are "
+             "fingerprinted by query + tokenizer + compiler options; "
+             "stale or corrupt entries just miss)",
+    )
+    query.add_argument(
+        "--no-minimize-tokens", action="store_true",
+        help="skip token-automaton minimization and interval-compressed "
+             "arrays (results are unchanged either way; this is a "
+             "debugging/measurement knob)",
+    )
+    query.add_argument(
+        "--compile-ahead", action="store_true",
+        help="defer query compilation into the scheduler's drive loop so "
+             "it overlaps in-flight LM rounds (scheduler mode; results "
+             "are unchanged)",
+    )
+    query.add_argument(
         "--inject-fault", action="append", default=None, metavar="SPEC",
         help="testing only: deterministically fail a shard delivery; SPEC "
              "is KIND:ROUND:SHARD[:SECONDS] with KIND in "
@@ -208,6 +227,22 @@ def _build_queries(args):
     ]
 
 
+def _build_compiler(args, env):
+    """The compiler a query run uses: the environment's shared one, or a
+    custom one when the compile flags ask for a persistent disk cache or
+    disabled minimization."""
+    if args.compile_cache is None and not args.no_minimize_tokens:
+        return env.compiler
+    from repro.core.compiler import CompilationCache, GraphCompiler
+
+    return GraphCompiler(
+        env.tokenizer,
+        cache=CompilationCache(max_entries=512),
+        minimize_tokens=not args.no_minimize_tokens,
+        disk_cache=args.compile_cache,
+    )
+
+
 def _cmd_query_scheduled(args, env, queries) -> int:
     """Many patterns (or budgets): run through the multi-query scheduler."""
     from repro.core.faults import FaultPlan
@@ -222,6 +257,8 @@ def _cmd_query_scheduled(args, env, queries) -> int:
     )
     scheduler = env.scheduler(
         args.model,
+        compiler=_build_compiler(args, env),
+        compile_ahead=args.compile_ahead,
         concurrency=args.concurrency,
         fairness=args.fairness,
         backend=args.backend,
@@ -286,6 +323,14 @@ def _cmd_query_scheduled(args, env, queries) -> int:
         f"max_coalesced={stats.max_round_size}",
         file=sys.stderr,
     )
+    print(
+        f"# compile: {stats.compile_ms:.1f}ms "
+        f"cache hits={stats.compile_cache_hits} "
+        f"misses={stats.compile_cache_misses} "
+        f"disk_hits={stats.compile_cache_disk_hits} "
+        f"ahead={stats.queries_compiled_ahead}",
+        file=sys.stderr,
+    )
     if stats.workers > 1:
         print(
             f"# parallel: workers={stats.workers} "
@@ -340,12 +385,14 @@ def _cmd_query(args) -> int:
         or args.checkpoint is not None
         or args.resume
         or args.inject_fault
+        or args.compile_ahead
     ):
         return _cmd_query_scheduled(args, env, queries)
     query = queries[0]
     session = relm.prepare(
         env.model(args.model), env.tokenizer, query,
-        compiler=env.compiler, logits_cache=env.logits_cache(args.model),
+        compiler=_build_compiler(args, env),
+        logits_cache=env.logits_cache(args.model),
         backend=args.backend,
         kv_cache=not args.no_kv_cache, kv_cache_mb=args.kv_cache_mb,
         max_expansions=50_000, max_attempts=50 * args.samples,
@@ -373,7 +420,18 @@ def _cmd_query(args) -> int:
         f"/{stats['logits_hits'] + stats['logits_misses']} hits "
         f"({session.stats.logits_hit_rate:.0%}); "
         f"compilation hits={stats['compilation_cache_hits']} "
-        f"misses={stats['compilation_cache_misses']}",
+        f"misses={stats['compilation_cache_misses']}"
+        + (
+            f" disk_hits={stats['compilation_cache_disk_hits']}"
+            if args.compile_cache
+            else ""
+        ),
+        file=sys.stderr,
+    )
+    print(
+        f"# compile: {stats['compile_ms']:.1f}ms "
+        f"states={stats['token_states']}->{stats['minimized_states']} "
+        f"edges={stats['token_edges']}",
         file=sys.stderr,
     )
     if stats["prefix_hits"] or stats["prefix_misses"]:
@@ -503,16 +561,21 @@ def _analysis_targets(args) -> list[tuple[str, object, object]]:
 
 
 def _safe_report(query, compiler):
-    """Compile and analyze *query*; syntax errors become RLM000 reports."""
+    """Compile and analyze *query*; syntax errors become RLM000 reports.
+
+    Returns ``(report, compile_metrics)`` — metrics are ``None`` for
+    syntax errors (nothing compiled)."""
     from repro.core.analyze import syntax_error_report
     from repro.regex.parser import RegexSyntaxError
 
     try:
-        return compiler.compile(query).report
+        compiled = compiler.compile(query)
+        return compiled.report, compiled.metrics
     except RegexSyntaxError as exc:
-        return syntax_error_report(
+        report = syntax_error_report(
             query.query_string.query_str, query.query_string.prefix_str, str(exc)
         )
+        return report, None
 
 
 def _cmd_lint(args) -> int:
@@ -525,21 +588,28 @@ def _cmd_lint(args) -> int:
     reports = []
     worst_ok = True
     for name, query, compiler in targets:
-        report = _safe_report(query, compiler)
-        reports.append((name, report))
+        report, metrics = _safe_report(query, compiler)
+        reports.append((name, report, metrics))
         if report.has_errors:
             worst_ok = False
     if args.json:
-        payload = [dict(name=name, **report.as_dict()) for name, report in reports]
+        payload = [
+            dict(
+                name=name,
+                **report.as_dict(),
+                compile=metrics.as_dict() if metrics is not None else None,
+            )
+            for name, report, metrics in reports
+        ]
         print(json.dumps(payload, indent=2))
     else:
-        for name, report in reports:
+        for name, report, _metrics in reports:
             marker = {"ok": " ", "warning": "!", "error": "E"}[report.verdict]
             print(f"{marker} {name}: {report.verdict}")
             for finding in report.findings:
                 print(f"    {finding.render()}")
-        errors = sum(1 for _, r in reports if r.verdict == "error")
-        warnings = sum(1 for _, r in reports if r.verdict == "warning")
+        errors = sum(1 for _, r, _m in reports if r.verdict == "error")
+        warnings = sum(1 for _, r, _m in reports if r.verdict == "warning")
         print(
             f"# {len(reports)} queries: {errors} error(s), {warnings} warning(s)",
             file=sys.stderr,
@@ -551,9 +621,14 @@ def _cmd_explain(args) -> int:
     import json
 
     [(name, query, compiler)] = _analysis_targets(args)
-    report = _safe_report(query, compiler)
+    report, metrics = _safe_report(query, compiler)
     if args.json:
-        print(json.dumps(dict(name=name, **report.as_dict()), indent=2))
+        payload = dict(
+            name=name,
+            **report.as_dict(),
+            compile=metrics.as_dict() if metrics is not None else None,
+        )
+        print(json.dumps(payload, indent=2))
         return 0 if not report.has_errors else 1
     print(f"query: {name}")
     if report.prefix_str:
@@ -574,6 +649,13 @@ def _cmd_explain(args) -> int:
             print(f"frontier width: <= {cost.max_frontier_width}")
         if cost.lm_calls_bound is not None:
             print(f"LM calls (exhaustive bound): <= {cost.lm_calls_bound}")
+    if metrics is not None:
+        print(
+            f"compile: {metrics.compile_ms:.1f}ms, "
+            f"states {metrics.token_states} -> {metrics.minimized_states}, "
+            f"edges {metrics.token_edges} -> {metrics.minimized_edges} "
+            f"({metrics.source})"
+        )
     if report.findings:
         print("findings:")
         for finding in report.findings:

@@ -102,13 +102,17 @@ class SearchSession:
             )
             effective_model = PooledModel(model, self.pool)
         cache = compiler.cache
+        disk = compiler.disk_cache
         hits_before = cache.hits if cache is not None else 0
         misses_before = cache.misses if cache is not None else 0
+        disk_hits_before = disk.hits if disk is not None else 0
         self.compiled: CompiledQuery = compiler.compile(query)
         self.executor = Executor(effective_model, self.compiled, **executor_kwargs)
         if cache is not None:
             self.executor.stats.compilation_cache_hits = cache.hits - hits_before
             self.executor.stats.compilation_cache_misses = cache.misses - misses_before
+        if disk is not None:
+            self.executor.stats.compilation_cache_disk_hits = disk.hits - disk_hits_before
 
     def __iter__(self) -> Iterator[MatchResult]:
         return self.executor.run()
@@ -178,6 +182,7 @@ def search_many(
     checkpoint: str | None = None,
     checkpoint_every: int = 1,
     resume: bool = False,
+    compile_ahead: bool = False,
     **executor_kwargs: Any,
 ) -> list[ScheduledQuery]:
     """Run many queries through one :class:`QueryScheduler` to completion.
@@ -203,6 +208,11 @@ def search_many(
     completed queries from that snapshot before running the rest, so an
     interrupted sweep reproduces the uninterrupted run's results without
     repeating its finished work (see :mod:`repro.core.checkpoint`).
+
+    ``compile_ahead=True`` defers query compilation from :meth:`submit` to
+    the run loop, overlapping one pending query's compilation with each
+    in-flight LM round so compile latency hides behind model compute.
+    Results are unchanged; only when they compile moves.
     """
     scheduler = QueryScheduler(
         model,
@@ -221,6 +231,7 @@ def search_many(
         checkpoint_path=checkpoint,
         checkpoint_every=checkpoint_every,
         resume=resume,
+        compile_ahead=compile_ahead,
         **executor_kwargs,
     )
     try:

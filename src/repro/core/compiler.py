@@ -23,6 +23,8 @@ bypass decoding rules (§3.3).
 
 from __future__ import annotations
 
+import os
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Hashable, Iterable
@@ -31,6 +33,7 @@ from repro.automata.dfa import DFA
 from repro.automata.trie import Trie
 from repro.core.analyze import QueryAnalyzer
 from repro.core.arrays import AutomatonArrays
+from repro.core.compile_cache import CompileCacheEntry, CompileDiskCache
 from repro.core.findings import QueryReport
 from repro.core.query import (
     QueryTokenizationStrategy,
@@ -42,10 +45,45 @@ from repro.tokenizers.bpe import BPETokenizer
 __all__ = [
     "TokenAutomaton",
     "CompiledQuery",
+    "CompileMetrics",
     "CompilationCache",
     "GraphCompiler",
     "prefixes_of",
 ]
+
+
+@dataclass(frozen=True)
+class CompileMetrics:
+    """What one compilation cost and produced (see cookbook §14).
+
+    ``token_states``/``token_edges`` describe the automaton as constructed;
+    ``minimized_states``/``minimized_edges`` describe what the executor
+    actually traverses (equal to the raw counts when minimization is off).
+    ``compile_ms`` is the wall-clock of the :meth:`GraphCompiler.compile`
+    call that produced this object — near zero on cache hits.  ``source``
+    records where the compilation came from: ``"cold"`` (built from
+    scratch), ``"memory"`` (in-process :class:`CompilationCache` hit), or
+    ``"disk"`` (persistent :class:`~repro.core.compile_cache.CompileDiskCache`
+    hit).
+    """
+
+    token_states: int = 0
+    token_edges: int = 0
+    minimized_states: int = 0
+    minimized_edges: int = 0
+    compile_ms: float = 0.0
+    source: str = "cold"
+
+    def as_dict(self) -> dict[str, int | float | str]:
+        """Plain-dict view for JSON reports."""
+        return {
+            "token_states": self.token_states,
+            "token_edges": self.token_edges,
+            "minimized_states": self.minimized_states,
+            "minimized_edges": self.minimized_edges,
+            "compile_ms": self.compile_ms,
+            "source": self.source,
+        }
 
 
 @dataclass
@@ -100,20 +138,177 @@ class TokenAutomaton:
             state = nxt
         return state in self.accepts
 
-    def arrays(self, vocab_size: int | None = None) -> AutomatonArrays:
+    def arrays(
+        self, vocab_size: int | None = None, intervals: bool = False
+    ) -> AutomatonArrays:
         """The array lowering of this automaton (built once, then memoised).
 
         ``vocab_size`` sizes the dense per-state bitmask; it is required on
         the first call (the compiler passes it at compile time) and ignored
-        afterwards.
+        afterwards.  ``intervals=True`` (first call only) stores each row as
+        sorted token-id interval runs instead of dense parallel arrays —
+        see :class:`~repro.core.arrays.AutomatonArrays`.
         """
         if self._arrays is None:
             if vocab_size is None:
                 vocab_size = 1 + max(
                     (tok for row in self.edges.values() for tok in row), default=-1
                 )
-            self._arrays = AutomatonArrays(self.edges, self.prefix_live, vocab_size)
+            self._arrays = AutomatonArrays(
+                self.edges, self.prefix_live, vocab_size, intervals=intervals
+            )
         return self._arrays
+
+    # -- state-space reductions --------------------------------------------------
+    def _reachable(self) -> set[int]:
+        seen = {self.start}
+        stack = [self.start]
+        while stack:
+            for dst in self.edges.get(stack.pop(), {}).values():
+                if dst not in seen:
+                    seen.add(dst)
+                    stack.append(dst)
+        return seen
+
+    def trimmed(self) -> "TokenAutomaton":
+        """Drop states not on any start→accept token path.
+
+        Dead/unreachable states never contribute a match, so removing them
+        preserves the token language (and therefore every match stream)
+        exactly while shrinking the executor's working set.  States are
+        renumbered compactly (sorted survivor order); edge-row key order is
+        preserved.  The start state is always kept.
+        """
+        reachable = self._reachable()
+        reverse: dict[int, set[int]] = {}
+        for src in reachable:
+            for dst in self.edges.get(src, {}).values():
+                reverse.setdefault(dst, set()).add(src)
+        useful = set(self.accepts) & reachable
+        queue = list(useful)
+        while queue:
+            for prev in reverse.get(queue.pop(), ()):
+                if prev not in useful:
+                    useful.add(prev)
+                    queue.append(prev)
+        keep = useful | {self.start}
+        remap = {old: new for new, old in enumerate(sorted(keep))}
+        edges: dict[int, dict[int, int]] = {}
+        for src in sorted(keep):
+            if src not in useful and src != self.start:
+                continue
+            row = {
+                tok: remap[dst]
+                for tok, dst in self.edges.get(src, {}).items()
+                if dst in useful
+            }
+            if row:
+                edges[remap[src]] = row
+        return TokenAutomaton(
+            start=remap[self.start],
+            accepts=frozenset(remap[q] for q in self.accepts if q in keep),
+            edges=edges,
+            prefix_live=frozenset(remap[q] for q in self.prefix_live if q in keep),
+            dynamic_canonical=self.dynamic_canonical,
+        )
+
+    def minimized(self) -> "TokenAutomaton":
+        """Hopcroft-minimised equivalent automaton (trim, partial).
+
+        Partition refinement over the token alphabet with an implicit dead
+        state, mirroring :meth:`repro.automata.dfa.DFA.minimized`.  The
+        initial partition additionally separates prefix-region states from
+        ordinary ones, so ``is_prefix_edge`` answers (and therefore the
+        §3.3 decoding-rule bypass) survive merging.  The token language is
+        unchanged, and because compiled edge rows are canonically sorted by
+        token id, every traversal order — heap tie-breaks, beam argsorts,
+        the sampling RNG stream — is bit-identical to the unminimized
+        automaton's.
+        """
+        base = self.trimmed()
+        if not base.accepts:
+            return base
+        states = sorted(base._reachable() | {base.start} | set(base.accepts))
+        all_tokens = sorted({tok for row in base.edges.values() for tok in row})
+        dead = -1
+        full_states = set(states) | {dead}
+
+        def step(q: int, tok: int) -> int:
+            if q == dead:
+                return dead
+            return base.edges.get(q, {}).get(tok, dead)
+
+        # Initial partition: (accepting, prefix-live) classes.  Splitting on
+        # prefix-liveness up front keeps merged states' prefix-region
+        # labelling well-defined.
+        groups: dict[tuple[bool, bool], set[int]] = {}
+        for q in full_states:
+            signature = (q in base.accepts, q in base.prefix_live)
+            groups.setdefault(signature, set()).add(q)
+        partition: set[frozenset[int]] = {frozenset(g) for g in groups.values()}
+        worklist: list[frozenset[int]] = sorted(partition, key=min)
+        reverse: dict[int, dict[int, set[int]]] = {tok: {} for tok in all_tokens}
+        for q in full_states:
+            for tok in all_tokens:
+                reverse[tok].setdefault(step(q, tok), set()).add(q)
+        while worklist:
+            splitter = worklist.pop()
+            for tok in all_tokens:
+                pre: set[int] = set()
+                for q in splitter:
+                    pre |= reverse[tok].get(q, set())
+                if not pre:
+                    continue
+                for block in list(partition):
+                    inter = block & pre
+                    diff = block - pre
+                    if not inter or not diff:
+                        continue
+                    partition.remove(block)
+                    partition.add(frozenset(inter))
+                    partition.add(frozenset(diff))
+                    if block in worklist:
+                        worklist.remove(block)
+                        worklist.append(frozenset(inter))
+                        worklist.append(frozenset(diff))
+                    else:
+                        worklist.append(
+                            frozenset(inter) if len(inter) <= len(diff) else frozenset(diff)
+                        )
+        block_of: dict[int, frozenset[int]] = {}
+        for block in partition:
+            for q in block:
+                block_of[q] = block
+        ordered = sorted(
+            (b for b in partition if any(q != dead for q in b)),
+            key=lambda b: min(b),
+        )
+        ids = {block: i for i, block in enumerate(ordered)}
+        edges: dict[int, dict[int, int]] = {}
+        accepts: set[int] = set()
+        prefix_live: set[int] = set()
+        for block, bid in ids.items():
+            rep = min(block)
+            if rep == dead:
+                rep = max(block)
+            if rep in base.accepts:
+                accepts.add(bid)
+            if rep in base.prefix_live:
+                prefix_live.add(bid)
+            row: dict[int, int] = {}
+            for tok, dst in sorted(base.edges.get(rep, {}).items()):
+                dst_block = block_of[dst]
+                if dst_block in ids:
+                    row[tok] = ids[dst_block]
+            if row:
+                edges[bid] = row
+        return TokenAutomaton(
+            start=ids[block_of[base.start]],
+            accepts=frozenset(accepts),
+            edges=edges,
+            prefix_live=frozenset(prefix_live),
+            dynamic_canonical=base.dynamic_canonical,
+        ).trimmed()
 
 
 @dataclass
@@ -137,6 +332,8 @@ class CompiledQuery:
     #: Static-analysis verdict (``None`` when the compiler's analyzer is
     #: disabled).  Cache hits recompute query-dependent findings only.
     report: QueryReport | None = None
+    #: Compile-time measurements (``None`` for hand-built compilations).
+    metrics: CompileMetrics | None = None
 
     @property
     def is_empty(self) -> bool:
@@ -185,17 +382,35 @@ class CompilationCache:
     query object.
     """
 
-    def __init__(self, max_entries: int = 256) -> None:
+    def __init__(
+        self, max_entries: int = 256, max_bytes: int | None = 64 << 20
+    ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None for unbounded)")
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self._store: OrderedDict[Hashable, CompiledQuery] = OrderedDict()
+        self._sizes: dict[Hashable, int] = {}
+        self.bytes_estimate = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._store)
+
+    @staticmethod
+    def entry_bytes(compiled: CompiledQuery) -> int:
+        """Rough resident size of one entry, from its automaton shape.
+
+        Per state: the edge dict plus array-row overhead; per edge: dict
+        slot plus three array cells.  Deliberately cheap and deterministic —
+        this sizes the byte budget, it is not an exact memory audit.
+        """
+        automaton = compiled.token_automaton
+        return 128 * automaton.num_states + 40 * automaton.num_edges
 
     def get(self, key: Hashable) -> CompiledQuery | None:
         """The cached compilation for *key* (LRU-touched), or ``None``."""
@@ -208,16 +423,36 @@ class CompilationCache:
         return cached
 
     def put(self, key: Hashable, compiled: CompiledQuery) -> None:
-        """Insert *compiled*, evicting the least recently used entry when
-        full."""
+        """Insert *compiled*, evicting least-recently-used entries while the
+        cache is over its entry count *or* its byte budget.
+
+        Sizing by entry count alone let one huge product automaton pin
+        ``max_entries`` slots' worth of memory; the byte budget
+        (``max_bytes``, default 64 MiB) caps the estimated resident size of
+        the automata actually held.  The newest entry is never evicted, so
+        an oversized compilation still caches (alone).
+        """
+        previous = self._sizes.pop(key, None)
+        if previous is not None:
+            self.bytes_estimate -= previous
+        size = self.entry_bytes(compiled)
         self._store[key] = compiled
-        if len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
+        self._store.move_to_end(key)
+        self._sizes[key] = size
+        self.bytes_estimate += size
+        while len(self._store) > 1 and (
+            len(self._store) > self.max_entries
+            or (self.max_bytes is not None and self.bytes_estimate > self.max_bytes)
+        ):
+            evicted_key, _ = self._store.popitem(last=False)
+            self.bytes_estimate -= self._sizes.pop(evicted_key)
             self.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries (counters are preserved)."""
         self._store.clear()
+        self._sizes.clear()
+        self.bytes_estimate = 0
 
     @property
     def hit_rate(self) -> float:
@@ -229,6 +464,7 @@ class CompilationCache:
         """Plain-dict counter view for logging/reporting."""
         return {
             "entries": len(self._store),
+            "bytes_estimate": self.bytes_estimate,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
@@ -243,6 +479,16 @@ class GraphCompiler:
     compiler owns a private :class:`CompilationCache`, and callers that
     share a tokenizer across compilers may pass a shared one instead.
     ``cache=False`` disables caching entirely.
+
+    ``minimize_tokens`` (default on) runs the token-level
+    :meth:`TokenAutomaton.minimized` pass after construction and lowers the
+    result to interval-compressed arrays — a pure state/edge/byte shrink;
+    every match stream is bit-identical either way (the differential grid
+    pins this).  ``disk_cache`` (a directory path or a prebuilt
+    :class:`~repro.core.compile_cache.CompileDiskCache`) persists
+    compilations across processes and runs: worker respawns, ``--resume``
+    sweeps, and fresh CLI invocations skip straight to the compiled
+    automaton.
     """
 
     def __init__(
@@ -251,9 +497,12 @@ class GraphCompiler:
         enumeration_limit: int = 20000,
         cache: CompilationCache | bool | None = None,
         analyzer: QueryAnalyzer | bool | None = None,
+        minimize_tokens: bool = True,
+        disk_cache: CompileDiskCache | str | os.PathLike[str] | None = None,
     ) -> None:
         self.tokenizer = tokenizer
         self.enumeration_limit = enumeration_limit
+        self.minimize_tokens = minimize_tokens
         self._trie = Trie(tokenizer.vocab.ordinary_items())
         if cache is None or cache is True:
             cache = CompilationCache()
@@ -265,6 +514,9 @@ class GraphCompiler:
         elif analyzer is False:
             analyzer = None
         self.analyzer = analyzer
+        if disk_cache is not None and not isinstance(disk_cache, CompileDiskCache):
+            disk_cache = CompileDiskCache(disk_cache)
+        self.disk_cache = disk_cache
         self._fingerprint = tokenizer.fingerprint()
 
     # -- public entry point ------------------------------------------------------
@@ -283,16 +535,19 @@ class GraphCompiler:
             tuple(signatures),
             self._fingerprint,
             self.enumeration_limit,
+            self.minimize_tokens,
         )
 
     def compile(self, query: SimpleSearchQuery) -> CompiledQuery:
         """Run the full Figure 2 pipeline for *query*, consulting the
-        compilation cache first.
+        in-process compilation cache, then the persistent disk cache, before
+        cold-compiling.
 
         Cache hits share the (immutable-in-practice) automata and DFAs but
         carry the incoming query object, so runtime parameters like seeds
         and decoding rules stay per-query.
         """
+        started = time.perf_counter()
         key = self.cache_key(query) if self.cache is not None else None
         if key is not None:
             cached = self.cache.get(key)
@@ -302,12 +557,75 @@ class GraphCompiler:
                     if self.analyzer is not None
                     else None
                 )
-                return replace(cached, query=query, report=report)
+                metrics = self._hit_metrics(cached, started, source="memory")
+                return replace(cached, query=query, report=report, metrics=metrics)
+        fingerprint: str | None = None
+        if self.disk_cache is not None:
+            disk_key = self.cache_key(query)
+            if disk_key is not None:
+                fingerprint = CompileDiskCache.fingerprint(disk_key)
+                entry = self.disk_cache.get(fingerprint)
+                if entry is not None:
+                    compiled = self._from_disk(entry, query)
+                    compiled.metrics = self._hit_metrics(
+                        compiled, started, source="disk"
+                    )
+                    if key is not None:
+                        self.cache.put(key, compiled)
+                    return compiled
         compiled = self._compile_uncached(query)
         if self.analyzer is not None:
             compiled.report = self.analyzer.analyze_compiled(compiled)
+        assert compiled.metrics is not None
+        compiled.metrics = replace(
+            compiled.metrics, compile_ms=(time.perf_counter() - started) * 1e3
+        )
+        if fingerprint is not None and self.disk_cache is not None:
+            self.disk_cache.put(fingerprint, CompileCacheEntry.from_compiled(compiled))
         if key is not None:
             self.cache.put(key, compiled)
+        return compiled
+
+    def _hit_metrics(
+        self, compiled: CompiledQuery, started: float, source: str
+    ) -> CompileMetrics:
+        """Metrics for a cache hit: the cached shape, this call's latency."""
+        base = compiled.metrics
+        if base is None:
+            automaton = compiled.token_automaton
+            base = CompileMetrics(
+                token_states=automaton.num_states,
+                token_edges=automaton.num_edges,
+                minimized_states=automaton.num_states,
+                minimized_edges=automaton.num_edges,
+            )
+        return replace(
+            base, compile_ms=(time.perf_counter() - started) * 1e3, source=source
+        )
+
+    def _from_disk(self, entry: CompileCacheEntry, query: SimpleSearchQuery) -> CompiledQuery:
+        """Rebind a persisted compilation to *query* and this tokenizer.
+
+        The entry was written without its array lowering (arrays rebuild
+        faster than they pickle); lower it now so executors share one
+        lowering, exactly as a cold compile would.
+        """
+        compiled = CompiledQuery(
+            query=query,
+            tokenizer=self.tokenizer,
+            char_dfa=entry.char_dfa,
+            prefix_dfa=entry.prefix_dfa,
+            prefix_closure=entry.prefix_closure,
+            token_automaton=entry.token_automaton,
+            report=entry.report,
+            metrics=entry.metrics,
+        )
+        if compiled.token_automaton.accepts:
+            compiled.token_automaton.arrays(
+                vocab_size=len(self.tokenizer), intervals=self.minimize_tokens
+            )
+        if self.analyzer is not None:
+            compiled.report = self.analyzer.rebind(compiled, query)
         return compiled
 
     def _compile_uncached(self, query: SimpleSearchQuery) -> CompiledQuery:
@@ -331,6 +649,7 @@ class GraphCompiler:
                 prefix_dfa=prefix_dfa,
                 prefix_closure=None,
                 token_automaton=TokenAutomaton(start=0, accepts=frozenset()),
+                metrics=CompileMetrics(),
             )
         prefix_closure = None
         if prefix_dfa is not None:
@@ -347,9 +666,15 @@ class GraphCompiler:
             token_automaton = self.compile_all_tokens(char_dfa, prefix_closure)
         else:
             token_automaton = self.compile_canonical(char_dfa, prefix_closure)
+        raw_states = token_automaton.num_states
+        raw_edges = token_automaton.num_edges
+        if self.minimize_tokens:
+            token_automaton = token_automaton.minimized()
         # Lower to arrays now: cached compilations then share the lowering
         # across every executor/backend that runs this query.
-        token_automaton.arrays(vocab_size=len(self.tokenizer))
+        token_automaton.arrays(
+            vocab_size=len(self.tokenizer), intervals=self.minimize_tokens
+        )
         return CompiledQuery(
             query=query,
             tokenizer=self.tokenizer,
@@ -357,6 +682,12 @@ class GraphCompiler:
             prefix_dfa=prefix_dfa,
             prefix_closure=prefix_closure,
             token_automaton=token_automaton,
+            metrics=CompileMetrics(
+                token_states=raw_states,
+                token_edges=raw_edges,
+                minimized_states=token_automaton.num_states,
+                minimized_edges=token_automaton.num_edges,
+            ),
         )
 
     # -- all-encodings construction ---------------------------------------------
@@ -373,7 +704,11 @@ class GraphCompiler:
             row: dict[int, int] = {}
             self._trie.walk_dfa_into(product.transitions, state, row)
             if row:
-                edges[state] = row
+                # Canonical ascending-token-id row order: makes equivalent
+                # states' rows identical (the minimizer's bit-identity
+                # precondition), matches the reference scan's natural
+                # order, and maximises the interval-run compression below.
+                edges[state] = dict(sorted(row.items()))
         return TokenAutomaton(
             start=product.start,
             accepts=product.accepts,
@@ -403,7 +738,7 @@ class GraphCompiler:
                 else:
                     row[token_id] = q
             if row:
-                edges[state] = row
+                edges[state] = dict(sorted(row.items()))
         return TokenAutomaton(
             start=product.start,
             accepts=product.accepts,
@@ -461,7 +796,7 @@ class GraphCompiler:
         return TokenAutomaton(
             start=0,
             accepts=frozenset(accepts),
-            edges=edges,
+            edges={state: dict(sorted(row.items())) for state, row in edges.items()},
             prefix_live=frozenset(prefix_live),
         )
 

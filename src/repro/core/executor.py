@@ -186,6 +186,13 @@ class Executor:
             else (0, 0, 0, 0, 0)
         )
         self.stats.workers = pool.workers if pool is not None else 1
+        # Compile-time shape/cost of this query (see CompileMetrics);
+        # surfaced in stats so every layer reports it uniformly.
+        if compiled.metrics is not None:
+            self.stats.token_states = compiled.metrics.token_states
+            self.stats.token_edges = compiled.metrics.token_edges
+            self.stats.minimized_states = compiled.metrics.minimized_states
+            self.stats.compile_ms = compiled.metrics.compile_ms
         #: Statically-empty language (RLM001): the traversal short-circuits
         #: to an immediate clean finish, so skip cache and array setup.
         self.language_empty = compiled.is_empty

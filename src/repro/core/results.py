@@ -54,9 +54,19 @@ class ExecutionStats:
     logits_hits: int = 0
     logits_misses: int = 0
     #: Compilation-cache traffic for this query's compile (set by the
-    #: session layer; 0/0 when compiled without a cache).
+    #: session layer; 0/0 when compiled without a cache).  ``disk_hits``
+    #: counts compiles served from the persistent cross-run cache.
     compilation_cache_hits: int = 0
     compilation_cache_misses: int = 0
+    compilation_cache_disk_hits: int = 0
+    #: Compile-time shape of this query's token automaton: states/edges as
+    #: constructed, states after minimization+trimming (equal to
+    #: ``token_states`` when minimization is off), and compile wall-clock
+    #: (near-zero on cache hits).  Copied from ``CompiledQuery.metrics``.
+    token_states: int = 0
+    token_edges: int = 0
+    minimized_states: int = 0
+    compile_ms: float = 0.0
     #: Coalesced scheduler rounds this query participated in (0 when the
     #: query ran serially through :meth:`Executor.run`).
     scheduler_rounds: int = 0
@@ -119,6 +129,11 @@ class ExecutionStats:
             "logits_misses": self.logits_misses,
             "compilation_cache_hits": self.compilation_cache_hits,
             "compilation_cache_misses": self.compilation_cache_misses,
+            "compilation_cache_disk_hits": self.compilation_cache_disk_hits,
+            "token_states": self.token_states,
+            "token_edges": self.token_edges,
+            "minimized_states": self.minimized_states,
+            "compile_ms": self.compile_ms,
             "scheduler_rounds": self.scheduler_rounds,
             "prefix_hits": self.prefix_hits,
             "prefix_misses": self.prefix_misses,
@@ -184,6 +199,15 @@ class SchedulerStats:
     #: resume instead of being re-run.
     checkpoints_written: int = 0
     queries_resumed: int = 0
+    #: Compile activity across every submitted query: total compile
+    #: wall-clock, in-memory compilation-cache traffic, compiles served
+    #: from the persistent disk cache, and queries whose compilation was
+    #: overlapped with an in-flight LM round (``compile_ahead=True``).
+    compile_ms: float = 0.0
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
+    compile_cache_disk_hits: int = 0
+    queries_compiled_ahead: int = 0
     #: Static-analyzer verdict (``"ok"``/``"warning"``/``"error"``) per
     #: query name, recorded at submit (absent when analysis is disabled).
     per_query_verdict: dict = field(default_factory=dict)
@@ -232,6 +256,11 @@ class SchedulerStats:
             "degraded_rounds": self.degraded_rounds,
             "checkpoints_written": self.checkpoints_written,
             "queries_resumed": self.queries_resumed,
+            "compile_ms": self.compile_ms,
+            "compile_cache_hits": self.compile_cache_hits,
+            "compile_cache_misses": self.compile_cache_misses,
+            "compile_cache_disk_hits": self.compile_cache_disk_hits,
+            "queries_compiled_ahead": self.queries_compiled_ahead,
             "per_query_latency": dict(self.per_query_latency),
             "per_query_verdict": dict(self.per_query_verdict),
             "prefix_hits": self.prefix_hits,

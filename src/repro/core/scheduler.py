@@ -92,6 +92,11 @@ class ScheduledQuery:
     :meth:`cancel` stopped the query early — the results held are a valid
     prefix of the serial stream.  ``done`` covers both completion and
     truncation.
+
+    Under ``compile_ahead=True`` the handle starts *deferred*
+    (``executor is None``): compilation happens inside the drive loop,
+    overlapped with in-flight LM rounds, and :meth:`attach` binds the
+    executor when it lands.
     """
 
     def __init__(
@@ -99,7 +104,7 @@ class ScheduledQuery:
         index: int,
         name: str,
         query: SimpleSearchQuery,
-        executor: Executor,
+        executor: Executor | None,
         budget: QueryBudget,
         submitted_at: float,
         report: QueryReport | None = None,
@@ -111,20 +116,37 @@ class ScheduledQuery:
         self.budget = budget
         self.submitted_at = submitted_at
         #: Static-analyzer verdict for this query (``None`` when the
-        #: shared compiler runs with analysis disabled).
+        #: shared compiler runs with analysis disabled, or while the
+        #: compile is still deferred).
         self.report = report
         self.results: list[MatchResult] = []
         self.done = False
         self.truncated = False
         self.truncated_reason: str | None = None
         self.latency: float | None = None
-        self._gen = executor.steps()
+        self._gen = executor.steps() if executor is not None else None
         self._pending: LmRequest | None = None
         self._cancelled = False
+        #: Executor kwargs for a deferred compile (compile-ahead mode).
+        self._executor_kwargs: dict[str, Any] = {}
+        self._deferred_stats: ExecutionStats | None = (
+            ExecutionStats() if executor is None else None
+        )
+
+    def attach(self, executor: Executor, report: QueryReport | None) -> None:
+        """Bind the (deferred-compiled) executor to this handle."""
+        self.executor = executor
+        self.report = report
+        self._gen = executor.steps()
+        self._deferred_stats = None
 
     @property
     def stats(self) -> ExecutionStats:
-        """The query's execution statistics (live)."""
+        """The query's execution statistics (live; all-zero while the
+        compile is still deferred under ``compile_ahead=True``)."""
+        if self.executor is None:
+            assert self._deferred_stats is not None
+            return self._deferred_stats
         return self.executor.stats
 
     def cancel(self) -> None:
@@ -202,6 +224,14 @@ class QueryScheduler:
     :meth:`close` (or leave the ``with`` block) to reclaim the processes
     and shared-memory segments.
 
+    ``compile_ahead=True`` defers query compilation from :meth:`submit`
+    into the drive loop, compiling not-yet-runnable queries while LM
+    rounds are in flight (with ``pipeline=True`` the overlap is literal:
+    compiles run while the previous round's shards compute in the
+    workers).  Results are bit-identical; only *when* queries compile
+    moves, and admission control happens at first consideration instead
+    of at submit.
+
     Remaining keyword arguments become per-executor defaults
     (``backend``, ``batch_size``, ``max_expansions``, ...), overridable
     per :meth:`submit`.
@@ -234,6 +264,7 @@ class QueryScheduler:
         checkpoint_every: int = 1,
         checkpoint_cache_mb: float = 64.0,
         resume: bool = False,
+        compile_ahead: bool = False,
         **executor_defaults: Any,
     ) -> None:
         if concurrency < 1:
@@ -320,6 +351,14 @@ class QueryScheduler:
         self.checkpoint_every = checkpoint_every
         self.checkpoint_cache_mb = checkpoint_cache_mb
         self.resume = resume
+        #: Compile-ahead: defer query compilation from :meth:`submit` into
+        #: the drive loop, where it overlaps in-flight LM rounds (the
+        #: ``pipeline=True`` double-buffer makes the overlap literal: the
+        #: compile runs while the previous round's shards are still in the
+        #: workers).  Results are unchanged — only *when* queries compile
+        #: moves — and admission control simply happens at first
+        #: consideration instead of at submit.
+        self.compile_ahead = bool(compile_ahead)
         self._resume_attempted = False
         self._rounds_since_checkpoint = 0
         self._interrupt_requested = False
@@ -348,20 +387,10 @@ class QueryScheduler:
         Compilation goes through the shared compiler (templated patterns
         hit its cache) and the executor shares the scheduler's logits
         cache.  The handle is live immediately; traversal only advances
-        inside :meth:`step` / :meth:`run`.
+        inside :meth:`step` / :meth:`run`.  With ``compile_ahead=True``
+        compilation (and admission control) is deferred into the drive
+        loop, where it overlaps in-flight LM rounds.
         """
-        cache = self.compiler.cache
-        hits_before = cache.hits if cache is not None else 0
-        misses_before = cache.misses if cache is not None else 0
-        compiled = self.compiler.compile(query)
-        kwargs = dict(self.executor_defaults)
-        kwargs.update(executor_overrides)
-        executor = Executor(
-            self.model, compiled, logits_cache=self.logits_cache, **kwargs
-        )
-        if cache is not None:
-            executor.stats.compilation_cache_hits = cache.hits - hits_before
-            executor.stats.compilation_cache_misses = cache.misses - misses_before
         index = len(self.queries)
         # Names key per-query latency (and the merged stream), so they must
         # be unique — a repeated name (e.g. the same CLI pattern twice) is
@@ -377,27 +406,60 @@ class QueryScheduler:
             index=index,
             name=unique,
             query=query,
-            executor=executor,
+            executor=None,
             budget=budget if budget is not None else QueryBudget(),
             submitted_at=self.clock(),
-            report=compiled.report,
         )
+        kwargs = dict(self.executor_defaults)
+        kwargs.update(executor_overrides)
+        handle._executor_kwargs = kwargs
         self.queries.append(handle)
         self.stats.queries_submitted += 1
+        if not self.compile_ahead:
+            self._attach_executor(handle)
+        return handle
+
+    def _attach_executor(self, sq: ScheduledQuery, ahead: bool = False) -> None:
+        """Compile *sq*'s query, bind its executor, and run admission.
+
+        Shared by eager :meth:`submit` and the drive loop's deferred
+        (compile-ahead) path; cache traffic is attributed to the query as
+        deltas, and aggregated into the scheduler's compile stats.
+        """
+        cache = self.compiler.cache
+        disk = self.compiler.disk_cache
+        hits_before = cache.hits if cache is not None else 0
+        misses_before = cache.misses if cache is not None else 0
+        disk_hits_before = disk.hits if disk is not None else 0
+        compiled = self.compiler.compile(sq.query)
+        executor = Executor(
+            self.model, compiled, logits_cache=self.logits_cache, **sq._executor_kwargs
+        )
+        if cache is not None:
+            executor.stats.compilation_cache_hits = cache.hits - hits_before
+            executor.stats.compilation_cache_misses = cache.misses - misses_before
+        if disk is not None:
+            executor.stats.compilation_cache_disk_hits = disk.hits - disk_hits_before
+        sq.attach(executor, compiled.report)
+        self.stats.compile_ms += executor.stats.compile_ms
+        self.stats.compile_cache_hits += executor.stats.compilation_cache_hits
+        self.stats.compile_cache_misses += executor.stats.compilation_cache_misses
+        self.stats.compile_cache_disk_hits += executor.stats.compilation_cache_disk_hits
+        if ahead:
+            self.stats.queries_compiled_ahead += 1
         report = compiled.report
         if report is not None:
-            self.stats.per_query_verdict[unique] = report.verdict
+            self.stats.per_query_verdict[sq.name] = report.verdict
             if self.admission_control:
                 if report.has_errors:
-                    self._finish(handle, truncated=True, reason="rejected")
+                    self._finish(sq, truncated=True, reason="rejected")
                 elif (
                     self.admission_max_cost is not None
                     and report.cost is not None
                     and report.cost.lm_calls_bound is not None
                     and report.cost.lm_calls_bound > self.admission_max_cost
                 ):
-                    self._finish(handle, truncated=True, reason="rejected_cost")
-        return handle
+                    self._finish(sq, truncated=True, reason="rejected_cost")
 
     # -- driving ------------------------------------------------------------------
     def run(self) -> list[ScheduledQuery]:
@@ -493,9 +555,31 @@ class QueryScheduler:
         self, exclude: tuple[ScheduledQuery, ...]
     ) -> list[ScheduledQuery]:
         """Advance ready queries, enforce budgets, and return the queries
-        waiting on an LM round (minus *exclude*, the in-flight round)."""
+        waiting on an LM round (minus *exclude*, the in-flight round).
+
+        Deferred (compile-ahead) queries are compiled here, on demand,
+        only as needed to keep up to ``concurrency`` queries runnable.
+        Under ``pipeline=True`` this method runs while the previous
+        round's shards are still computing in the workers — which is
+        exactly the overlap that hides compile latency behind LM compute.
+        """
+        if self.compile_ahead:
+            active = sum(
+                1 for sq in self.queries if not sq.done and sq.executor is not None
+            )
+            # A compile that lands while a round is in flight (or after
+            # rounds have run) genuinely overlapped LM work.
+            ahead = bool(exclude) or self.stats.rounds > 0
+            for sq in self.queries:
+                if active >= self.concurrency:
+                    break
+                if sq.done or sq.executor is not None:
+                    continue
+                self._attach_executor(sq, ahead=ahead)
+                if not sq.done:  # admission may have rejected it
+                    active += 1
         for sq in self.queries:
-            if not sq.done and sq._pending is None:
+            if not sq.done and sq._pending is None and sq._gen is not None:
                 self._advance(sq, None)
         waiting = [
             sq
@@ -640,8 +724,14 @@ class QueryScheduler:
         self.logits_cache.preload(loaded.cache_rows)
 
     def _restore_query(self, sq: ScheduledQuery, snap: QuerySnapshot) -> None:
-        """Reinstate *sq* from its snapshot without running its traversal."""
-        sq._gen.close()
+        """Reinstate *sq* from its snapshot without running its traversal.
+
+        A still-deferred (compile-ahead) query restores without ever
+        compiling — a resumed sweep skips its finished queries' compile
+        cost entirely.
+        """
+        if sq._gen is not None:
+            sq._gen.close()
         sq._pending = None
         sq.done = True
         sq.truncated = snap.truncated
@@ -698,6 +788,7 @@ class QueryScheduler:
         if sq._cancelled:
             self._finish(sq, truncated=True, reason="cancelled")
             return
+        assert sq._gen is not None  # callers only advance compiled queries
         while True:
             try:
                 event = sq._gen.send(payload)
@@ -735,7 +826,8 @@ class QueryScheduler:
             self._finish(sq, truncated=True, reason="max_lm_calls")
 
     def _finish(self, sq: ScheduledQuery, truncated: bool, reason: str | None = None) -> None:
-        sq._gen.close()
+        if sq._gen is not None:
+            sq._gen.close()
         sq._pending = None
         sq.done = True
         sq.truncated = truncated

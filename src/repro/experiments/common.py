@@ -88,12 +88,14 @@ class Environment:
 
         The experiment loops (bias per-gender sampling, knowledge
         per-subject rankings) submit their templated queries here so
-        frontier expansions coalesce into shared LM rounds.
+        frontier expansions coalesce into shared LM rounds.  Pass
+        ``compiler=`` to override the environment's shared compiler
+        (e.g. one with a persistent disk cache attached).
         """
+        scheduler_kwargs.setdefault("compiler", self.compiler)
         return QueryScheduler(
             self.model(size),
             self.tokenizer,
-            compiler=self.compiler,
             logits_cache=self.logits_cache(size),
             **scheduler_kwargs,
         )

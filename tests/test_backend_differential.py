@@ -593,6 +593,94 @@ class TestPrefixCacheDifferential:
         on.enable_prefix_cache(16 << 20)  # restore for other tests
 
 
+class TestMinimizationDifferential:
+    """The 13-combo grid: minimization + interval arrays on vs off.
+
+    Token-automaton minimization merges states and the interval lowering
+    changes how rows are stored, but the canonical (sorted) edge order
+    makes both invisible to every traversal: the same matches, in the
+    same order, with bit-identical log-probabilities and identical
+    traversal statistics, on both backends and under workers × pipeline
+    scheduling.
+    """
+
+    def _run_min(self, model, tokenizer, query, backend, minimize, limit=200):
+        compiler = GraphCompiler(tokenizer, minimize_tokens=minimize)
+        matches = []
+        session = prepare(model, tokenizer, query, backend=backend, compiler=compiler)
+        for match in session:
+            matches.append(match)
+            if len(matches) >= limit:
+                break
+        return matches, session.stats
+
+    @pytest.mark.parametrize("backend", ["arrays", "dict"])
+    @pytest.mark.parametrize(
+        "name,source,query", COMBOS, ids=[c[0] for c in COMBOS]
+    )
+    def test_minimize_on_off_bit_identical(
+        self, model, tokenizer, env, name, source, query, backend
+    ):
+        m, tok = _world(source, model, tokenizer, env)
+        got_off, stats_off = self._run_min(m, tok, query, backend, minimize=False)
+        got_on, stats_on = self._run_min(m, tok, query, backend, minimize=True)
+        assert len(got_off) == len(got_on)
+        assert len(got_off) > 0, f"combo {name} produced no matches"
+        for a, b in zip(got_off, got_on):
+            assert a.text == b.text
+            assert a.tokens == b.tokens
+            # Bit-identical, not approximately equal: minimization merges
+            # states but every surviving row is the sorted union the
+            # unminimized machine already had, so all scores are the same
+            # floats in the same order.
+            assert a.total_logprob == b.total_logprob
+            assert a.logprob == b.logprob
+            assert a.canonical == b.canonical
+        assert stats_off.lm_calls == stats_on.lm_calls
+        assert stats_off.tokens_scored == stats_on.tokens_scored
+        assert stats_off.failed_attempts == stats_on.failed_attempts
+        assert stats_on.minimized_states <= stats_on.token_states
+
+    #: workers × pipeline subset: enough to catch a sharding/ordering
+    #: interaction without re-running the whole parallel grid twice.
+    MIN_PARALLEL_SUBSET = [
+        ("shortest_plain", 2, True),
+        ("random_topk_eos", 2, False),
+        ("beam_topk_prefix", 2, True),
+    ]
+
+    @pytest.mark.parametrize(
+        "combo_name,workers,pipeline", MIN_PARALLEL_SUBSET,
+        ids=[f"{n}_w{w}_{'pipe' if p else 'sync'}"
+             for n, w, p in MIN_PARALLEL_SUBSET],
+    )
+    def test_minimize_under_workers_and_pipeline(
+        self, model, tokenizer, env, combo_name, workers, pipeline
+    ):
+        from repro.core.scheduler import QueryBudget, QueryScheduler
+
+        name, source, query = next(c for c in COMBOS if c[0] == combo_name)
+        m, tok = _world(source, model, tokenizer, env)
+        streams = {}
+        for minimize in (False, True):
+            compiler = GraphCompiler(tok, cache=True, minimize_tokens=minimize)
+            scheduler = QueryScheduler(
+                m, tok, compiler=compiler, concurrency=1, backend="arrays",
+                workers=workers, pipeline=pipeline, min_shard_size=1,
+            )
+            try:
+                handle = scheduler.submit(query, budget=QueryBudget(max_results=200))
+                scheduler.run()
+            finally:
+                scheduler.close()
+            streams[minimize] = [
+                (mt.tokens, mt.text, mt.logprob, mt.total_logprob)
+                for mt in handle.results
+            ]
+        assert streams[True] == streams[False]
+        assert len(streams[True]) > 0
+
+
 class TestCliCacheCounters:
     def test_query_stats_include_cache_lines(self, capsys):
         from repro.cli import main

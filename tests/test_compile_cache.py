@@ -1,0 +1,404 @@
+"""Persistent compile cache, token-automaton minimization, interval arrays,
+and the size-aware in-memory compilation cache.
+
+Covers the compile-time fast path's correctness edges: disk entries round
+trip bit-identically, corrupted/version-mismatched entries warn and miss
+(never crash), warm runs recompile nothing, worker/resume runs share the
+directory, and the in-memory cache evicts by bytes as well as by entry
+count.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.api import search_many
+from repro.core.compile_cache import (
+    COMPILE_CACHE_VERSION,
+    CompileCacheEntry,
+    CompileDiskCache,
+)
+from repro.core.compiler import CompilationCache, GraphCompiler
+from repro.core.query import SearchQuery
+from repro.core.scheduler import QueryScheduler
+
+from .conftest import build_model, build_tokenizer
+
+PATTERNS = [
+    "The (cat|dog)",
+    "The (man|woman) was",
+    "My phone number is [0-9]{3}",
+    "The cat sat",
+]
+
+
+@pytest.fixture(scope="module")
+def tok():
+    return build_tokenizer()
+
+
+@pytest.fixture(scope="module")
+def lm(tok):
+    return build_model(tok)
+
+
+def run_streams(model, tok, compiler):
+    handles = search_many(
+        model, tok, [SearchQuery(p) for p in PATTERNS], compiler=compiler
+    )
+    return [
+        [(m.tokens, m.text, m.logprob, m.total_logprob) for m in h.results]
+        for h in handles
+    ]
+
+
+class TestDiskRoundTrip:
+    def test_cold_then_disk_hit(self, tok, tmp_path):
+        c1 = GraphCompiler(tok, disk_cache=tmp_path)
+        a = c1.compile(SearchQuery(PATTERNS[0]))
+        assert a.metrics.source == "cold"
+        assert c1.disk_cache.writes == 1
+        # Fresh compiler (fresh process stand-in), same directory.
+        c2 = GraphCompiler(tok, disk_cache=tmp_path)
+        b = c2.compile(SearchQuery(PATTERNS[0]))
+        assert b.metrics.source == "disk"
+        assert b.token_automaton.edges == a.token_automaton.edges
+        assert b.token_automaton.accepts == a.token_automaton.accepts
+        assert b.token_automaton.prefix_live == a.token_automaton.prefix_live
+
+    def test_disk_hit_results_bit_identical(self, tok, lm, tmp_path):
+        cold = run_streams(lm, tok, GraphCompiler(tok, disk_cache=tmp_path))
+        warm = run_streams(lm, tok, GraphCompiler(tok, disk_cache=tmp_path))
+        assert warm == cold
+
+    def test_warm_run_recompiles_zero_queries(self, tok, tmp_path):
+        c1 = GraphCompiler(tok, disk_cache=tmp_path)
+        for p in PATTERNS:
+            c1.compile(SearchQuery(p))
+        c2 = GraphCompiler(tok, disk_cache=tmp_path)
+        for p in PATTERNS:
+            assert c2.compile(SearchQuery(p)).metrics.source == "disk"
+        assert c2.disk_cache.hits == len(PATTERNS)
+        assert c2.disk_cache.misses == 0
+        assert c2.disk_cache.writes == 0
+
+    def test_no_leftover_tmp_files(self, tok, tmp_path):
+        c = GraphCompiler(tok, disk_cache=tmp_path)
+        for p in PATTERNS:
+            c.compile(SearchQuery(p))
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert len(list(tmp_path.glob("*.relmc"))) == len(PATTERNS)
+
+    def test_distinct_options_get_distinct_entries(self, tok, tmp_path):
+        GraphCompiler(tok, disk_cache=tmp_path).compile(SearchQuery(PATTERNS[0]))
+        c2 = GraphCompiler(tok, disk_cache=tmp_path, minimize_tokens=False)
+        compiled = c2.compile(SearchQuery(PATTERNS[0]))
+        # minimize_tokens is part of the fingerprint: no false sharing.
+        assert compiled.metrics.source == "cold"
+        assert len(list(tmp_path.glob("*.relmc"))) == 2
+
+
+class TestCorruptionHandling:
+    def entry_path(self, tok, tmp_path):
+        c = GraphCompiler(tok, disk_cache=tmp_path)
+        c.compile(SearchQuery(PATTERNS[0]))
+        return next(tmp_path.glob("*.relmc"))
+
+    def test_corrupted_entry_warns_and_recompiles(self, tok, tmp_path):
+        path = self.entry_path(tok, tmp_path)
+        path.write_bytes(b"not a pickle")
+        c = GraphCompiler(tok, disk_cache=tmp_path)
+        with pytest.warns(RuntimeWarning, match="corrupted"):
+            compiled = c.compile(SearchQuery(PATTERNS[0]))
+        assert compiled.metrics.source == "cold"
+        assert c.disk_cache.invalid == 1
+
+    def test_truncated_entry_warns_and_recompiles(self, tok, tmp_path):
+        path = self.entry_path(tok, tmp_path)
+        path.write_bytes(path.read_bytes()[:40])
+        c = GraphCompiler(tok, disk_cache=tmp_path)
+        with pytest.warns(RuntimeWarning, match="corrupted"):
+            assert c.compile(SearchQuery(PATTERNS[0])).metrics.source == "cold"
+
+    def test_version_mismatch_warns_and_recompiles(self, tok, tmp_path):
+        path = self.entry_path(tok, tmp_path)
+        entry = pickle.loads(path.read_bytes())
+        entry.version = COMPILE_CACHE_VERSION + 1
+        path.write_bytes(pickle.dumps(entry))
+        c = GraphCompiler(tok, disk_cache=tmp_path)
+        with pytest.warns(RuntimeWarning, match="mismatch"):
+            assert c.compile(SearchQuery(PATTERNS[0])).metrics.source == "cold"
+        assert c.disk_cache.invalid == 1
+
+    def test_wrong_object_type_warns(self, tmp_path):
+        cache = CompileDiskCache(tmp_path)
+        path = cache.path_for("f" * 32)
+        path.write_bytes(pickle.dumps({"not": "an entry"}))
+        with pytest.warns(RuntimeWarning, match="mismatch"):
+            assert cache.get("f" * 32) is None
+
+    def test_fingerprint_mismatch_rejected(self, tok, tmp_path):
+        # An entry renamed to another fingerprint's slot must not serve it.
+        path = self.entry_path(tok, tmp_path)
+        cache = CompileDiskCache(tmp_path)
+        moved = cache.path_for("0" * 32)
+        path.rename(moved)
+        with pytest.warns(RuntimeWarning, match="mismatch"):
+            assert cache.get("0" * 32) is None
+
+    def test_missing_file_is_silent_miss(self, tmp_path):
+        cache = CompileDiskCache(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.get("a" * 32) is None
+        assert cache.misses == 1
+        assert cache.invalid == 0
+
+
+class TestSchedulerIntegration:
+    def test_scheduler_shares_disk_cache(self, tok, lm, tmp_path):
+        def sweep():
+            comp = GraphCompiler(tok, cache=True, disk_cache=tmp_path)
+            s = QueryScheduler(lm, tok, compiler=comp, concurrency=2)
+            for p in PATTERNS:
+                s.submit(SearchQuery(p))
+            s.run()
+            return s
+
+        first = sweep()
+        assert first.stats.compile_cache_disk_hits == 0
+        second = sweep()
+        assert second.stats.compile_cache_disk_hits == len(PATTERNS)
+        for a, b in zip(first.queries, second.queries):
+            assert [(m.tokens, m.text) for m in a.results] == [
+                (m.tokens, m.text) for m in b.results
+            ]
+
+    def test_compile_ahead_bit_identical(self, tok, lm):
+        base = search_many(
+            lm, tok, [SearchQuery(p) for p in PATTERNS], concurrency=2
+        )
+        ahead = search_many(
+            lm,
+            tok,
+            [SearchQuery(p) for p in PATTERNS],
+            concurrency=2,
+            compile_ahead=True,
+        )
+        for a, b in zip(base, ahead):
+            assert [(m.tokens, m.text, m.logprob) for m in a.results] == [
+                (m.tokens, m.text, m.logprob) for m in b.results
+            ]
+
+    def test_compile_ahead_pipelined_bit_identical(self, tok, lm):
+        base = search_many(
+            lm, tok, [SearchQuery(p) for p in PATTERNS], concurrency=2
+        )
+        ahead = search_many(
+            lm,
+            tok,
+            [SearchQuery(p) for p in PATTERNS],
+            concurrency=2,
+            compile_ahead=True,
+            pipeline=True,
+        )
+        for a, b in zip(base, ahead):
+            assert [(m.tokens, m.text, m.logprob) for m in a.results] == [
+                (m.tokens, m.text, m.logprob) for m in b.results
+            ]
+
+    def test_compile_ahead_defers_past_submit(self, tok, lm):
+        s = QueryScheduler(lm, tok, concurrency=2, compile_ahead=True)
+        handles = [s.submit(SearchQuery(p)) for p in PATTERNS]
+        assert all(h.executor is None for h in handles)
+        s.run()
+        assert all(h.executor is not None for h in handles)
+        assert all(h.done for h in handles)
+        # Queries beyond the first concurrency slots compiled mid-run.
+        assert s.stats.queries_compiled_ahead >= 1
+        assert s.stats.compile_cache_misses == len(PATTERNS)
+
+    def test_compile_ahead_admission_still_rejects(self, tok, lm):
+        from repro.core.preprocessors import FilterPreprocessor
+        from repro.core.query import QueryString, SimpleSearchQuery
+
+        s = QueryScheduler(lm, tok, compile_ahead=True)
+        # Statically-empty language: "a" minus "a" (RLM001, error-level).
+        bad = s.submit(
+            SimpleSearchQuery(
+                query_string=QueryString("a"),
+                preprocessors=(FilterPreprocessor(["a"]),),
+            )
+        )
+        good = s.submit(SearchQuery(PATTERNS[0]))
+        s.run()
+        assert bad.truncated and bad.truncated_reason == "rejected"
+        assert good.done and not good.truncated
+        assert s.stats.queries_rejected == 1
+
+
+class TestCompileMetrics:
+    def test_metrics_reach_execution_stats(self, tok, lm):
+        from repro.core.api import prepare
+
+        session = prepare(lm, tok, SearchQuery(PATTERNS[0]))
+        stats = session.stats
+        assert stats.token_states > 0
+        assert stats.token_edges > 0
+        assert 0 < stats.minimized_states <= stats.token_states
+        assert stats.compile_ms > 0.0
+        assert "token_states" in stats.as_dict()
+
+    def test_scheduler_aggregates_compile_ms(self, tok, lm):
+        s = QueryScheduler(lm, tok)
+        for p in PATTERNS:
+            s.submit(SearchQuery(p))
+        s.run()
+        assert s.stats.compile_ms > 0.0
+        assert s.stats.compile_cache_misses == len(PATTERNS)
+        assert "compile_ms" in s.stats.as_dict()
+
+
+class TestIntervalArrays:
+    def test_interval_rows_expand_to_plain_rows(self, tok):
+        minimized = GraphCompiler(tok, minimize_tokens=True)
+        plain = GraphCompiler(tok, minimize_tokens=False)
+        for pattern in PATTERNS:
+            a = minimized.compile(SearchQuery(pattern))
+            arr = a.token_automaton.arrays(vocab_size=len(tok))
+            assert arr.intervals
+            for state, row in a.token_automaton.edges.items():
+                if not row:
+                    assert arr.row(state) is None or arr.row(state).num_edges == 0
+                    continue
+                expanded = arr.row(state)
+                assert list(expanded.token_ids) == list(row.keys())
+                assert list(expanded.dst_states) == list(row.values())
+            b = plain.compile(SearchQuery(pattern))
+            brr = b.token_automaton.arrays(vocab_size=len(tok))
+            assert not brr.intervals
+
+    def test_dense_mask_identical_with_intervals(self, tok):
+        from repro.core.arrays import AutomatonArrays
+
+        compiled = GraphCompiler(tok).compile(SearchQuery(PATTERNS[0]))
+        auto = compiled.token_automaton
+        a = AutomatonArrays(auto.edges, auto.prefix_live, len(tok), intervals=True)
+        b = AutomatonArrays(auto.edges, auto.prefix_live, len(tok), intervals=False)
+        if a.has_dense_mask and b.has_dense_mask:
+            for state in auto.edges:
+                np.testing.assert_array_equal(a.token_mask(state), b.token_mask(state))
+
+    def test_compression_reduces_bytes_on_runs(self):
+        from repro.core.arrays import AutomatonArrays
+
+        # One state, 1000 consecutive tokens to the same destination.
+        edges = {0: {t: 1 for t in range(1000)}, 1: {}}
+        a = AutomatonArrays(edges, frozenset(), 1024, intervals=True)
+        b = AutomatonArrays(edges, frozenset(), 1024, intervals=False)
+        assert a.states_compressed == 1
+        assert a.interval_runs == 1
+        assert a.bytes_estimate < b.bytes_estimate / 10
+        row = a.row(0)
+        assert list(row.token_ids) == list(range(1000))
+        assert set(row.dst_states.tolist()) == {1}
+
+    def test_incompressible_rows_stay_eager(self):
+        from repro.core.arrays import AutomatonArrays
+
+        # Alternating destinations: every run has length 1 — no win.
+        edges = {0: {t: t % 2 for t in range(100)}}
+        a = AutomatonArrays(edges, frozenset(), 128, intervals=True)
+        assert a.states_compressed == 0
+        assert a.row(0).num_edges == 100
+
+
+class TestTokenMinimization:
+    def test_minimized_preserves_match_semantics(self, tok):
+        on = GraphCompiler(tok, minimize_tokens=True)
+        off = GraphCompiler(tok, minimize_tokens=False)
+        for pattern in PATTERNS:
+            a = on.compile(SearchQuery(pattern)).token_automaton
+            b = off.compile(SearchQuery(pattern)).token_automaton
+
+            def paths(auto, limit=2000):
+                out = []
+                stack = [(auto.start, ())]
+                while stack and len(out) < limit:
+                    state, path = stack.pop()
+                    if state in auto.accepts:
+                        out.append(path)
+                    if len(path) >= 8:
+                        continue
+                    for tokid, dst in sorted(auto.edges.get(state, {}).items()):
+                        stack.append((dst, path + (tokid,)))
+                return sorted(out)
+
+            assert paths(a) == paths(b)
+
+    def test_minimized_state_count_never_larger(self, tok):
+        on = GraphCompiler(tok, minimize_tokens=True)
+        for pattern in PATTERNS:
+            m = on.compile(SearchQuery(pattern)).metrics
+            assert m.minimized_states <= m.token_states
+
+
+class TestCompilationCacheBytes:
+    def make(self, states, edges):
+        # A stand-in CompiledQuery: only num_states/num_edges are read.
+        class Auto:
+            pass
+
+        class Compiled:
+            pass
+
+        c = Compiled()
+        auto = Auto()
+        auto.num_states = states
+        auto.num_edges = edges
+        c.token_automaton = auto
+        return c
+
+    def test_bytes_estimate_in_stats(self):
+        cache = CompilationCache(max_entries=8)
+        cache.put("a", self.make(10, 100))
+        stats = cache.stats()
+        assert stats["bytes_estimate"] == cache.entry_bytes(self.make(10, 100))
+        assert stats["entries"] == 1
+
+    def test_byte_budget_evicts_lru(self):
+        entry_cost = CompilationCache.entry_bytes(self.make(10, 100))
+        cache = CompilationCache(max_entries=64, max_bytes=3 * entry_cost)
+        for key in "abcd":
+            cache.put(key, self.make(10, 100))
+        assert len(cache._store) == 3
+        assert cache.get("a") is None  # oldest evicted by byte budget
+        assert cache.get("d") is not None
+        assert cache.bytes_estimate <= 3 * entry_cost
+
+    def test_one_huge_entry_is_kept(self):
+        # A single over-budget automaton must still cache (never evict the
+        # only entry: that would thrash every templated loop).
+        cache = CompilationCache(max_entries=64, max_bytes=1024)
+        cache.put("huge", self.make(10_000, 1_000_000))
+        assert cache.get("huge") is not None
+        assert len(cache._store) == 1
+
+    def test_replacement_updates_bytes(self):
+        cache = CompilationCache(max_entries=8)
+        cache.put("a", self.make(10, 100))
+        first = cache.bytes_estimate
+        cache.put("a", self.make(20, 200))
+        assert cache.bytes_estimate == CompilationCache.entry_bytes(self.make(20, 200))
+        assert cache.bytes_estimate != first
+
+    def test_clear_resets_bytes(self):
+        cache = CompilationCache()
+        cache.put("a", self.make(10, 100))
+        cache.clear()
+        assert cache.bytes_estimate == 0
+        assert cache.stats()["bytes_estimate"] == 0
