@@ -10,6 +10,9 @@ construction — the >=2x bar — token-automaton minimization, and the
 persistent disk cache's warm start, which must recompile zero
 queries), the multi-query scheduler's cross-query coalescing (8
 templated knowledge queries must issue <= 0.35x the serial LM rounds),
+the query-set relational analysis (the ``QuerySetAnalyzer`` pass over
+the knowledge portfolio, and scheduler dedupe strictly reducing model
+rounds on a workload seeded with exact duplicates),
 and the process-parallel round sharding (workers=4 must reach >= 1.8x
 the workers=1 round throughput on machines with >= 4 CPUs), and records
 medians as JSON (written atomically — temp file + ``os.replace``)::
@@ -262,6 +265,70 @@ def bench_scheduler(repeats: int, top_n: int = 5) -> dict:
     }
 
 
+def bench_analyze_set(repeats: int) -> dict:
+    """Cross-query relational analysis: median wall-time of the
+    :class:`QuerySetAnalyzer` pass over the templated knowledge portfolio
+    (8 queries, 28 pairs), plus the LM traffic scheduler dedupe saves on
+    a workload seeded with exact duplicates (each month query submitted
+    twice).  The shared logits cache already collapses duplicate
+    *contexts* inside a coalesced round, so the metric that moves is the
+    scheduler's serviced-context count — the work the mirrored queries
+    never request.  Dedupe must never change a result and must strictly
+    reduce serviced contexts; both are asserted here, not just measured."""
+    from repro.core.analyze_set import QuerySetAnalyzer
+    from repro.core.scheduler import QueryScheduler
+    from repro.experiments.knowledge import (
+        FACTS,
+        birthdate_query,
+        knowledge_world,
+        month_query,
+    )
+    from repro.lm.base import CountingModel
+
+    world = knowledge_world()
+    named = [(f"birthdate/{s}", birthdate_query(s)) for s, _ in FACTS]
+    named += [(f"month/{s}", month_query(s)) for s, _ in FACTS]
+    entries = [(name, world.compiler.compile(q)) for name, q in named]
+    analyzer = QuerySetAnalyzer()
+    analyze_s, report = _median_time(lambda: analyzer.analyze(entries), repeats)
+
+    counting = CountingModel(world.model("xl"))
+    workload = [month_query(s) for s, _ in FACTS] * 2
+
+    def run(dedupe):
+        counting.reset()
+        scheduler = QueryScheduler(
+            counting, world.tokenizer, compiler=world.compiler,
+            concurrency=len(workload), dedupe=dedupe,
+        )
+        handles = [scheduler.submit(q) for q in workload]
+        scheduler.run()
+        return [[m.text for m in h.results] for h in handles], scheduler.stats
+
+    plain_texts, plain_stats = run(False)
+    dedup_texts, dedup_stats = run(True)
+    assert dedup_texts == plain_texts, "dedupe changed query results"
+    plain_contexts = plain_stats.contexts_serviced
+    dedup_contexts = dedup_stats.contexts_serviced
+    return {
+        "queries": len(entries),
+        "analyze_ms": round(1000 * analyze_s, 3),
+        "duplicate_groups": len(report.duplicate_groups),
+        "subsumed": len(report.subsumptions),
+        "unknown_pairs": report.unknown_pairs,
+        "prefix_clusters": len(report.prefix_clusters),
+        "dedupe": {
+            "queries": len(workload),
+            "deduped": dedup_stats.queries_deduped,
+            "plain_contexts": plain_contexts,
+            "dedupe_contexts": dedup_contexts,
+            "context_ratio": (
+                round(dedup_contexts / plain_contexts, 4) if plain_contexts else 1.0
+            ),
+        },
+    }
+
+
 def bench_incremental(env, repeats: int) -> dict:
     """Incremental K/V decoding vs full re-forward, plus the n-gram CSR
     arrays vs the dict walk.
@@ -468,6 +535,7 @@ def main(argv=None) -> int:
         "compiler": bench_compiler(env, args.repeats),
         "compile": bench_compile(env, args.repeats),
         "scheduler": bench_scheduler(args.repeats),
+        "analyze_set": bench_analyze_set(args.repeats),
         "incremental": bench_incremental(env, args.repeats),
         "parallel": bench_parallel(env, args.repeats),
     }
@@ -503,6 +571,11 @@ def main(argv=None) -> int:
         failures.append(
             f"scheduler round ratio {report['scheduler']['round_ratio']} "
             "exceeds the 0.35x bar"
+        )
+    if report["analyze_set"]["dedupe"]["context_ratio"] >= 1.0:
+        failures.append(
+            f"dedupe context ratio {report['analyze_set']['dedupe']['context_ratio']} "
+            "did not reduce serviced contexts on a duplicated workload"
         )
     incremental = report["incremental"]
     if incremental["depth_16"]["speedup"] < 2.0:

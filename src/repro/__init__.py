@@ -31,11 +31,13 @@ from repro.core import (
     IntersectionPreprocessor,
     LevenshteinPreprocessor,
     MatchResult,
+    PairRelation,
     Preprocessor,
     QueryAnalyzer,
     QueryBudget,
     QueryReport,
     QueryScheduler,
+    QuerySetAnalyzer,
     QuerySearchStrategy,
     QueryString,
     QueryTokenizationStrategy,
@@ -43,6 +45,7 @@ from repro.core import (
     SchedulerStats,
     SearchQuery,
     SearchSession,
+    SetReport,
     Severity,
     SimpleSearchQuery,
     SuffixFilterPreprocessor,
@@ -95,6 +98,9 @@ __all__ = [
     "MatchResult",
     "QueryAnalyzer",
     "QueryReport",
+    "QuerySetAnalyzer",
+    "SetReport",
+    "PairRelation",
     "Finding",
     "CostEstimate",
     "Severity",

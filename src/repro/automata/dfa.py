@@ -14,6 +14,7 @@ acceptance tests.  Construction from a regex string lives in
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
@@ -21,7 +22,23 @@ from typing import Iterable, Iterator
 
 from repro.automata.nfa import NFA
 
-__all__ = ["DFA"]
+__all__ = ["DFA", "ProductBudgetExceeded"]
+
+
+class ProductBudgetExceeded(Exception):
+    """A budgeted product construction grew past its ``max_states`` cap.
+
+    Raised *before* the oversized automaton is materialised, so callers
+    (the query-set analyzer) can degrade to an "unknown" verdict instead
+    of stalling on a pathological pair.  The partial product is discarded;
+    nothing about either operand is mutated.
+    """
+
+    def __init__(self, max_states: int) -> None:
+        super().__init__(
+            f"product construction exceeded the {max_states}-state budget"
+        )
+        self.max_states = max_states
 
 
 @dataclass
@@ -323,13 +340,63 @@ class DFA:
         start = ids[block_of[dfa.start]]
         return DFA(start=start, accepts=frozenset(accepts), transitions=transitions).trimmed()
 
+    # -- canonical form ------------------------------------------------------
+    def canonical_form(self) -> tuple:
+        """A canonical, hashable serialisation of the minimal equivalent DFA.
+
+        Two DFAs have equal canonical forms **iff** they accept the same
+        language: Hopcroft minimisation makes the trim minimal automaton
+        unique up to state renaming, and a BFS renumbering that explores
+        edges in sorted-label order fixes the renaming deterministically.
+        The form is ``(accepts, transitions)`` with the start state always
+        numbered 0.  Used by the query-set analyzer for exact duplicate
+        detection (the fingerprint hash buckets in O(N), the form confirms).
+        """
+        m = self.minimized()
+        order: dict[int, int] = {m.start: 0}
+        queue: deque[int] = deque([m.start])
+        while queue:
+            q = queue.popleft()
+            row = m.transitions.get(q, {})
+            for ch in sorted(row):
+                dst = row[ch]
+                if dst not in order:
+                    order[dst] = len(order)
+                    queue.append(dst)
+        # Trim + minimal => every state is reachable, so ``order`` is total.
+        by_rank = sorted(order, key=lambda q: order[q])
+        transitions = tuple(
+            tuple(
+                (ch, order[dst])
+                for ch, dst in sorted(m.transitions.get(q, {}).items())
+            )
+            for q in by_rank
+        )
+        accepts = tuple(sorted(order[q] for q in m.accepts))
+        return (accepts, transitions)
+
+    def canonical_fingerprint(self) -> str:
+        """Stable hex digest of :meth:`canonical_form`.
+
+        Equal fingerprints are a *bucketing* signal (hash-equal ⇒ almost
+        certainly equivalent); callers that must never report a wrong
+        equivalence verdict compare the canonical forms inside a bucket.
+        """
+        payload = repr(self.canonical_form()).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
     # -- boolean operations ----------------------------------------------------
-    def _product(self, other: "DFA", accept_rule) -> "DFA":
+    def _product(
+        self, other: "DFA", accept_rule, max_states: int | None = None
+    ) -> "DFA":
         """Generic product construction.
 
         ``accept_rule(in_a, in_b)`` decides acceptance of a product state.
         Missing transitions are modelled with a dead state (``None``) so
-        union/difference behave correctly on partial DFAs.
+        union/difference behave correctly on partial DFAs.  ``max_states``
+        bounds the number of *explored* pair states; exceeding it raises
+        :class:`ProductBudgetExceeded` (the analyzer's degrade-to-unknown
+        hook) instead of materialising a blowup.
         """
         start = (self.start, other.start)
         ids: dict[tuple[int | None, int | None], int] = {start: 0}
@@ -362,6 +429,8 @@ class DFA:
                 nxt = (na, nb)
                 nid = ids.get(nxt)
                 if nid is None:
+                    if max_states is not None and len(ids) >= max_states:
+                        raise ProductBudgetExceeded(max_states)
                     nid = len(ids)
                     ids[nxt] = nid
                     queue.append(nxt)
@@ -372,17 +441,18 @@ class DFA:
                 transitions[pid] = row
         return DFA(start=0, accepts=frozenset(accepts), transitions=transitions).trimmed()
 
-    def intersect(self, other: "DFA") -> "DFA":
-        """Language intersection."""
-        return self._product(other, lambda a, b: a and b)
+    def intersect(self, other: "DFA", max_states: int | None = None) -> "DFA":
+        """Language intersection (optionally state-budgeted)."""
+        return self._product(other, lambda a, b: a and b, max_states=max_states)
 
-    def union(self, other: "DFA") -> "DFA":
-        """Language union."""
-        return self._product(other, lambda a, b: a or b)
+    def union(self, other: "DFA", max_states: int | None = None) -> "DFA":
+        """Language union (optionally state-budgeted)."""
+        return self._product(other, lambda a, b: a or b, max_states=max_states)
 
-    def difference(self, other: "DFA") -> "DFA":
-        """Language difference (strings in self but not in other)."""
-        return self._product(other, lambda a, b: a and not b)
+    def difference(self, other: "DFA", max_states: int | None = None) -> "DFA":
+        """Language difference (strings in self but not in other;
+        optionally state-budgeted)."""
+        return self._product(other, lambda a, b: a and not b, max_states=max_states)
 
     def concat_string(self, suffix: str) -> "DFA":
         """Language ``{w + suffix : w in L(self)}`` — appends a literal."""

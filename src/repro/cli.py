@@ -9,6 +9,7 @@ Usage (see ``python -m repro --help``)::
     python -m repro dot "ab|ac" --tokens
     python -m repro lint "a(b|c)*" --json
     python -m repro lint --set all
+    python -m repro lint-set --set all --json
     python -m repro explain "ab|ac" --sequence-length 8
 
 Queries run against the built-in experiment environment (synthetic corpus
@@ -176,17 +177,43 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", action="store_true", help="machine-readable report")
         p.add_argument("--scale", choices=["test", "full"], default="test")
 
+    def add_set_arg(p) -> None:
+        p.add_argument(
+            "--set",
+            dest="query_set",
+            choices=["bias", "knowledge", "memorization", "all"],
+            default=None,
+            help="analyze a built-in experiment query set instead of patterns",
+        )
+
     lint = sub.add_parser(
         "lint",
         help="statically analyze queries; exit 1 on error-level findings",
     )
     add_analysis_args(lint, patterns_optional=True)
-    lint.add_argument(
-        "--set",
-        dest="query_set",
-        choices=["bias", "knowledge", "memorization", "all"],
-        default=None,
-        help="lint a built-in experiment query set instead of patterns",
+    add_set_arg(lint)
+
+    lint_set = sub.add_parser(
+        "lint-set",
+        help="cross-query analysis: relation matrix, duplicate/subsumed/"
+             "overlap findings, projected LM-call savings; exit 1 on "
+             "RLM007 duplicates",
+    )
+    add_analysis_args(lint_set, patterns_optional=True)
+    add_set_arg(lint_set)
+    lint_set.add_argument(
+        "--state-budget", type=int, default=4096,
+        help="max DFA states per minimisation/product construction; "
+             "exceeding it degrades the affected pairs to 'unknown'",
+    )
+    lint_set.add_argument(
+        "--overlap-threshold", type=float, default=0.25,
+        help="overlap mass as a fraction of the smaller language at which "
+             "RLM009 fires",
+    )
+    lint_set.add_argument(
+        "--min-shared-prefix", type=int, default=2,
+        help="forced-token-prefix length at which RLM010 clusters queries",
     )
 
     explain = sub.add_parser(
@@ -561,21 +588,39 @@ def _analysis_targets(args) -> list[tuple[str, object, object]]:
 
 
 def _safe_report(query, compiler):
-    """Compile and analyze *query*; syntax errors become RLM000 reports.
+    """Compile and analyze *query*; failures become RLM000 reports.
 
-    Returns ``(report, compile_metrics)`` — metrics are ``None`` for
-    syntax errors (nothing compiled)."""
+    Returns ``(report, compile_metrics, compiled)`` — metrics/compiled are
+    ``None`` when nothing compiled.  *Any* exception is captured (syntax
+    errors with their parser message, everything else as an analysis
+    failure) so batch linting always produces a report per query — and
+    ``lint --json`` always emits one valid JSON document."""
     from repro.core.analyze import syntax_error_report
     from repro.regex.parser import RegexSyntaxError
 
     try:
         compiled = compiler.compile(query)
-        return compiled.report, compiled.metrics
+        return compiled.report, compiled.metrics, compiled
     except RegexSyntaxError as exc:
-        report = syntax_error_report(
-            query.query_string.query_str, query.query_string.prefix_str, str(exc)
-        )
-        return report, None
+        message = str(exc)
+    except Exception as exc:  # defensive: a crash must not break the batch
+        message = f"query failed to compile/analyze: {exc}"
+    report = syntax_error_report(
+        query.query_string.query_str, query.query_string.prefix_str, message
+    )
+    return report, None, None
+
+
+def _set_analyzer_from(args):
+    """A :class:`QuerySetAnalyzer` configured from CLI flags (defaults
+    when the subcommand doesn't expose the knobs, e.g. ``lint``)."""
+    from repro.core.analyze_set import QuerySetAnalyzer
+
+    return QuerySetAnalyzer(
+        state_budget=getattr(args, "state_budget", 4096),
+        overlap_threshold=getattr(args, "overlap_threshold", 0.25),
+        min_shared_prefix=getattr(args, "min_shared_prefix", 2),
+    )
 
 
 def _cmd_lint(args) -> int:
@@ -588,10 +633,16 @@ def _cmd_lint(args) -> int:
     reports = []
     worst_ok = True
     for name, query, compiler in targets:
-        report, metrics = _safe_report(query, compiler)
-        reports.append((name, report, metrics))
+        report, metrics, compiled = _safe_report(query, compiler)
+        reports.append((name, report, metrics, compiled))
         if report.has_errors:
             worst_ok = False
+    # Cross-query section (``--set`` only): relate the whole portfolio.
+    set_report = None
+    if getattr(args, "query_set", None) is not None:
+        entries = [(n, c) for n, _r, _m, c in reports if c is not None]
+        if len(entries) >= 2:
+            set_report = _set_analyzer_from(args).analyze(entries)
     if args.json:
         payload = [
             dict(
@@ -599,17 +650,23 @@ def _cmd_lint(args) -> int:
                 **report.as_dict(),
                 compile=metrics.as_dict() if metrics is not None else None,
             )
-            for name, report, metrics in reports
+            for name, report, metrics, _compiled in reports
         ]
-        print(json.dumps(payload, indent=2))
+        if set_report is not None:
+            payload.append(dict(name="<cross-query>", set=set_report.as_dict()))
+        print(json.dumps(payload, indent=2, default=str))
     else:
-        for name, report, _metrics in reports:
+        for name, report, _metrics, _compiled in reports:
             marker = {"ok": " ", "warning": "!", "error": "E"}[report.verdict]
             print(f"{marker} {name}: {report.verdict}")
             for finding in report.findings:
                 print(f"    {finding.render()}")
-        errors = sum(1 for _, r, _m in reports if r.verdict == "error")
-        warnings = sum(1 for _, r, _m in reports if r.verdict == "warning")
+        if set_report is not None and set_report.findings:
+            print("cross-query:")
+            for finding in set_report.findings:
+                print(f"    {finding.render()}")
+        errors = sum(1 for _, r, _m, _c in reports if r.verdict == "error")
+        warnings = sum(1 for _, r, _m, _c in reports if r.verdict == "warning")
         print(
             f"# {len(reports)} queries: {errors} error(s), {warnings} warning(s)",
             file=sys.stderr,
@@ -617,11 +674,47 @@ def _cmd_lint(args) -> int:
     return 0 if worst_ok else 1
 
 
+def _cmd_lint_set(args) -> int:
+    """Cross-query relational lint: the tentpole's CLI surface.
+
+    Exit code 1 means RLM007 duplicates were found (the CI gate on the
+    built-in sets); per-query errors still surface in the listing but the
+    relational verdict drives the exit code.
+    """
+    import json
+
+    if not args.pattern and getattr(args, "query_set", None) is None:
+        print("lint-set: provide pattern(s) or --set", file=sys.stderr)
+        return 2
+    targets = _analysis_targets(args)
+    entries = []
+    skipped = []
+    for name, query, compiler in targets:
+        _report, _metrics, compiled = _safe_report(query, compiler)
+        if compiled is not None:
+            entries.append((name, compiled))
+        else:
+            skipped.append(name)
+    if len(entries) < 2:
+        print("lint-set: need at least two compilable queries", file=sys.stderr)
+        return 2
+    report = _set_analyzer_from(args).analyze(entries)
+    if args.json:
+        payload = report.as_dict()
+        payload["skipped"] = skipped
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(report.render())
+        if skipped:
+            print(f"# skipped (did not compile): {', '.join(skipped)}", file=sys.stderr)
+    return 1 if "RLM007" in report.codes else 0
+
+
 def _cmd_explain(args) -> int:
     import json
 
     [(name, query, compiler)] = _analysis_targets(args)
-    report, metrics = _safe_report(query, compiler)
+    report, metrics, _compiled = _safe_report(query, compiler)
     if args.json:
         payload = dict(
             name=name,
@@ -675,6 +768,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_dot(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "lint-set":
+        return _cmd_lint_set(args)
     if args.command == "explain":
         return _cmd_explain(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -11,6 +11,7 @@ Public surface (mirrors the paper's API, Figures 4 and 11):
 """
 
 from repro.core.analyze import QueryAnalyzer, TokenGraphView, analyze_query
+from repro.core.analyze_set import PairRelation, QuerySetAnalyzer, SetReport
 from repro.core.api import SearchSession, prepare, search, search_many
 from repro.core.findings import CostEstimate, Finding, QueryReport, Severity
 from repro.core.logging import MatchWriter, read_matches, tee_matches
@@ -83,6 +84,9 @@ __all__ = [
     "ExecutionStats",
     "MatchResult",
     "QueryAnalyzer",
+    "QuerySetAnalyzer",
+    "SetReport",
+    "PairRelation",
     "TokenGraphView",
     "analyze_query",
     "QueryReport",

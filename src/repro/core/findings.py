@@ -19,7 +19,23 @@ Stable codes (never renumber; retire by leaving a gap):
 ``RLM005``   canonical-vs-all divergence — dynamic canonicality fallback, or
              ambiguous encodings inflating the all-encodings path count
 ``RLM006``   dead states — token-automaton states that cannot reach acceptance
+``RLM007``   duplicate query — language-equivalent to an earlier query in the
+             set (minimized-DFA canonical forms are equal)
+``RLM008``   subsumed query — the language is a strict subset of another
+             query's (``A ∖ B`` is empty, product-DFA check)
+``RLM009``   significant overlap — ``A ∩ B`` is nonempty and its exact
+             big-int string mass is a large fraction of the smaller language
+``RLM010``   shared token prefix — queries share a forced token prefix of
+             length ≥ k, so co-scheduling them reuses prefix-state (KV)
+             cache entries
+``RLM011``   set analysis budget exhausted — some pairwise relations are
+             "unknown" (never a wrong verdict; the product/minimisation
+             state budget was hit)
 ===========  ==================================================================
+
+``RLM000``–``RLM006`` are per-query findings (:class:`QueryReport`);
+``RLM007``–``RLM011`` are *cross-query* findings emitted by
+:class:`repro.core.analyze_set.QuerySetAnalyzer` into a ``SetReport``.
 """
 
 from __future__ import annotations

@@ -88,7 +88,10 @@ def _attach_segment(name: str) -> Any:
     from multiprocessing import resource_tracker, shared_memory
 
     try:
-        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+        # Attach-only; the parent owns close/unlink for every segment.
+        return shared_memory.SharedMemory(  # type: ignore[call-arg] # det: ok
+            name=name, track=False
+        )
     except TypeError:
         # Python < 3.13 has no ``track`` parameter and registers the
         # segment with this process's tracker even on attach — which makes
@@ -210,7 +213,7 @@ class _SegmentPool:
 
         size = max(nbytes, _MIN_SEGMENT_BYTES)
         size = 1 << (size - 1).bit_length()
-        shm = shared_memory.SharedMemory(create=True, size=size)
+        shm = shared_memory.SharedMemory(create=True, size=size)  # det: ok (destroy())
         self._all.append(shm)
         return shm
 

@@ -214,6 +214,17 @@ class SchedulerStats:
     #: Wall-clock seconds from submit to completion, keyed by query name
     #: (the scheduler de-duplicates names at submit, so keys never collide).
     per_query_latency: dict = field(default_factory=dict)
+    #: Set-analysis planning (``dedupe=True``): queries answered by
+    #: mirroring a language-equivalent canonical execution (RLM007),
+    #: queries answered by filtering a superset's match stream (RLM008),
+    #: and the wall-clock the :class:`~repro.core.analyze_set.QuerySetAnalyzer`
+    #: pass took.  ``per_query_dedupe`` / ``per_query_subsumed`` attribute
+    #: each mirrored/filtered query name to the name it was answered from.
+    queries_deduped: int = 0
+    queries_subsumed: int = 0
+    set_analysis_ms: float = 0.0
+    per_query_dedupe: dict = field(default_factory=dict)
+    per_query_subsumed: dict = field(default_factory=dict)
     #: Prefix-state (KV) cache traffic across every round the scheduler
     #: drove (global aggregates — one cache on the model serves all
     #: queries, so these are not attributable per query the way logits
@@ -261,6 +272,11 @@ class SchedulerStats:
             "compile_cache_misses": self.compile_cache_misses,
             "compile_cache_disk_hits": self.compile_cache_disk_hits,
             "queries_compiled_ahead": self.queries_compiled_ahead,
+            "queries_deduped": self.queries_deduped,
+            "queries_subsumed": self.queries_subsumed,
+            "set_analysis_ms": self.set_analysis_ms,
+            "per_query_dedupe": dict(self.per_query_dedupe),
+            "per_query_subsumed": dict(self.per_query_subsumed),
             "per_query_latency": dict(self.per_query_latency),
             "per_query_verdict": dict(self.per_query_verdict),
             "prefix_hits": self.prefix_hits,

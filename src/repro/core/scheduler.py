@@ -49,13 +49,14 @@ from types import FrameType
 from typing import Any, Callable
 
 from repro.core import checkpoint as ckpt_mod
+from repro.core.analyze_set import QuerySetAnalyzer, SetReport
 from repro.core.checkpoint import QuerySnapshot, RunCheckpoint, query_fingerprint
-from repro.core.compiler import GraphCompiler
+from repro.core.compiler import CompiledQuery, GraphCompiler
 from repro.core.executor import Executor, LmRequest
 from repro.core.faults import FaultPlan
 from repro.core.findings import QueryReport
 from repro.core.parallel import RoundTicket, WorkerPool
-from repro.core.query import SimpleSearchQuery
+from repro.core.query import QuerySearchStrategy, SimpleSearchQuery
 from repro.core.results import ExecutionStats, MatchResult, SchedulerStats
 from repro.lm.base import LanguageModel, LogitsCache, RoundPlan
 from repro.tokenizers.bpe import BPETokenizer
@@ -124,9 +125,18 @@ class ScheduledQuery:
         self.truncated = False
         self.truncated_reason: str | None = None
         self.latency: float | None = None
+        #: The compiled artifact (automata + report) — what the query-set
+        #: analyzer relates across queries under ``dedupe=True``.
+        self.compiled: CompiledQuery | None = None
         self._gen = executor.steps() if executor is not None else None
         self._pending: LmRequest | None = None
         self._cancelled = False
+        # Set-analysis planning links: a mirror never runs its own
+        # traversal — it copies the canonical execution's results when that
+        # finishes cleanly (and is released to run normally otherwise); a
+        # subsumed query is answered by filtering its superset's stream.
+        self._mirror_of: "ScheduledQuery | None" = None
+        self._subsumed_by: "ScheduledQuery | None" = None
         #: Executor kwargs for a deferred compile (compile-ahead mode).
         self._executor_kwargs: dict[str, Any] = {}
         self._deferred_stats: ExecutionStats | None = (
@@ -265,6 +275,9 @@ class QueryScheduler:
         checkpoint_cache_mb: float = 64.0,
         resume: bool = False,
         compile_ahead: bool = False,
+        dedupe: bool = False,
+        subsume: bool = False,
+        set_analyzer: QuerySetAnalyzer | None = None,
         **executor_defaults: Any,
     ) -> None:
         if concurrency < 1:
@@ -359,6 +372,31 @@ class QueryScheduler:
         #: moves — and admission control simply happens at first
         #: consideration instead of at submit.
         self.compile_ahead = bool(compile_ahead)
+        #: Set-analysis planning (see :mod:`repro.core.analyze_set`).
+        #: ``dedupe=True`` runs a :class:`QuerySetAnalyzer` pass over the
+        #: submitted queries before the first round and answers RLM007
+        #: duplicates from one canonical execution — results are mirrored
+        #: bit-identically (only *fully identical* queries with compatible
+        #: budgets mirror; language-equal-but-differently-parameterised
+        #: queries still run) and admission is ordered by shared-prefix
+        #: clusters to maximise prefix-state/logits cache reuse.
+        #: ``subsume=True`` additionally answers RLM008 strict-subset
+        #: queries by filtering the superset's completed match stream
+        #: (SHORTEST_PATH only; equal-cost matches may tie-break
+        #: differently than a standalone run, which is why it is a
+        #: separate opt-in).  A canonical execution that ends truncated
+        #: releases its mirrors/subsumed queries to run normally — the
+        #: planner trades LM calls, never correctness.
+        self.dedupe = bool(dedupe)
+        self.subsume = bool(subsume)
+        self._set_analyzer = set_analyzer
+        #: The planning pass's :class:`SetReport` (``None`` until the first
+        #: drive under ``dedupe``/``subsume``, or when < 2 queries).
+        self.set_report: SetReport | None = None
+        self._planned = False
+        self._mirror_waiters: dict[str, list[ScheduledQuery]] = {}
+        self._subsume_waiters: dict[str, list[ScheduledQuery]] = {}
+        self._admission_rank: dict[int, int] = {}
         self._resume_attempted = False
         self._rounds_since_checkpoint = 0
         self._interrupt_requested = False
@@ -440,6 +478,7 @@ class QueryScheduler:
             executor.stats.compilation_cache_misses = cache.misses - misses_before
         if disk is not None:
             executor.stats.compilation_cache_disk_hits = disk.hits - disk_hits_before
+        sq.compiled = compiled
         sq.attach(executor, compiled.report)
         self.stats.compile_ms += executor.stats.compile_ms
         self.stats.compile_cache_hits += executor.stats.compilation_cache_hits
@@ -483,6 +522,7 @@ class QueryScheduler:
         before propagating, so a crashed sweep is resumable too.
         """
         self._maybe_resume()
+        self._maybe_plan()
         previous: Any = None
         installed = threading.current_thread() is threading.main_thread()
         if installed:
@@ -521,6 +561,7 @@ class QueryScheduler:
         cache round, and resume them with the scores.
         """
         self._maybe_resume()
+        self._maybe_plan()
         waiting = self._gather_waiting(())
         if not waiting:
             return False
@@ -551,6 +592,156 @@ class QueryScheduler:
                 return
             inflight = nxt
 
+    # -- set-analysis planning ----------------------------------------------------
+    def _maybe_plan(self) -> None:
+        """Run the query-set analyzer once, before the first round, and
+        plan dedupe/subsume/prefix-ordering from its report.
+
+        Planning needs the compiled automata, so under ``compile_ahead``
+        it compiles every pending query here (the trade is explicit:
+        set-level planning buys LM calls with compile-time work).
+        """
+        if self._planned or not (self.dedupe or self.subsume):
+            return
+        self._planned = True
+        started = time.perf_counter()
+        for sq in self.queries:
+            if not sq.done and sq.compiled is None:
+                self._attach_executor(sq)
+        live = [sq for sq in self.queries if not sq.done and sq.compiled is not None]
+        if len(live) >= 2:
+            analyzer = self._set_analyzer or QuerySetAnalyzer()
+            report = analyzer.analyze(
+                [(sq.name, sq.compiled) for sq in live]
+            )
+            self.set_report = report
+            if self.dedupe:
+                for group in report.duplicate_groups:
+                    canonical = live[group[0]]
+                    for i in group[1:]:
+                        sq = live[i]
+                        if self._mirrorable(sq, canonical):
+                            sq._mirror_of = canonical
+                            self._mirror_waiters.setdefault(
+                                canonical.name, []
+                            ).append(sq)
+            if self.subsume:
+                for sub_i, sup_i in sorted(report.subsumptions.items()):
+                    sub, sup = live[sub_i], live[sup_i]
+                    if sub.done or sub._mirror_of is not None:
+                        continue
+                    while sup._mirror_of is not None:  # follow to the
+                        sup = sup._mirror_of  # canonical execution
+                    if self._subsumable(sub, sup):
+                        sub._subsumed_by = sup
+                        self._subsume_waiters.setdefault(sup.name, []).append(sub)
+            # Admission ordering: queries sharing a forced token prefix are
+            # ranked adjacently so their rounds hit the prefix-state (KV)
+            # and logits caches back-to-back.  Interleaving order never
+            # changes results (serial equivalence), only cache locality.
+            rank = 0
+            for cluster in report.prefix_clusters:
+                for i in cluster:
+                    self._admission_rank[live[i].index] = rank
+                    rank += 1
+            for sq in self.queries:
+                if sq.index not in self._admission_rank:
+                    self._admission_rank[sq.index] = rank
+                    rank += 1
+        self.stats.set_analysis_ms = (time.perf_counter() - started) * 1e3
+
+    @staticmethod
+    def _mirrorable(sq: ScheduledQuery, canonical: ScheduledQuery) -> bool:
+        """True when *sq*'s results are provably bit-identical to
+        *canonical*'s: the full query (pattern, strategy, sampling knobs,
+        seed, …) is equal — RLM007 language equivalence alone is not
+        enough — the executor configuration matches, and the budgets
+        cannot diverge (equal, with no wall-clock deadline; deadlines are
+        measured from per-query submit times)."""
+        if sq.query != canonical.query:
+            return False
+        if sq._executor_kwargs != canonical._executor_kwargs:
+            return False
+        if sq.budget != canonical.budget or sq.budget.deadline is not None:
+            return False
+        if (
+            sq.query.search_strategy is QuerySearchStrategy.RANDOM_SAMPLING
+            and sq.query.seed is None
+        ):
+            return False
+        return True
+
+    @staticmethod
+    def _subsumable(sub: ScheduledQuery, sup: ScheduledQuery) -> bool:
+        """True when *sub* may be answered by filtering *sup*'s stream:
+        both are SHORTEST_PATH (cost-ordered, so the filtered subsequence
+        is the subset's own yield order up to equal-cost ties), share the
+        conditioning prefix, differ *only* in pattern, and *sub* carries
+        no budget that could truncate differently."""
+        if sub.done or sup.done:
+            return False
+        if (
+            sub.query.search_strategy is not QuerySearchStrategy.SHORTEST_PATH
+            or sup.query.search_strategy is not QuerySearchStrategy.SHORTEST_PATH
+        ):
+            return False
+        if sub.query.query_string.prefix_str != sup.query.query_string.prefix_str:
+            return False
+        if sub.query.with_(query_string=sup.query.query_string) != sup.query:
+            return False
+        if sub.budget != QueryBudget():
+            return False
+        if sub._executor_kwargs != sup._executor_kwargs:
+            return False
+        return True
+
+    def _resolve_waiters(self, sq: ScheduledQuery) -> None:
+        """When *sq* finishes, answer the queries planned against it.
+
+        A cleanly completed canonical execution answers its mirrors by
+        copying results (zero LM calls, attributed in
+        ``stats.per_query_dedupe``); a completed, non-truncated superset
+        that exhausted its language answers subsumed queries by filtering
+        its stream.  Anything else — truncation, cancellation, a
+        num_samples-cut stream — *releases* the waiters to run normally:
+        planning saves LM calls or does nothing, it never changes results.
+        """
+        for mirror in self._mirror_waiters.pop(sq.name, ()):
+            if mirror.done:
+                continue
+            mirror._mirror_of = None
+            if mirror._cancelled:
+                self._finish(mirror, truncated=True, reason="cancelled")
+            elif not sq.truncated:
+                mirror.results = list(sq.results)
+                self.stats.queries_deduped += 1
+                self.stats.per_query_dedupe[mirror.name] = sq.name
+                self._finish(mirror, truncated=False)
+        for sub in self._subsume_waiters.pop(sq.name, ()):
+            if sub.done:
+                continue
+            sub._subsumed_by = None
+            if sub._cancelled:
+                self._finish(sub, truncated=True, reason="cancelled")
+                continue
+            target = sub.query.num_samples
+            exhausted = not sq.truncated and (
+                sq.query.num_samples is None
+                or len(sq.results) < sq.query.num_samples
+            )
+            if exhausted:
+                assert sub.compiled is not None
+                char_dfa = sub.compiled.char_dfa
+                filtered = [
+                    m for m in sq.results if char_dfa.accepts_string(m.text)
+                ]
+                if target is not None:
+                    filtered = filtered[:target]
+                sub.results = filtered
+                self.stats.queries_subsumed += 1
+                self.stats.per_query_subsumed[sub.name] = sq.name
+                self._finish(sub, truncated=False)
+
     def _gather_waiting(
         self, exclude: tuple[ScheduledQuery, ...]
     ) -> list[ScheduledQuery]:
@@ -579,6 +770,8 @@ class QueryScheduler:
                 if not sq.done:  # admission may have rejected it
                     active += 1
         for sq in self.queries:
+            if sq._mirror_of is not None or sq._subsumed_by is not None:
+                continue  # planned to be answered from another execution
             if not sq.done and sq._pending is None and sq._gen is not None:
                 self._advance(sq, None)
         waiting = [
@@ -842,6 +1035,7 @@ class QueryScheduler:
             self.stats.queries_truncated += 1
         else:
             self.stats.queries_completed += 1
+        self._resolve_waiters(sq)
 
     # -- fairness -----------------------------------------------------------------
     def _select(self, waiting: list[ScheduledQuery]) -> list[ScheduledQuery]:
@@ -867,13 +1061,19 @@ class QueryScheduler:
             )
             return ranked[:self.concurrency]
         # round_robin: rotate the start position across rounds so every
-        # query gets serviced regardless of submission order.
+        # query gets serviced regardless of submission order.  Under
+        # set-analysis planning the rotation runs over the prefix-cluster
+        # admission ranks instead of submit indices, keeping cluster
+        # members adjacent in the rotation (cache locality) while still
+        # rotating who goes first.
         total = len(self.queries)
+        rank = self._admission_rank
+        position = (lambda sq: rank[sq.index]) if rank else (lambda sq: sq.index)
         ranked = sorted(
-            waiting, key=lambda sq: (sq.index - self._rr_next) % total
+            waiting, key=lambda sq: (position(sq) - self._rr_next) % total
         )
         chosen = ranked[:self.concurrency]
-        self._rr_next = (chosen[-1].index + 1) % total
+        self._rr_next = (position(chosen[-1]) + 1) % total
         return chosen
 
     @staticmethod

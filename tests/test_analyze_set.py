@@ -1,0 +1,194 @@
+"""Unit tests for the query-set relational analyzer.
+
+Covers every cross-query code (RLM007–RLM011) against hand-built query
+sets with known relations, the never-wrong budget guarantee (exhaustion
+degrades to ``"unknown"`` — it must not misclassify), and the
+:class:`SetReport` surface the CLI and scheduler consume (``relation``
+order-normalisation, ``as_dict``, ``render``, ``findings_for``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.analyze_set import QuerySetAnalyzer, SetReport
+from repro.core.compiler import GraphCompiler
+from repro.core.query import SearchQuery
+from repro.tokenizers.bpe import train_bpe
+
+_CORPUS = ["abc abacus cab", "bab cabba abba", "ccc aaa bbb"] * 20
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return train_bpe(_CORPUS, vocab_size=150)
+
+
+@pytest.fixture(scope="module")
+def compiler(tokenizer):
+    return GraphCompiler(tokenizer)
+
+
+def _entries(compiler, specs):
+    """[(name, pattern)] or [(name, pattern, prefix)] -> analyzer input."""
+    out = []
+    for spec in specs:
+        name, pattern = spec[0], spec[1]
+        prefix = spec[2] if len(spec) > 2 else None
+        out.append((name, compiler.compile(SearchQuery(pattern, prefix=prefix))))
+    return out
+
+
+class TestRelations:
+    def test_full_verdict_matrix(self, compiler):
+        entries = _entries(
+            compiler,
+            [
+                ("dup-a", "a(b|c)"),
+                ("dup-b", "ab|ac"),
+                ("sub", "ab"),
+                ("sup", "ab|ba|bb"),
+                ("disjoint", "ccc"),
+            ],
+        )
+        report = QuerySetAnalyzer().analyze(entries)
+        assert report.names == ("dup-a", "dup-b", "sub", "sup", "disjoint")
+        assert report.relation(0, 1) == "equivalent"
+        assert report.relation(2, 3) == "subset"
+        assert report.relation(3, 2) == "superset"  # order-normalised flip
+        assert report.relation(2, 4) == "disjoint"
+        assert report.relation(1, 1) == "equivalent"
+        assert report.duplicate_groups == ((0, 1),)
+        # "ab" ⊂ "a(b|c)" too: subsumptions maps to *one* superset.
+        assert report.subsumptions[2] in (0, 1, 3)
+        assert report.unknown_pairs == 0
+        assert {"RLM007", "RLM008"} <= report.codes
+
+    def test_rlm007_exact_flag(self, compiler):
+        entries = _entries(
+            compiler,
+            [("x", "a(b|c)"), ("y", "ab|ac"), ("z", "a(b|c)")],
+        )
+        report = QuerySetAnalyzer().analyze(entries)
+        assert len(report.duplicate_groups) == 1
+        assert report.duplicate_groups[0] == (0, 1, 2)
+        by_name = {f.data["query"]: f.data["exact"] for f in report if f.code == "RLM007"}
+        assert by_name == {"y": False, "z": True}
+
+    def test_prefix_conditioning_blocks_rlm007(self, compiler):
+        # Same overall language, but one query conditions on a prefix: the
+        # executions are not interchangeable, so no duplicate claim.
+        entries = _entries(
+            compiler,
+            [("plain", "abc"), ("conditioned", "abc", "ab")],
+        )
+        report = QuerySetAnalyzer().analyze(entries)
+        assert report.duplicate_groups == ()
+        assert "RLM007" not in report.codes
+
+    def test_rlm009_overlap_mass(self, compiler):
+        # L1 = {ab, ac}, L2 = {ab, ac, bb}: overlap 2, smaller 2 -> 100%.
+        entries = _entries(compiler, [("one", "ab|ac"), ("two", "ab|ac|bb")])
+        report = QuerySetAnalyzer().analyze(entries)
+        # strict subset -> RLM008, not RLM009
+        assert "RLM008" in report.codes
+        entries = _entries(compiler, [("one", "ab|ac|ca"), ("two", "ab|ac|bb")])
+        report = QuerySetAnalyzer().analyze(entries)
+        finding = next(f for f in report if f.code == "RLM009")
+        assert finding.data["overlap_mass"] == 2
+        assert finding.data["ratio"] == pytest.approx(2 / 3)
+        pair = report.relations[(0, 1)]
+        assert pair.relation == "overlap" and pair.overlap_mass == 2
+
+    def test_rlm010_shared_prefix_cluster(self, compiler):
+        entries = _entries(
+            compiler,
+            [
+                ("p1", "abcab(a|b)"),
+                ("p2", "abcab(b|c)"),
+                ("other", "c(a|b)"),
+            ],
+        )
+        report = QuerySetAnalyzer(min_shared_prefix=2).analyze(entries)
+        assert report.prefix_clusters == ((0, 1),)
+        finding = next(f for f in report if f.code == "RLM010")
+        assert finding.data["members"] == ["p1", "p2"]
+        assert finding.data["shared_tokens"] >= 2
+        assert finding.data["expected_prefix_hits"] == finding.data["shared_tokens"]
+
+
+class TestBudgetNeverWrong:
+    def test_exhausted_budget_degrades_to_unknown(self, compiler):
+        entries = _entries(
+            compiler,
+            [("dup-a", "a(b|c)"), ("dup-b", "ab|ac"), ("sub", "ab"), ("sup", "ab|bb")],
+        )
+        report = QuerySetAnalyzer(state_budget=1).analyze(entries)
+        # Every relation is unknown; no RLM007/RLM008 is ever guessed.
+        assert report.duplicate_groups == ()
+        assert report.subsumptions == {}
+        assert report.unknown_pairs == 6
+        assert report.codes <= {"RLM010", "RLM011"}
+        finding = next(f for f in report if f.code == "RLM011")
+        assert finding.data["pairs"] == 6
+        assert finding.data["state_budget"] == 1
+        assert len(finding.data["examples"]) <= 4
+        for (i, j), pair in report.relations.items():
+            assert pair.relation == "unknown", (i, j)
+
+    def test_generous_budget_decides_everything(self, compiler):
+        entries = _entries(compiler, [("a", "ab|ac"), ("b", "a(b|c)")])
+        report = QuerySetAnalyzer(state_budget=10_000).analyze(entries)
+        assert report.unknown_pairs == 0
+        assert "RLM011" not in report.codes
+
+    def test_single_and_empty_sets(self, compiler):
+        analyzer = QuerySetAnalyzer()
+        assert analyzer.analyze([]).names == ()
+        report = analyzer.analyze(_entries(compiler, [("only", "ab")]))
+        assert report.names == ("only",)
+        assert report.findings == ()
+
+    def test_state_budget_validation(self):
+        with pytest.raises(ValueError):
+            QuerySetAnalyzer(state_budget=0)
+
+
+class TestSetReportSurface:
+    @pytest.fixture(scope="class")
+    def report(self, compiler) -> SetReport:
+        entries = _entries(
+            compiler,
+            [("dup-a", "a(b|c)"), ("dup-b", "ab|ac"), ("sub", "ab"), ("far", "ccc")],
+        )
+        return QuerySetAnalyzer().analyze(entries)
+
+    def test_matrix_rows(self, report):
+        rows = report.matrix_rows()
+        assert len(rows) == 4 and all(len(r) == 4 for r in rows)
+        assert all(rows[i][i] == "=" for i in range(4))
+        # symmetry under the glyph flip
+        flip = {"<": ">", ">": "<"}
+        for i in range(4):
+            for j in range(4):
+                assert rows[j][i] == flip.get(rows[i][j], rows[i][j])
+
+    def test_as_dict_is_json_clean(self, report):
+        payload = report.as_dict()
+        text = json.dumps(payload)  # must not need default=str
+        assert json.loads(text)["queries"] == ["dup-a", "dup-b", "sub", "far"]
+        assert payload["subsumptions"]["sub"] in ("dup-a", "dup-b")
+        assert payload["projected"]["deduped_queries"] == 1
+        assert payload["matrix"] == report.matrix_rows()
+
+    def test_render_mentions_summary(self, report):
+        text = report.render()
+        assert "duplicate group(s)" in text
+        assert "dup-b" in text
+
+    def test_findings_for(self, report):
+        assert {f.code for f in report.findings_for("sub")} == {"RLM008"}
+        assert any(f.code == "RLM007" for f in report.findings_for("dup-a"))
+        assert report.findings_for("far") == ()

@@ -176,6 +176,97 @@ class TestLintCommand:
         payload = json.loads(capsys.readouterr().out)
         assert any(entry["name"] == "memorization/urls" for entry in payload)
 
+    def test_lint_json_pure_error_batch(self, capsys):
+        # A batch where *every* query fails to parse must still emit one
+        # valid JSON document (and exit 1), not crash half-way through.
+        code = main(["lint", "[bad", "(worse[", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 2
+        assert all(entry["verdict"] == "error" for entry in payload)
+        assert all(any(f["code"] == "RLM000" for f in entry["findings"]) for entry in payload)
+
+    def test_lint_json_survives_compiler_crash(self, capsys, monkeypatch):
+        from repro.core.compiler import GraphCompiler
+
+        def boom(self, query):
+            raise RuntimeError("synthetic compiler crash")
+
+        monkeypatch.setattr(GraphCompiler, "compile", boom)
+        code = main(["lint", "The cat", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["verdict"] == "error"
+        findings = payload[0]["findings"]
+        assert any("synthetic compiler crash" in f["message"] for f in findings)
+
+    def test_lint_set_flag_adds_cross_query_section(self, capsys):
+        code = main(["lint", "--set", "bias", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list)
+        cross = [entry for entry in payload if entry["name"] == "<cross-query>"]
+        assert len(cross) == 1
+        section = cross[0]["set"]
+        assert set(section["queries"]) == {
+            entry["name"] for entry in payload if entry["name"] != "<cross-query>"
+        }
+        assert len(section["matrix"]) == len(section["queries"])
+        # The bias templates contain man/woman ⊂ (man|woman) pairs.
+        assert section["subsumptions"]
+        assert code in (0, 1)
+
+
+class TestLintSetCommand:
+    def test_requires_two_compilable_queries(self, capsys):
+        assert main(["lint-set"]) == 2
+        assert main(["lint-set", "The cat"]) == 2
+        assert main(["lint-set", "The cat", "[bad"]) == 2
+
+    def test_duplicates_drive_exit_code(self, capsys):
+        code = main(["lint-set", "The ((cat)|(dog))", "The ((dog)|(cat))", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["duplicate_groups"] == [["The ((cat)|(dog))", "The ((dog)|(cat))"]]
+        assert any(f["code"] == "RLM007" for f in payload["findings"])
+
+    def test_clean_set_exits_zero(self, capsys):
+        code = main(["lint-set", "The cat", "The dog", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["duplicate_groups"] == []
+        assert payload["skipped"] == []
+
+    def test_skipped_queries_are_listed(self, capsys):
+        code = main(["lint-set", "The cat", "The dog", "[bad", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["skipped"] == ["[bad"]
+        assert len(payload["queries"]) == 2
+
+    def test_text_rendering(self, capsys):
+        code = main(["lint-set", "The cat", "The ((cat)|(dog))"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "duplicate group(s)" in out
+        assert "RLM008" in out  # subset fires as a warning, not exit 1
+
+    def test_state_budget_flag_degrades_to_unknown(self, capsys):
+        code = main(
+            ["lint-set", "The cat", "The ((cat)|(dog))", "--state-budget", "1", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["unknown_pairs"] == 1
+        assert payload["subsumptions"] == {}
+        assert any(f["code"] == "RLM011" for f in payload["findings"])
+
+    def test_builtin_bias_set_has_no_duplicates(self, capsys):
+        # The CI gate: built-in query sets must stay RLM007-free.
+        code = main(["lint-set", "--set", "bias", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["duplicate_groups"] == []
+
 
 class TestExplainCommand:
     def test_explain_text_output(self, capsys):
@@ -272,6 +363,64 @@ class TestDeterminismLinter:
 
         src = pathlib.Path(__file__).resolve().parents[1] / "src"
         assert lint.lint_paths([src]) == []
+
+    def test_shm_alloc_without_cleanup_flagged(self, lint, tmp_path):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "def alloc(n):\n"
+            "    return shared_memory.SharedMemory(create=True, size=n)\n"
+        )
+        assert self._codes(lint, tmp_path, source) == ["DET004"]
+        # Outside repro/core/ the allocation is not this linter's business.
+        assert self._codes(lint, tmp_path, source, name="repro/experiments/m.py") == []
+
+    def test_shm_alloc_with_cleanup_in_scope_ok(self, lint, tmp_path):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "def alloc(n):\n"
+            "    shm = shared_memory.SharedMemory(create=True, size=n)\n"
+            "    shm.close()\n"
+            "    shm.unlink()\n"
+        )
+        assert self._codes(lint, tmp_path, source) == []
+
+    def test_shm_alloc_in_try_finally_ok(self, lint, tmp_path):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "def alloc(n):\n"
+            "    try:\n"
+            "        shm = shared_memory.SharedMemory(create=True, size=n)\n"
+            "    finally:\n"
+            "        pass\n"
+        )
+        assert self._codes(lint, tmp_path, source) == []
+
+    def test_shm_try_without_finally_still_flagged(self, lint, tmp_path):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "def alloc(n):\n"
+            "    try:\n"
+            "        return shared_memory.SharedMemory(create=True, size=n)\n"
+            "    except OSError:\n"
+            "        return None\n"
+        )
+        assert self._codes(lint, tmp_path, source) == ["DET004"]
+
+    def test_shm_direct_class_import_flagged(self, lint, tmp_path):
+        source = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def alloc(n):\n"
+            "    return SharedMemory(create=True, size=n)\n"
+        )
+        assert self._codes(lint, tmp_path, source) == ["DET004"]
+
+    def test_shm_pragma_suppresses(self, lint, tmp_path):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "def alloc(n):\n"
+            "    return shared_memory.SharedMemory(create=True, size=n)  # det: ok\n"
+        )
+        assert self._codes(lint, tmp_path, source) == []
 
     def test_cli_json_and_exit_codes(self, lint, tmp_path, capsys):
         bad = tmp_path / "repro" / "core" / "bad.py"

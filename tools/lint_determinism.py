@@ -20,6 +20,13 @@ code patterns quietly break that:
 ``DET003`` **set iteration feeding ordering** — ``for x in {...}``,
     ``list(set(...))``, ``sorted`` is exempt — iterating a set in a
     context that fixes an output ordering is hash-seed-dependent.
+``DET004`` **unreclaimed shared memory in core paths** — a
+    ``multiprocessing.shared_memory.SharedMemory`` allocation inside
+    ``repro/core/`` whose enclosing scope neither calls
+    ``close()``/``unlink()`` nor sits in a ``try``/``finally``: segments
+    that outlive their owner leak OS handles (and under spawn, whole
+    blocks) on error paths, which the chaos suite then observes as
+    cross-run nondeterminism.
 
 Suppression: append ``# det: ok`` to the offending line, or extend
 ``ALLOWLIST`` below with ``path::line-pattern`` entries (kept explicit so
@@ -83,6 +90,13 @@ WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
 #: latency logs) and allowed.
 CORE_PATH_MARKERS = ("repro/core/", "repro/lm/")
 
+#: Paths where shared-memory allocations must be paired with reclamation
+#: (DET004): the process-parallel engine lives here.
+SHM_PATH_MARKERS = ("repro/core/",)
+
+#: Attribute calls that count as shared-memory reclamation.
+SHM_CLEANUP_ATTRS = frozenset({"close", "unlink"})
+
 
 @dataclass(frozen=True)
 class DetFinding:
@@ -134,11 +148,24 @@ class _Visitor(ast.NodeVisitor):
         self.lines = lines
         self.findings: list[DetFinding] = []
         self.in_core = any(marker in rel.replace("\\", "/") for marker in CORE_PATH_MARKERS)
+        self.in_shm_core = any(
+            marker in rel.replace("\\", "/") for marker in SHM_PATH_MARKERS
+        )
         #: names bound by ``import numpy as np`` / ``import numpy``
         self.numpy_aliases: set[str] = set()
         self.random_module_aliases: set[str] = set()
         self.time_aliases: set[str] = set()
         self.datetime_names: set[str] = set()
+        #: names bound to the ``shared_memory`` module / ``SharedMemory`` class
+        self.shm_module_aliases: set[str] = set()
+        self.shm_class_names: set[str] = set()
+        self.multiprocessing_aliases: set[str] = set()
+        #: innermost enclosing function per DET004 check
+        self._scope_stack: list[ast.AST] = []
+        self._finally_depth = 0
+        #: set by :func:`lint_file`; module-level allocations check the
+        #: whole module for reclamation calls
+        self.tree: ast.AST | None = None
 
     # -- imports -------------------------------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
@@ -152,6 +179,8 @@ class _Visitor(ast.NodeVisitor):
                 self.time_aliases.add(bound)
             elif alias.name == "datetime":
                 self.datetime_names.add(bound)
+            elif alias.name.split(".")[0] == "multiprocessing":
+                self.multiprocessing_aliases.add(bound)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -159,6 +188,14 @@ class _Visitor(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name == "datetime":
                     self.datetime_names.add(alias.asname or alias.name)
+        if node.module == "multiprocessing":
+            for alias in node.names:
+                if alias.name == "shared_memory":
+                    self.shm_module_aliases.add(alias.asname or alias.name)
+        if node.module == "multiprocessing.shared_memory":
+            for alias in node.names:
+                if alias.name == "SharedMemory":
+                    self.shm_class_names.add(alias.asname or alias.name)
         if node.module == "random":
             for alias in node.names:
                 if alias.name in GLOBAL_RANDOM_FUNCS:
@@ -171,6 +208,30 @@ class _Visitor(ast.NodeVisitor):
                     )
         self.generic_visit(node)
 
+    # -- scopes (DET004 context) ----------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scope_stack.append(node)
+        self.generic_visit(node)
+        self._scope_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._scope_stack.append(node)
+        self.generic_visit(node)
+        self._scope_stack.pop()
+
+    def visit_Try(self, node: ast.Try) -> None:
+        if not node.finalbody:
+            self.generic_visit(node)
+            return
+        # Children under the try (body/handlers/orelse) are protected by
+        # the ``finally``; the finalbody itself is not.
+        self._finally_depth += 1
+        for child in [*node.body, *node.handlers, *node.orelse]:
+            self.visit(child)
+        self._finally_depth -= 1
+        for child in node.finalbody:
+            self.visit(child)
+
     # -- calls ---------------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         name = _qualified_name(node.func)
@@ -178,9 +239,47 @@ class _Visitor(ast.NodeVisitor):
             self._check_call(name, node)
         self.generic_visit(node)
 
+    def _is_shm_constructor(self, parts: list[str]) -> bool:
+        root = parts[0]
+        if parts[-1] != "SharedMemory":
+            return False
+        if len(parts) == 1:
+            return root in self.shm_class_names
+        if len(parts) == 2:
+            return parts[0] in self.shm_module_aliases or parts[0] == "shared_memory"
+        return parts[-2] == "shared_memory" and root in self.multiprocessing_aliases
+
+    def _check_shm_allocation(self, name: str, node: ast.Call) -> None:
+        """DET004: a SharedMemory allocation must have reclamation in reach —
+        a ``close()``/``unlink()`` call in its enclosing scope, or a
+        ``try``/``finally`` around the allocation site."""
+        if self._finally_depth > 0:
+            return
+        scope: ast.AST | None = self._scope_stack[-1] if self._scope_stack else self.tree
+        if scope is not None:
+            for sub in ast.walk(scope):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in SHM_CLEANUP_ATTRS
+                ):
+                    return
+        self._add(
+            "DET004",
+            node.lineno,
+            f"{name}() allocates a shared-memory segment with no "
+            "close()/unlink() in its enclosing scope and no try/finally; "
+            "segments leak on error paths — reclaim them, or annotate the "
+            "owner that does",
+        )
+
     def _check_call(self, name: str, node: ast.Call) -> None:
         parts = name.split(".")
         root = parts[0]
+        # shared-memory allocation without reclamation in reach
+        if self.in_shm_core and self._is_shm_constructor(parts):
+            self._check_shm_allocation(name, node)
+            return
         # random.Random() with no arguments -> OS-entropy seeded
         if parts[-2:] == ["random", "Random"] or (
             root in self.random_module_aliases and parts[-1] == "Random"
@@ -305,6 +404,7 @@ def lint_file(path: Path, root: Path) -> list[DetFinding]:
             )
         ]
     visitor = _Visitor(str(path), rel, source.splitlines())
+    visitor.tree = tree
     visitor.visit(tree)
     return sorted(visitor.findings, key=lambda f: (f.path, f.line, f.code))
 
@@ -323,7 +423,8 @@ def lint_paths(paths: list[Path]) -> list[DetFinding]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Lint Python sources for determinism hazards "
-        "(unseeded RNGs, wall-clock reads in core paths, set-iteration ordering)."
+        "(unseeded RNGs, wall-clock reads in core paths, set-iteration "
+        "ordering, unreclaimed shared memory)."
     )
     parser.add_argument("paths", nargs="+", type=Path, help="files or directories to lint")
     parser.add_argument("--json", action="store_true", help="machine-readable report")
