@@ -13,8 +13,11 @@ templated knowledge queries must issue <= 0.35x the serial LM rounds),
 the query-set relational analysis (the ``QuerySetAnalyzer`` pass over
 the knowledge portfolio, and scheduler dedupe strictly reducing model
 rounds on a workload seeded with exact duplicates),
-and the process-parallel round sharding (workers=4 must reach >= 1.8x
-the workers=1 round throughput on machines with >= 4 CPUs), and records
+the process-parallel round sharding (workers=4 must reach >= 1.8x
+the workers=1 round throughput on machines with >= 4 CPUs), and the
+validation service (sustained q/s and p50/p99 first-match latency at 1
+vs 8 concurrent clients over the NDJSON server; a warm server's p50
+first-match must beat the cold one-shot latency), and records
 medians as JSON (written atomically — temp file + ``os.replace``)::
 
     PYTHONPATH=src python benchmarks/bench_smoke.py --out BENCH_executor.json
@@ -519,6 +522,101 @@ def bench_parallel(env, repeats: int) -> dict:
     return out
 
 
+def bench_service(env, repeats: int) -> dict:
+    """Validation-service round trips: sustained q/s and first-match latency.
+
+    Starts the NDJSON server in-process over a warm
+    :class:`SchedulerService` and drives it with real
+    :class:`ServiceClient` connections at 1 and 8 concurrent clients,
+    recording sustained queries/second and the p50/p99 latency from
+    ``submit`` to the first streamed match.  The acceptance bar compares
+    against the cold one-shot path (fresh compiler, compile included, the
+    ``repro query`` shape): a warm server answering a repeat query must
+    beat it at p50 — the daemon's reason to exist is that compilation and
+    logits work are already paid for.
+    """
+    import asyncio
+
+    from repro.service.client import ServiceClient
+    from repro.service.server import ValidationServer
+    from repro.service.sessions import SchedulerService
+
+    pattern = BATCH_PATTERN
+    model = env.model("xl")
+    max_results = 4
+
+    # Cold one-shot baseline: what a fresh `repro query` pays to reach its
+    # first match — compile (fresh compiler, no caches) plus the search.
+    def cold_first_match() -> None:
+        compiler = GraphCompiler(env.tokenizer, cache=CompilationCache(max_entries=64))
+        session = prepare(
+            model, env.tokenizer, SearchQuery(pattern),
+            compiler=compiler, max_expansions=50_000,
+        )
+        next(iter(session))
+
+    cold_ms, _ = _median_time(cold_first_match, repeats)
+
+    def percentile(samples: list[float], q: float) -> float:
+        ordered = sorted(samples)
+        return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))]
+
+    async def drive(n_clients: int, queries_per_client: int, host: str, port: int):
+        async def one_client(_index: int) -> list[float]:
+            latencies = []
+            async with await ServiceClient.connect(host, port) as client:
+                for _ in range(queries_per_client):
+                    start = time.perf_counter()
+                    stream = await client.submit(
+                        SearchQuery(pattern), max_results=max_results
+                    )
+                    async for _match in stream:
+                        latencies.append(time.perf_counter() - start)
+                        break
+                    await stream.collect()
+            return latencies
+
+        start = time.perf_counter()
+        per_client = await asyncio.gather(*(one_client(i) for i in range(n_clients)))
+        wall = time.perf_counter() - start
+        latencies = [lat for client_lats in per_client for lat in client_lats]
+        total = n_clients * queries_per_client
+        return {
+            "clients": n_clients,
+            "queries": total,
+            "queries_per_s": round(total / wall, 2),
+            "first_match_p50_ms": round(1000 * percentile(latencies, 0.50), 3),
+            "first_match_p99_ms": round(1000 * percentile(latencies, 0.99), 3),
+        }
+
+    async def run() -> dict:
+        service = SchedulerService(
+            model, env.tokenizer,
+            concurrency=8, max_inflight=16, max_expansions=50_000,
+        )
+        server = ValidationServer(service)
+        await server.start()
+        try:
+            # Warm the compile + logits caches: the steady state a daemon
+            # actually serves from.
+            await drive(1, 2, server.host, server.port)
+            single = await drive(1, 16, server.host, server.port)
+            concurrent = await drive(8, 4, server.host, server.port)
+        finally:
+            await server.shutdown()
+        return {
+            "pattern": pattern,
+            "cold_one_shot_ms": round(1000 * cold_ms, 3),
+            "clients_1": single,
+            "clients_8": concurrent,
+            "warm_vs_cold_speedup": round(
+                1000 * cold_ms / max(single["first_match_p50_ms"], 1e-9), 2
+            ),
+        }
+
+    return asyncio.run(run())
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_executor.json")
@@ -538,6 +636,7 @@ def main(argv=None) -> int:
         "analyze_set": bench_analyze_set(args.repeats),
         "incremental": bench_incremental(env, args.repeats),
         "parallel": bench_parallel(env, args.repeats),
+        "service": bench_service(env, args.repeats),
     }
     # Atomic write: a crashed or interrupted run must never leave a
     # truncated JSON for the CI gate (or a concurrent reader) to choke on.
@@ -598,6 +697,12 @@ def main(argv=None) -> int:
         failures.append(
             f"parallel speedup {parallel['speedup_4v1']}x (workers=4 vs 1) "
             "is below the 1.8x bar"
+        )
+    service = report["service"]
+    if service["clients_1"]["first_match_p50_ms"] >= service["cold_one_shot_ms"]:
+        failures.append(
+            f"warm-server p50 first-match {service['clients_1']['first_match_p50_ms']}ms "
+            f"does not beat the cold one-shot {service['cold_one_shot_ms']}ms"
         )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

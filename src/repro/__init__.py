@@ -71,6 +71,28 @@ from repro.lm import (
 from repro.regex import compile_dfa, escape
 from repro.tokenizers import BPETokenizer, Vocabulary, train_bpe
 
+#: Service-layer names resolved lazily so ``import repro`` stays free of
+#: the asyncio/server plumbing (a batch job never pays for it).
+_SERVICE_EXPORTS = frozenset(
+    {
+        "ServiceClient",
+        "QueryStream",
+        "ServiceError",
+        "SchedulerService",
+        "ValidationServer",
+        "ServiceStats",
+    }
+)
+
+
+def __getattr__(name: str) -> object:
+    if name in _SERVICE_EXPORTS:
+        from repro import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -128,4 +150,11 @@ __all__ = [
     "Vocabulary",
     "compile_dfa",
     "escape",
+    # service (lazy)
+    "ServiceClient",
+    "QueryStream",
+    "ServiceError",
+    "SchedulerService",
+    "ValidationServer",
+    "ServiceStats",
 ]

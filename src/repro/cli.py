@@ -11,6 +11,8 @@ Usage (see ``python -m repro --help``)::
     python -m repro lint --set all
     python -m repro lint-set --set all --json
     python -m repro explain "ab|ac" --sequence-length 8
+    python -m repro serve --port 7333 --compile-cache /tmp/relm-cc
+    python -m repro submit "The ((cat)|(dog))" --port 7333 --max-matches 5
 
 Queries run against the built-in experiment environment (synthetic corpus
 + n-gram models); this is a demonstration surface, not a production
@@ -221,6 +223,131 @@ def build_parser() -> argparse.ArgumentParser:
         help="EXPLAIN one query: findings plus the static cost model",
     )
     add_analysis_args(explain, patterns_optional=False)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the engine as a long-lived validation service "
+             "(NDJSON over TCP; SIGTERM drains gracefully)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks a free one; the bound port is announced "
+             "on stderr as '# listening HOST:PORT')",
+    )
+    serve.add_argument("--model", choices=["xl", "small"], default="xl")
+    serve.add_argument("--scale", choices=["test", "full"], default="test")
+    serve.add_argument(
+        "--concurrency", type=int, default=8,
+        help="queries serviced per coalesced LM round",
+    )
+    serve.add_argument(
+        "--fairness",
+        choices=["round_robin", "shortest_frontier", "cheapest_cost"],
+        default="round_robin",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="shard LM rounds across N model-replica processes, shared "
+             "by every request the server handles",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=2,
+        help="failed-shard re-deliveries before the in-process fallback",
+    )
+    serve.add_argument(
+        "--shard-timeout", type=float, default=None,
+        help="seconds before an unanswered worker shard is retried",
+    )
+    serve.add_argument(
+        "--kv-cache-mb", type=float, default=None,
+        help="prefix-state (KV) cache budget in MiB",
+    )
+    serve.add_argument("--no-kv-cache", action="store_true")
+    serve.add_argument(
+        "--compile-cache", default=None, metavar="DIR",
+        help="persistent compile-cache directory shared across restarts "
+             "(a warm dir means a restarted server recompiles nothing)",
+    )
+    serve.add_argument(
+        "--no-minimize-tokens", action="store_true",
+        help="skip token-automaton minimization (measurement knob)",
+    )
+    serve.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="snapshot in-flight queries here on SIGTERM (and at the "
+             "usual round cadence); with --resume a restarted server "
+             "reproduces their results bit-identically",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="completed rounds between checkpoint snapshots",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="restore completed queries from --checkpoint",
+    )
+    serve.add_argument(
+        "--admission-max-cost", type=int, default=None,
+        help="reject queries whose static LM-call bound (EXPLAIN cost "
+             "model) exceeds this, before any LM call",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="per-client cap on concurrently running queries",
+    )
+    serve.add_argument(
+        "--lm-calls-per-minute", type=int, default=None,
+        help="per-client LM-call rate quota (sliding 60s window)",
+    )
+    serve.add_argument(
+        "--window", type=int, default=64,
+        help="default per-query match-delivery window (backpressure "
+             "credit) for clients that do not choose one",
+    )
+    serve.add_argument(
+        "--progress-every", type=int, default=4,
+        help="scheduler rounds between per-query progress frames",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit pattern(s) to a running 'repro serve' and stream "
+             "the matches (client-side mirror of 'query')",
+    )
+    submit.add_argument(
+        "pattern", nargs="+",
+        help="regex pattern(s) (ReLM dialect); several patterns stream "
+             "concurrently over one connection",
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, required=True, help="server port")
+    submit.add_argument("--prefix", default=None, help="prefix regex (conditioned, not decoded)")
+    submit.add_argument("--top-k", type=int, default=None, help="top-k decision rule")
+    submit.add_argument("--strategy", choices=["shortest", "random", "beam"], default="shortest")
+    submit.add_argument("--tokenization", choices=["all", "canonical"], default="all")
+    submit.add_argument("--samples", type=int, default=10, help="samples for --strategy random")
+    submit.add_argument("--max-matches", type=int, default=10)
+    submit.add_argument("--edits", type=int, default=0, help="Levenshtein preprocessor distance")
+    submit.add_argument("--require-eos", action="store_true")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-query wall-clock budget in seconds (server-side)",
+    )
+    submit.add_argument(
+        "--max-lm-calls", type=int, default=None,
+        help="per-query LM-call budget (server-side)",
+    )
+    submit.add_argument("--log", default=None, help="append matches to this JSONL file")
+    submit.add_argument(
+        "--window", type=int, default=64,
+        help="initial match-delivery window (auto-replenished)",
+    )
+    submit.add_argument(
+        "--stats", action="store_true",
+        help="print the server's service-wide stats after the queries",
+    )
     return parser
 
 
@@ -757,6 +884,168 @@ def _cmd_explain(args) -> int:
     return 0 if not report.has_errors else 1
 
 
+def _cmd_serve(args) -> int:
+    """Run the engine as a long-lived validation service."""
+    import asyncio
+
+    from repro.experiments.common import get_environment
+    from repro.service import SchedulerService, run_server
+
+    if args.resume and args.checkpoint is None:
+        print("error: --resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    env = get_environment(scale=args.scale)
+    model = env.model(args.model)
+    service = SchedulerService(
+        model,
+        env.tokenizer,
+        compiler=_build_compiler(args, env),
+        logits_cache=env.logits_cache(args.model),
+        concurrency=args.concurrency,
+        fairness=args.fairness,
+        kv_cache=not args.no_kv_cache,
+        kv_cache_mb=args.kv_cache_mb,
+        admission_max_cost=args.admission_max_cost,
+        max_inflight=args.max_inflight,
+        lm_calls_per_minute=args.lm_calls_per_minute,
+        default_window=args.window,
+        progress_every=args.progress_every,
+        workers=args.workers,
+        max_retries=args.max_retries if args.max_retries >= 0 else None,
+        shard_timeout=args.shard_timeout,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        max_expansions=50_000,
+    )
+
+    def ready(host: str, port: int) -> None:
+        print(f"# listening {host}:{port}", file=sys.stderr, flush=True)
+
+    try:
+        asyncio.run(run_server(service, args.host, args.port, ready=ready))
+    except KeyboardInterrupt:  # signal handler not installable (rare)
+        service.close()
+    stats = service.stats_snapshot()
+    print(
+        f"# service: sessions={stats['sessions_opened']} "
+        f"submitted={stats['queries_submitted']} "
+        f"admitted={stats['queries_admitted']} "
+        f"completed={stats['queries_completed']} "
+        f"truncated={stats['queries_truncated']} "
+        f"cancelled={stats['queries_cancelled']} "
+        f"rejected={stats['queries_rejected']} "
+        f"interrupted={stats['queries_interrupted']} "
+        f"matches={stats['matches_streamed']} "
+        f"stalls={stats['backpressure_stalls']} "
+        f"malformed={stats['frames_malformed']} "
+        f"generations={stats['generations']}",
+        file=sys.stderr,
+    )
+    # The admission pre-compile pays disk traffic before the scheduler's
+    # own (memory-hit) compile, so the disk cache's live counters are the
+    # honest numbers — not the scheduler-folded compile_cache_disk_hits.
+    disk = stats.get("compile_disk", {})
+    print(
+        f"# service caches: compile memory_hits={stats.get('compile_memory_hits', 0)} "
+        f"memory_misses={stats.get('compile_memory_misses', 0)} "
+        f"disk_hits={disk.get('hits', 0)} disk_misses={disk.get('misses', 0)}; "
+        f"logits hits={stats['logits_hits']} misses={stats['logits_misses']}",
+        file=sys.stderr,
+    )
+    if args.checkpoint:
+        print(
+            f"# checkpoint: {args.checkpoint} "
+            f"writes={stats['checkpoints_written']} "
+            f"resumed={stats['queries_resumed']}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """Client-side mirror of ``query``: stream matches from a server."""
+    import asyncio
+
+    from repro.core.logging import MatchWriter
+    from repro.service.client import ServiceClient, ServiceError
+
+    queries = _build_queries(args)
+    writer = MatchWriter(args.log) if args.log else None
+
+    async def run() -> int:
+        try:
+            client = await ServiceClient.connect(args.host, args.port)
+        except (ConnectionError, OSError) as exc:
+            print(f"error: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+            return 1
+        failed = False
+        try:
+            streams = []
+            for pattern, query in zip(args.pattern, queries):
+                streams.append(
+                    (
+                        pattern,
+                        await client.submit(
+                            query,
+                            deadline=args.deadline,
+                            max_lm_calls=args.max_lm_calls,
+                            max_results=args.max_matches,
+                            window=args.window,
+                        ),
+                    )
+                )
+            for pattern, stream in streams:
+                print(f"== {pattern}")
+                try:
+                    async for match in stream:
+                        print(f"{match.total_logprob:9.3f}  {match.text!r}")
+                        if writer is not None:
+                            writer.write(match)
+                except ServiceError as exc:
+                    print(f"#   error: {exc}", file=sys.stderr)
+                    failed = True
+                    continue
+                flag = (
+                    f" [{stream.status}: {stream.reason}]"
+                    if stream.status != "ok" and stream.reason != "max_results"
+                    else ""
+                )
+                per_query = stream.stats or {}
+                print(
+                    f"#   {pattern}{flag}: {len(stream.matches)} matches "
+                    f"lm_calls={per_query.get('lm_calls', '?')} "
+                    f"rounds={per_query.get('scheduler_rounds', '?')} "
+                    f"latency={stream.latency_ms if stream.latency_ms is not None else 0.0}ms",
+                    file=sys.stderr,
+                )
+                if stream.status in ("rejected", "interrupted"):
+                    failed = True
+            if args.stats:
+                stats = await client.stats()
+                disk = stats.get("compile_disk", {})
+                print(
+                    f"# service: sessions={stats['sessions_opened']} "
+                    f"admitted={stats['queries_admitted']} "
+                    f"rejected={stats['queries_rejected']} "
+                    f"matches={stats['matches_streamed']} "
+                    f"stalls={stats['backpressure_stalls']} "
+                    f"compile_hits={stats.get('compile_memory_hits', 0)} "
+                    f"disk_hits={disk.get('hits', 0)}",
+                    file=sys.stderr,
+                )
+        finally:
+            await client.close()
+        return 1 if failed else 0
+
+    try:
+        return asyncio.run(run())
+    finally:
+        if writer is not None:
+            writer.close()
+            print(f"# wrote {writer.count} matches to {args.log}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -772,4 +1061,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lint_set(args)
     if args.command == "explain":
         return _cmd_explain(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

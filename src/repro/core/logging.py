@@ -9,6 +9,7 @@ helper that logs while passing matches through unchanged.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -20,6 +21,12 @@ __all__ = ["MatchWriter", "read_matches", "tee_matches"]
 class MatchWriter:
     """Append-only JSONL sink for :class:`MatchResult` streams.
 
+    ``flush_every`` controls how many writes may buffer before the file
+    is flushed; the default of 1 makes every match immediately visible to
+    ``tail -f`` and service-side streamers, at the cost of one syscall
+    per match.  Raise it for bulk sweeps where only the closed file
+    matters.
+
     Usable as a context manager::
 
         with MatchWriter(path) as writer:
@@ -27,9 +34,13 @@ class MatchWriter:
                 writer.write(match)
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, *, flush_every: int = 1) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
         self.path = Path(path)
+        self.flush_every = flush_every
         self._handle = None
+        self._unflushed = 0
         self.count = 0
 
     def __enter__(self) -> "MatchWriter":
@@ -53,37 +64,72 @@ class MatchWriter:
         }
         self._handle.write(json.dumps(record) + "\n")
         self.count += 1
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self._handle.flush()
+            self._unflushed = 0
 
     def close(self) -> None:
         """Flush and close the underlying file."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+            self._unflushed = 0
 
 
-def read_matches(path: str | Path) -> list[MatchResult]:
-    """Load a JSONL file written by :class:`MatchWriter`."""
+def read_matches(path: str | Path, *, strict: bool = False) -> list[MatchResult]:
+    """Load a JSONL file written by :class:`MatchWriter`.
+
+    A torn *trailing* line — the signature of a writer killed mid-append —
+    is skipped with a warning by default, so a crash-interrupted log stays
+    loadable; pass ``strict=True`` to raise on it instead.  A malformed
+    line anywhere *before* the end is corruption, not a torn tail, and
+    always raises.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    while lines and not lines[-1].strip():
+        lines.pop()
     results = []
-    with Path(path).open(encoding="utf-8") as handle:
-        for line in handle:
-            if not line.strip():
-                continue
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
             data = json.loads(line)
-            results.append(
-                MatchResult(
-                    tokens=tuple(data["tokens"]),
-                    text=data["text"],
-                    logprob=data["logprob"],
-                    total_logprob=data["total_logprob"],
-                    canonical=data["canonical"],
-                    prefix_text=data.get("prefix_text", ""),
-                )
+            record = MatchResult(
+                tokens=tuple(data["tokens"]),
+                text=data["text"],
+                logprob=data["logprob"],
+                total_logprob=data["total_logprob"],
+                canonical=data["canonical"],
+                prefix_text=data.get("prefix_text", ""),
             )
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            if strict or index != len(lines) - 1:
+                raise ValueError(
+                    f"{path}: malformed JSONL record on line {index + 1}: {exc}"
+                ) from exc
+            warnings.warn(
+                f"{path}: skipping torn trailing line {index + 1} "
+                "(writer interrupted mid-append?)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            break
+        results.append(record)
     return results
 
 
 def tee_matches(matches: Iterable[MatchResult], writer: MatchWriter) -> Iterator[MatchResult]:
-    """Yield matches unchanged while logging each to *writer*."""
-    for match in matches:
-        writer.write(match)
-        yield match
+    """Yield matches unchanged while logging each to *writer*.
+
+    The writer is closed when the generator is exhausted, explicitly
+    ``close()``d, or garbage-collected mid-stream
+    (:func:`contextlib.closing` semantics) — an abandoned tee never
+    leaves a dangling file handle with buffered matches.
+    """
+    try:
+        for match in matches:
+            writer.write(match)
+            yield match
+    finally:
+        writer.close()

@@ -1,0 +1,316 @@
+"""Typed async client for the validation service.
+
+:class:`ServiceClient` speaks the NDJSON protocol on behalf of Python
+callers: ``connect()`` performs the hello handshake, ``submit()`` sends
+a query and returns a :class:`QueryStream` — an async iterator yielding
+:class:`~repro.core.results.MatchResult` objects bit-identical to what
+an in-process run would produce (floats survive the JSON round trip) —
+and ``cancel()``/``stats()``/``close()`` round out the surface.
+
+Flow control is automatic by default: the stream replenishes its match
+window as the caller consumes (half-window grants), so a slow consumer
+throttles only itself.  Pass ``auto_grant=False`` to drive ``grant()``
+by hand (the backpressure tests do).
+
+Usage::
+
+    async with await ServiceClient.connect(host, port) as client:
+        stream = await client.submit(SearchQuery(r"a+b"), max_results=10)
+        async for match in stream:
+            print(match.text)
+        print(stream.status, stream.stats)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, AsyncIterator
+
+from repro.core.query import SimpleSearchQuery
+from repro.core.results import MatchResult
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "QueryStream", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """The server answered with an ``error`` frame, or the link died."""
+
+
+class QueryStream:
+    """One in-flight query: an async iterator over its streamed matches.
+
+    Iteration ends when the terminal ``done`` frame arrives; afterwards
+    :attr:`status` (``ok``/``truncated``/``cancelled``/``rejected``/
+    ``interrupted``), :attr:`reason`, :attr:`stats` (the per-query
+    counter dict from the server), and :attr:`latency_ms` are populated.
+    A server-side ``error`` frame for this query id raises
+    :class:`ServiceError` from ``__anext__``.
+    """
+
+    def __init__(self, client: "ServiceClient", query_id: str, window: int, auto_grant: bool):
+        self.client = client
+        self.query_id = query_id
+        self.window = window
+        self.auto_grant = auto_grant
+        self.status: str | None = None
+        self.reason: str | None = None
+        self.stats: dict[str, Any] | None = None
+        self.latency_ms: float | None = None
+        self.progress: dict[str, Any] | None = None
+        self.matches: list[MatchResult] = []
+        self._events: asyncio.Queue[tuple[str, Any]] = asyncio.Queue()
+        self._ungranted = 0
+        self._finished = False
+
+    @property
+    def done(self) -> bool:
+        """True once the terminal frame arrived (status is then set)."""
+        return self._finished
+
+    def __aiter__(self) -> AsyncIterator[MatchResult]:
+        return self
+
+    async def __anext__(self) -> MatchResult:
+        while True:
+            if self._finished and self._events.empty():
+                raise StopAsyncIteration
+            kind, payload = await self._events.get()
+            if kind == "match":
+                match = protocol.match_from_wire(payload["match"])
+                self.matches.append(match)
+                self._ungranted += 1
+                # Replenish at half-window so the server never stalls on a
+                # consumer that is merely iterating, only on one that stopped.
+                if self.auto_grant and self._ungranted >= max(1, self.window // 2):
+                    await self.grant(self._ungranted)
+                return match
+            if kind == "done":
+                self._finished = True
+                self.status = payload["status"]
+                self.reason = payload.get("reason")
+                self.stats = payload.get("stats")
+                self.latency_ms = payload.get("latency_ms")
+                raise StopAsyncIteration
+            if kind == "error":
+                self._finished = True
+                self.status = "error"
+                self.reason = payload
+                raise ServiceError(payload)
+            if kind == "closed":
+                self._finished = True
+                self.status = "error"
+                self.reason = "connection closed"
+                raise ServiceError("connection closed before query completed")
+
+    async def grant(self, n: int) -> None:
+        """Grant *n* more match-delivery credits (manual flow control)."""
+        self._ungranted = 0
+        await self.client._send({"type": "window", "id": self.query_id, "n": n})
+
+    async def cancel(self) -> None:
+        """Ask the server to stop this query; iterate on to the terminal
+        ``done`` (its status will be ``cancelled`` unless it already
+        finished)."""
+        await self.client._send({"type": "cancel", "id": self.query_id})
+
+    async def collect(self) -> list[MatchResult]:
+        """Drain the stream; returns all matches (also in :attr:`matches`)."""
+        async for _ in self:
+            pass
+        return self.matches
+
+    def _push(self, kind: str, payload: Any) -> None:
+        self._events.put_nowait((kind, payload))
+
+
+class ServiceClient:
+    """One connection to a validation server.  Build via :meth:`connect`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, hello: dict[str, Any]
+    ) -> None:
+        self.hello = hello
+        self._reader = reader
+        self._writer = writer
+        self._streams: dict[str, QueryStream] = {}
+        self._stats_waiters: asyncio.Queue[asyncio.Future[dict[str, Any]]] = asyncio.Queue()
+        self._send_lock = asyncio.Lock()
+        self._next_id = 0
+        self._closed = False
+        #: error frames that carried no query id (protocol-level).
+        self.errors: list[str] = []
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, timeout: float = 30.0
+    ) -> "ServiceClient":
+        """Dial the server and complete the hello handshake."""
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port, limit=2 * protocol.MAX_FRAME_BYTES),
+            timeout,
+        )
+        try:
+            line = await asyncio.wait_for(reader.readuntil(b"\n"), timeout)
+            hello = protocol.decode_frame(line)
+            if hello.get("type") != "hello":
+                raise ServiceError(f"expected hello frame, got {hello.get('type')!r}")
+            version = hello.get("version")
+            if version != protocol.PROTOCOL_VERSION:
+                raise ServiceError(
+                    f"protocol version mismatch: server {version!r}, "
+                    f"client {protocol.PROTOCOL_VERSION}"
+                )
+            writer.write(
+                protocol.encode_frame({"type": "hello", "version": protocol.PROTOCOL_VERSION})
+            )
+            await writer.drain()
+        except (protocol.ProtocolError, asyncio.IncompleteReadError) as exc:
+            writer.close()
+            raise ServiceError(f"handshake failed: {exc}") from None
+        except BaseException:
+            writer.close()
+            raise
+        return cls(reader, writer, hello)
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def submit(
+        self,
+        query: SimpleSearchQuery,
+        *,
+        query_id: str | None = None,
+        deadline: float | None = None,
+        max_lm_calls: int | None = None,
+        max_results: int | None = None,
+        window: int = 64,
+        auto_grant: bool = True,
+    ) -> QueryStream:
+        """Submit *query*; returns the stream to iterate its matches.
+
+        Budget knobs mirror :class:`~repro.core.scheduler.QueryBudget`.
+        ``window`` is the initial match-delivery credit; with
+        ``auto_grant=True`` (default) the stream replenishes it as you
+        consume.
+        """
+        if self._closed:
+            raise ServiceError("client is closed")
+        if query_id is None:
+            self._next_id += 1
+            query_id = f"q{self._next_id}"
+        if query_id in self._streams:
+            raise ServiceError(f"query id {query_id!r} already in flight")
+        frame: dict[str, Any] = {
+            "type": "submit",
+            "id": query_id,
+            "query": protocol.query_to_wire(query),
+            "window": window,
+        }
+        budget = {
+            key: value
+            for key, value in (
+                ("deadline", deadline),
+                ("max_lm_calls", max_lm_calls),
+                ("max_results", max_results),
+            )
+            if value is not None
+        }
+        if budget:
+            frame["budget"] = budget
+        stream = QueryStream(self, query_id, window, auto_grant)
+        self._streams[query_id] = stream
+        await self._send(frame)
+        return stream
+
+    async def stats(self, *, timeout: float = 30.0) -> dict[str, Any]:
+        """Fetch the service-wide counter snapshot (the ``stats`` frame)."""
+        if self._closed:
+            raise ServiceError("client is closed")
+        future: asyncio.Future[dict[str, Any]] = asyncio.get_running_loop().create_future()
+        self._stats_waiters.put_nowait(future)
+        await self._send({"type": "stats"})
+        return await asyncio.wait_for(future, timeout)
+
+    async def close(self) -> None:
+        """Send ``bye`` and tear the connection down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            await self._send({"type": "bye"}, force=True)
+        except (ServiceError, ConnectionError, OSError):
+            pass
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+        self._fail_pending()
+
+    async def _send(self, frame: dict[str, Any], *, force: bool = False) -> None:
+        if self._closed and not force:
+            raise ServiceError("client is closed")
+        async with self._send_lock:
+            self._writer.write(protocol.encode_frame(frame))
+            await self._writer.drain()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                try:
+                    line = await self._reader.readuntil(b"\n")
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    return
+                try:
+                    frame = protocol.decode_frame(line)
+                except protocol.ProtocolError:
+                    continue  # a torn tail on server shutdown; skip
+                self._route(frame)
+        finally:
+            self._fail_pending()
+
+    def _route(self, frame: dict[str, Any]) -> None:
+        frame_type = frame["type"]
+        if frame_type == "stats":
+            if not self._stats_waiters.empty():
+                future = self._stats_waiters.get_nowait()
+                if not future.done():
+                    future.set_result(frame.get("stats", {}))
+            return
+        frame_id = frame.get("id")
+        stream = self._streams.get(frame_id) if isinstance(frame_id, str) else None
+        if frame_type == "error" and stream is None:
+            self.errors.append(str(frame.get("message", "")))
+            return
+        if stream is None:
+            return  # late frame for a forgotten query; drop
+        if frame_type == "match":
+            stream._push("match", frame)
+        elif frame_type == "progress":
+            stream.progress = frame
+        elif frame_type == "done":
+            del self._streams[stream.query_id]
+            stream._push("done", frame)
+        elif frame_type == "error":
+            del self._streams[stream.query_id]
+            stream._push("error", str(frame.get("message", "")))
+
+    def _fail_pending(self) -> None:
+        streams, self._streams = self._streams, {}
+        for stream in streams.values():
+            if not stream.done:
+                stream._push("closed", None)
+        while not self._stats_waiters.empty():
+            future = self._stats_waiters.get_nowait()
+            if not future.done():
+                future.set_exception(ServiceError("connection closed"))

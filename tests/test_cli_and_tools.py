@@ -81,6 +81,52 @@ class TestMatchLogging:
         assert len(read_matches(path)) == 2
 
 
+class TestCliLogRoundTrip:
+    """Matches written via ``--log`` load back bit-identical through
+    ``read_matches`` in both CLI modes (single query and multi-pattern
+    scheduler), covering tokens, logprobs, and the canonical flag."""
+
+    @staticmethod
+    def _reference(patterns):
+        from repro.experiments.common import get_environment
+
+        env = get_environment(scale="test")
+        out = []
+        for pattern in patterns:
+            out.extend(
+                search(
+                    env.model("xl"),
+                    env.tokenizer,
+                    SearchQuery(pattern, seed=0),
+                    max_expansions=50_000,
+                )
+            )
+        return out
+
+    @staticmethod
+    def _assert_identical(loaded, reference):
+        assert len(loaded) == len(reference)
+        for got, want in zip(loaded, reference):
+            assert got.tokens == want.tokens
+            assert got.text == want.text
+            assert got.logprob == want.logprob
+            assert got.total_logprob == want.total_logprob
+            assert got.canonical == want.canonical
+            assert got.prefix_text == want.prefix_text
+
+    def test_single_query_mode(self, capsys, tmp_path):
+        log = tmp_path / "single.jsonl"
+        assert main(["query", "The ((cat)|(dog))", "--log", str(log)]) == 0
+        capsys.readouterr()
+        self._assert_identical(read_matches(log), self._reference(["The ((cat)|(dog))"]))
+
+    def test_multi_pattern_scheduler_mode(self, capsys, tmp_path):
+        log = tmp_path / "multi.jsonl"
+        assert main(["query", "The cat", "The dog", "--log", str(log)]) == 0
+        capsys.readouterr()
+        self._assert_identical(read_matches(log), self._reference(["The cat", "The dog"]))
+
+
 class TestCaseFold:
     def test_expands_cases(self):
         out = CaseFoldPreprocessor().apply(compile_dfa("ab"))

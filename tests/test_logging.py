@@ -1,0 +1,152 @@
+"""PR 10 satellite tests for the JSONL result sinks.
+
+* ``read_matches`` tolerates a *torn trailing line* (a writer killed
+  mid-append) by skipping it with a warning; ``strict=True`` raises; a
+  malformed line anywhere before the end always raises.
+* ``MatchWriter(flush_every=...)`` controls write visibility: the default
+  of 1 makes every match immediately observable (``tail -f``/service
+  streaming), larger values batch.
+* ``tee_matches`` closes its writer on generator exhaustion, explicit
+  close, and GC — no dangling half-flushed logs from abandoned tees.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+
+import pytest
+
+from repro.core.logging import MatchWriter, read_matches, tee_matches
+from repro.core.results import MatchResult
+
+
+def _match(text: str, logprob: float = -1.25) -> MatchResult:
+    return MatchResult(
+        tokens=(1, 2, 3),
+        text=text,
+        logprob=logprob,
+        total_logprob=logprob,
+        canonical=True,
+        prefix_text="",
+    )
+
+
+class TestTornTrailingLine:
+    def _write_then_tear(self, path, n=3):
+        with MatchWriter(path) as writer:
+            for i in range(n):
+                writer.write(_match(f"m{i}", -float(i + 1)))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"text": "torn", "tok')  # no newline: mid-append kill
+        return n
+
+    def test_torn_tail_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        n = self._write_then_tear(path)
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            loaded = read_matches(path)
+        assert [m.text for m in loaded] == [f"m{i}" for i in range(n)]
+
+    def test_strict_raises_on_torn_tail(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        self._write_then_tear(path)
+        with pytest.raises(ValueError, match="malformed JSONL record"):
+            read_matches(path, strict=True)
+
+    def test_torn_tail_valid_json_but_not_a_record(self, tmp_path):
+        """A tail that parses as JSON but lacks the record keys is still a
+        torn tail, not a crash."""
+        path = tmp_path / "torn.jsonl"
+        with MatchWriter(path) as writer:
+            writer.write(_match("good"))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"text": "half"}\n')
+        with pytest.warns(RuntimeWarning):
+            loaded = read_matches(path)
+        assert [m.text for m in loaded] == ["good"]
+
+    def test_mid_file_corruption_always_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        with MatchWriter(path) as writer:
+            writer.write(_match("first"))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("GARBAGE\n")
+        with MatchWriter(path) as writer:
+            writer.write(_match("last"))
+        with pytest.raises(ValueError, match="line 2"):
+            read_matches(path)
+
+    def test_clean_file_loads_without_warning(self, tmp_path, recwarn):
+        path = tmp_path / "clean.jsonl"
+        with MatchWriter(path) as writer:
+            writer.write(_match("only"))
+        assert [m.text for m in read_matches(path)] == ["only"]
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
+
+
+class TestFlushEvery:
+    def test_default_flushes_every_write(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        writer = MatchWriter(path)
+        writer.write(_match("a"))
+        # visible before close: what tail -f / a service streamer sees
+        assert len(path.read_text().splitlines()) == 1
+        writer.write(_match("b"))
+        assert len(path.read_text().splitlines()) == 2
+        writer.close()
+
+    def test_batched_flush(self, tmp_path):
+        path = tmp_path / "batched.jsonl"
+        writer = MatchWriter(path, flush_every=3)
+        writer.write(_match("a"))
+        writer.write(_match("b"))
+        # two small records sit in the stdio buffer until the cadence hits
+        assert path.read_text() == ""
+        writer.write(_match("c"))
+        assert len(path.read_text().splitlines()) == 3
+        writer.write(_match("d"))
+        writer.close()  # close always flushes the remainder
+        assert len(path.read_text().splitlines()) == 4
+
+    def test_flush_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            MatchWriter(tmp_path / "x.jsonl", flush_every=0)
+
+
+class TestTeeCloses:
+    def test_closes_on_exhaustion(self, tmp_path):
+        writer = MatchWriter(tmp_path / "tee.jsonl")
+        out = list(tee_matches([_match("a"), _match("b")], writer))
+        assert len(out) == 2
+        assert writer._handle is None  # closed, not just flushed
+        assert len(read_matches(tmp_path / "tee.jsonl")) == 2
+
+    def test_closes_on_generator_close(self, tmp_path):
+        writer = MatchWriter(tmp_path / "tee.jsonl")
+        gen = tee_matches([_match("a"), _match("b"), _match("c")], writer)
+        assert next(gen).text == "a"
+        gen.close()
+        assert writer._handle is None
+        assert [m.text for m in read_matches(tmp_path / "tee.jsonl")] == ["a"]
+
+    def test_closes_on_gc(self, tmp_path):
+        writer = MatchWriter(tmp_path / "tee.jsonl", flush_every=10)
+        gen = tee_matches([_match("a"), _match("b")], writer)
+        next(gen)
+        del gen
+        gc.collect()
+        assert writer._handle is None
+        # flush_every=10 buffered the record; close flushed it anyway
+        assert [m.text for m in read_matches(tmp_path / "tee.jsonl")] == ["a"]
+
+
+class TestRoundTripPrecision:
+    def test_float_round_trip_is_bit_identical(self, tmp_path):
+        ugly = -123.45678901234567890123  # more precision than repr shows
+        path = tmp_path / "prec.jsonl"
+        with MatchWriter(path) as writer:
+            writer.write(_match("x", ugly))
+        [loaded] = read_matches(path)
+        assert loaded.logprob == ugly
+        assert json.loads(path.read_text())["logprob"] == ugly
